@@ -1,0 +1,53 @@
+// Work-group geometry (§IV-B): "the best configuration for the CPU is 4096
+// work-items per work-group, whilst the best configuration for the GPU is
+// 256". Sweeps the group size on each device's work-group model and prints
+// the relative kernel efficiency.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "device/exec_model.hpp"
+
+using namespace mw;
+using namespace mw::device;
+
+int main() {
+    constexpr double kTotalItems = 1 << 20;  // a large classification batch
+    const DeviceParams devices[] = {i7_8700_params(), uhd630_params(), gtx1080ti_params()};
+
+    std::filesystem::create_directories("bench_out");
+    CsvWriter csv("bench_out/ablation_workgroup.csv");
+    csv.row({"device", "group_size", "efficiency"});
+
+    TextTable table;
+    std::vector<std::string> header{"group size"};
+    for (const auto& d : devices) header.push_back(d.name);
+    table.header(header);
+
+    std::vector<std::size_t> sweep;
+    for (std::size_t wg = 32; wg <= 16384; wg *= 2) sweep.push_back(wg);
+
+    std::vector<std::pair<double, std::size_t>> best(3, {0.0, 0});
+    for (const std::size_t wg : sweep) {
+        std::vector<std::string> row{std::to_string(wg)};
+        for (std::size_t d = 0; d < 3; ++d) {
+            const double eff = work_group_efficiency(devices[d], static_cast<double>(wg),
+                                                     kTotalItems);
+            row.push_back(format("{:.3f}", eff));
+            csv.row({devices[d].name, std::to_string(wg), format("{}", eff)});
+            if (eff > best[d].first) best[d] = {eff, wg};
+        }
+        table.row(std::move(row));
+    }
+
+    std::printf("=== Work-group efficiency sweep (%g work-items) ===\n", kTotalItems);
+    table.print();
+    std::printf("\nBest group size per device:\n");
+    for (std::size_t d = 0; d < 3; ++d) {
+        std::printf("  %-10s %zu items/group\n", devices[d].name.c_str(), best[d].second);
+    }
+    std::printf("Paper: CPU best at 4096, discrete GPU best at 256.\n");
+    return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Figure 3 of the paper: throughput, power and latency of every
+// model in §III-B across sample sizes 2..256K on the CPU, the integrated
+// GPU, and the discrete GPU starting warm and idle.
+//
+// Output: one table per model (paper subfigures a-e) plus CSV files under
+// bench_out/ for replotting.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "device/registry.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/measurement_harness.hpp"
+
+namespace {
+
+using mw::device::DeviceRegistry;
+using mw::sched::GpuState;
+using mw::sched::MeasurementHarness;
+using mw::sched::SweepPoint;
+
+struct Series {
+    std::string label;
+    std::string device;
+    GpuState state;
+};
+
+}  // namespace
+
+int main() {
+    // Deterministic characterization (noise off) — this is the "shape"
+    // artifact; the scheduler training benches run with noise on.
+    DeviceRegistry registry = DeviceRegistry::standard_testbed({.noise_sigma = 0.0});
+
+    const auto specs = mw::nn::zoo::paper_models();
+    std::vector<std::string> names;
+    for (const auto& spec : specs) {
+        auto model = std::make_shared<mw::nn::Model>(mw::nn::build_model(spec, /*seed=*/7));
+        registry.load_model_everywhere(model);
+        names.push_back(spec.name);
+    }
+
+    MeasurementHarness harness(registry);
+    const auto batches = MeasurementHarness::paper_batch_sizes();
+    const auto points = harness.sweep(names, batches);
+
+    const std::vector<Series> series = {
+        {"i7 CPU", "i7-8700", GpuState::kWarm},
+        {"HD Graphics", "uhd630", GpuState::kWarm},
+        {"GTX 1080 Ti", "gtx1080ti", GpuState::kWarm},
+        {"Idle GTX 1080 Ti", "gtx1080ti", GpuState::kIdle},
+    };
+
+    std::filesystem::create_directories("bench_out");
+    mw::CsvWriter csv("bench_out/fig3_characterization.csv");
+    csv.row({"model", "series", "batch", "throughput_bps", "latency_s", "power_w", "energy_j"});
+
+    auto find = [&points](const std::string& model, const Series& s, std::size_t batch)
+        -> const SweepPoint& {
+        for (const auto& p : points) {
+            if (p.model_name == model && p.device_name == s.device && p.batch == batch &&
+                p.gpu_state == s.state) {
+                return p;
+            }
+        }
+        throw mw::Error("missing sweep point");
+    };
+
+    for (const auto& name : names) {
+        std::printf("\n=== Fig. 3: %s ===\n", name.c_str());
+        mw::TextTable table;
+        table.header({"samples", "thr CPU", "thr iGPU", "thr GTX", "thr idleGTX",
+                      "lat CPU", "lat iGPU", "lat GTX", "lat idleGTX",
+                      "P CPU", "P iGPU", "P GTX"});
+        for (const std::size_t batch : batches) {
+            std::vector<std::string> row{mw::format_count(batch)};
+            for (const auto& s : series) {
+                row.push_back(mw::format_throughput(find(name, s, batch).throughput_bps));
+            }
+            for (const auto& s : series) {
+                row.push_back(mw::format_duration(find(name, s, batch).latency_s));
+            }
+            for (std::size_t si = 0; si < 3; ++si) {
+                row.push_back(mw::format_power(find(name, series[si], batch).avg_power_w));
+            }
+            table.row(std::move(row));
+            for (const auto& s : series) {
+                const auto& p = find(name, s, batch);
+                csv.row({name, s.label, std::to_string(batch),
+                         mw::format("{}", p.throughput_bps), mw::format("{}", p.latency_s),
+                         mw::format("{}", p.avg_power_w), mw::format("{}", p.energy_j)});
+            }
+        }
+        table.print();
+    }
+    std::printf("\nCSV written to bench_out/fig3_characterization.csv\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Figure 4 of the paper: Watt-seconds (Joules) needed to classify
+// each batch, per model, per sample size, on each device, for both GPU
+// starting states.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "device/registry.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/measurement_harness.hpp"
+
+using namespace mw;
+using sched::GpuState;
+
+int main() {
+    auto registry = device::DeviceRegistry::standard_testbed({.noise_sigma = 0.0});
+    std::vector<std::string> names;
+    for (const auto& spec : nn::zoo::paper_models()) {
+        registry.load_model_everywhere(
+            std::make_shared<nn::Model>(nn::build_model(spec, 7)));
+        names.push_back(spec.name);
+    }
+
+    sched::MeasurementHarness harness(registry);
+    const auto batches = sched::MeasurementHarness::paper_batch_sizes();
+
+    std::filesystem::create_directories("bench_out");
+    CsvWriter csv("bench_out/fig4_energy.csv");
+    csv.row({"model", "series", "batch", "energy_j"});
+
+    struct Series {
+        const char* label;
+        const char* device;
+        GpuState state;
+    };
+    const Series series[] = {
+        {"i7 CPU", "i7-8700", GpuState::kWarm},
+        {"HD Graphics", "uhd630", GpuState::kWarm},
+        {"GTX 1080 Ti", "gtx1080ti", GpuState::kWarm},
+        {"Idle GTX 1080 Ti", "gtx1080ti", GpuState::kIdle},
+    };
+
+    for (const auto& name : names) {
+        std::printf("\n=== Fig. 4: %s — Joules per classification batch ===\n", name.c_str());
+        TextTable table;
+        table.header({"samples", "E CPU", "E iGPU", "E GTX", "E idleGTX", "best"});
+        for (const std::size_t batch : batches) {
+            std::vector<std::string> row{format_count(batch)};
+            double best_e = 1e300;
+            std::string best_label;
+            for (const auto& s : series) {
+                const auto m = harness.measure(name, s.device, batch, s.state);
+                row.push_back(format_energy(m.energy_j));
+                csv.row({name, s.label, std::to_string(batch), format("{}", m.energy_j)});
+                if (m.energy_j < best_e) {
+                    best_e = m.energy_j;
+                    best_label = s.label;
+                }
+            }
+            row.push_back(best_label);
+            table.row(std::move(row));
+        }
+        table.print();
+    }
+    std::printf("\nCSV written to bench_out/fig4_energy.csv\n");
+    return 0;
+}

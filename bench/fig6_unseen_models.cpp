@@ -1,0 +1,111 @@
+// Reproduces Figure 6: the scheduler's predictions for machine-learning
+// models that are NOT in its training set. The forest is trained on the 16
+// augmentation architectures only; the paper's five benchmark models are
+// then scheduled across sample sizes under (a) the max-throughput policy and
+// (b) the energy policy. For every point we report the achieved vs ideal
+// value, whether the prediction was correct, and the aggregate loss.
+#include <cstdio>
+#include <filesystem>
+
+#include "common/csv.hpp"
+#include "common/format.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/oracle.hpp"
+#include "sched/predictor.hpp"
+#include "sched/scheduler_trainer.hpp"
+
+using namespace mw;
+using sched::GpuState;
+using sched::Policy;
+
+int main() {
+    // Train on the augmentation zoo only (measured with noise).
+    auto train_registry = device::DeviceRegistry::standard_testbed({.noise_sigma = 0.08});
+    std::printf("Training the scheduler on the 16 augmentation architectures only...\n");
+    const auto train_set = sched::build_scheduler_dataset(
+        train_registry, nn::zoo::augmentation_models(), {.repeats = 2});
+
+    ThreadPool pool;
+    auto forest = std::make_unique<ml::RandomForest>(
+        ml::ForestConfig{.n_estimators = 100, .max_depth = 10, .seed = 42}, &pool);
+    sched::DevicePredictor predictor(std::move(forest), train_set.device_names);
+    predictor.fit(train_set);
+
+    // Evaluation world: a *noise-free* twin registry gives the ideal values.
+    auto eval_registry = device::DeviceRegistry::standard_testbed({.noise_sigma = 0.0});
+    std::map<std::string, nn::ModelDesc> descs;
+    for (const auto& spec : nn::zoo::paper_models()) {
+        auto model = std::make_shared<nn::Model>(nn::build_model(spec, 7));
+        descs[spec.name] = model->desc();
+        eval_registry.load_model_everywhere(model);
+    }
+    sched::Oracle oracle(eval_registry);
+
+    std::filesystem::create_directories("bench_out");
+    CsvWriter csv("bench_out/fig6_unseen_models.csv");
+    csv.row({"policy", "model", "batch", "predicted", "ideal", "correct", "achieved",
+             "ideal_value", "loss_pct"});
+
+    std::size_t correct_total = 0;
+    std::size_t total = 0;
+    std::vector<double> losses;
+
+    for (const Policy policy : {Policy::kMaxThroughput, Policy::kMinEnergy}) {
+        std::printf("\n=== Fig. 6 (%s policy): unseen-model predictions ===\n",
+                    sched::policy_name(policy).c_str());
+        TextTable table;
+        table.header({"model", "samples", "predicted", "ideal", "ok?", "achieved", "best",
+                      "loss"});
+        for (const auto& [name, desc] : descs) {
+            for (std::size_t batch = 8; batch <= (128U << 10); batch *= 4) {
+                // Warm-GPU world, as in the paper's figure.
+                const auto decision = oracle.decide(name, batch, GpuState::kWarm, policy);
+                const std::string predicted =
+                    predictor.predict(policy, desc, batch, /*gpu_warm=*/true);
+
+                const device::Measurement* achieved = nullptr;
+                for (const auto& m : decision.all) {
+                    if (m.device_name == predicted) achieved = &m;
+                }
+                const double got = policy == Policy::kMaxThroughput
+                                       ? achieved->throughput_bps()
+                                       : achieved->energy_j;
+                const double ideal = policy == Policy::kMaxThroughput
+                                         ? decision.best().throughput_bps()
+                                         : decision.best().energy_j;
+                const bool ok = predicted == decision.best_device;
+                const double loss = policy == Policy::kMaxThroughput
+                                        ? (ideal - got) / ideal
+                                        : (got - ideal) / got;
+                ++total;
+                correct_total += ok;
+                losses.push_back(loss);
+
+                table.row({name, format_count(batch), predicted, decision.best_device,
+                           ok ? "Y" : "WRONG",
+                           policy == Policy::kMaxThroughput ? format_throughput(got)
+                                                            : format_energy(got),
+                           policy == Policy::kMaxThroughput ? format_throughput(ideal)
+                                                            : format_energy(ideal),
+                           format("{:.1f}%", loss * 100.0)});
+                csv.row({sched::policy_name(policy), name, std::to_string(batch), predicted,
+                         decision.best_device, ok ? "1" : "0", format("{}", got),
+                         format("{}", ideal), format("{}", loss * 100.0)});
+            }
+        }
+        table.print();
+    }
+
+    const double combined = static_cast<double>(correct_total) / static_cast<double>(total);
+    std::printf("\nCombined unseen-model accuracy over both policies: %.1f%% "
+                "(paper: ~91%%)\n", combined * 100.0);
+    std::printf("Mean performance loss from wrong predictions: %.2f%% "
+                "(paper: < 5%%)\n", mean(losses) * 100.0);
+    std::printf("CSV written to bench_out/fig6_unseen_models.csv\n");
+    return 0;
+}

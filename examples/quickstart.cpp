@@ -1,0 +1,64 @@
+// Quickstart: the smallest end-to-end use of manyworlds.
+//
+// 1. Stand up the simulated CPU/iGPU/dGPU testbed.
+// 2. Deploy a model through the Dispatcher (Fig. 2 of the paper).
+// 3. Build the scheduler's training data, train the Random Forest.
+// 4. Let the online scheduler (Fig. 5) pick devices for a few requests and
+//    classify real payloads.
+#include <cstdio>
+
+#include "common/units.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/zoo.hpp"
+#include "sched/scheduler.hpp"
+#include "workload/stream.hpp"
+
+using namespace mw;
+
+int main() {
+    // The paper's testbed: i7-8700 + UHD 630 + GTX 1080 Ti (simulated; the
+    // inference math runs for real on host threads).
+    auto registry = device::DeviceRegistry::standard_testbed({.noise_sigma = 0.05});
+
+    // Deploy two models onto every device.
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::mnist_small(), /*weight_seed=*/7);
+    dispatcher.register_model(nn::zoo::mnist_cnn(), 7);
+    dispatcher.deploy_all();
+
+    // Measure the platform and train the device predictor.
+    std::printf("Profiling the platform to train the scheduler...\n");
+    const auto dataset = sched::build_scheduler_dataset(
+        registry, {nn::zoo::mnist_small(), nn::zoo::mnist_cnn()},
+        {.batches = {8, 128, 2048, 32768}});
+    sched::DevicePredictor predictor(
+        std::make_unique<ml::RandomForest>(ml::ForestConfig{.n_estimators = 50, .seed = 1}),
+        dataset.device_names);
+    predictor.fit(dataset);
+
+    sched::OnlineScheduler scheduler(dispatcher, std::move(predictor), dataset);
+
+    // Classify real payloads under different policies.
+    workload::SyntheticSource source(/*seed=*/3);
+    double now = 0.0;
+    for (const auto& [model, batch, policy] :
+         {std::tuple{"mnist-small", 16UL, sched::Policy::kMinLatency},
+          std::tuple{"mnist-cnn", 2048UL, sched::Policy::kMaxThroughput},
+          std::tuple{"mnist-small", 32768UL, sched::Policy::kMinEnergy}}) {
+        const Tensor payload =
+            source.next_batch(batch, dispatcher.model(model).desc().input_elems);
+        const auto result = scheduler.run({model, batch, policy}, payload, now);
+        const auto& m = result.inference.measurement;
+        std::printf("%-12s batch %-6zu policy %-10s -> %-10s  %s, %s, %s\n", model, batch,
+                    sched::policy_name(policy).c_str(),
+                    result.decision.device_name.c_str(),
+                    format_throughput(m.throughput_bps()).c_str(),
+                    format_duration(m.latency_s()).c_str(),
+                    format_energy(m.energy_j).c_str());
+        now = m.end_time + 0.1;
+    }
+
+    std::printf("\nTotal energy spent by the platform: %s over %zu decisions\n",
+                format_energy(scheduler.total_energy_j()).c_str(), scheduler.decisions());
+    return 0;
+}

@@ -1,0 +1,31 @@
+// Cache-line / SIMD-aligned storage for tensor buffers.
+#pragma once
+
+#include <cstddef>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
+namespace mw {
+
+inline constexpr std::size_t kCacheLineBytes = 64;
+inline constexpr std::size_t kSimdAlignBytes = 64;  // AVX-512-friendly
+
+/// Deleter for over-aligned allocations made with aligned_alloc_floats().
+struct AlignedFree {
+    void operator()(void* p) const noexcept { std::free(p); }
+};
+
+using AlignedFloatPtr = std::unique_ptr<float[], AlignedFree>;
+
+/// Allocate `n` floats aligned to kSimdAlignBytes; throws std::bad_alloc.
+inline AlignedFloatPtr aligned_alloc_floats(std::size_t n) {
+    if (n == 0) return {};
+    const std::size_t bytes = ((n * sizeof(float) + kSimdAlignBytes - 1) / kSimdAlignBytes) *
+                              kSimdAlignBytes;
+    void* p = std::aligned_alloc(kSimdAlignBytes, bytes);
+    if (!p) throw std::bad_alloc();
+    return AlignedFloatPtr(static_cast<float*>(p));
+}
+
+}  // namespace mw

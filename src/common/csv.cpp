@@ -1,0 +1,91 @@
+#include "common/csv.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mw {
+namespace {
+
+bool needs_quoting(std::string_view cell) {
+    return cell.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path), out_(path, std::ios::trunc) {
+    if (!out_) throw IoError("cannot open CSV for writing: " + path);
+}
+
+void CsvWriter::write_cell(std::string_view cell, bool first) {
+    if (!first) out_ << ',';
+    if (needs_quoting(cell)) {
+        out_ << '"';
+        for (const char c : cell) {
+            if (c == '"') out_ << '"';
+            out_ << c;
+        }
+        out_ << '"';
+    } else {
+        out_ << cell;
+    }
+}
+
+void CsvWriter::row(std::initializer_list<std::string_view> cells) {
+    bool first = true;
+    for (const auto cell : cells) {
+        write_cell(cell, first);
+        first = false;
+    }
+    out_ << '\n';
+    if (!out_) throw IoError("write failed: " + path_);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+    bool first = true;
+    for (const auto& cell : cells) {
+        write_cell(cell, first);
+        first = false;
+    }
+    out_ << '\n';
+    if (!out_) throw IoError("write failed: " + path_);
+}
+
+std::vector<std::vector<std::string>> read_csv(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw IoError("cannot open CSV for reading: " + path);
+    std::vector<std::vector<std::string>> rows;
+    std::string line;
+    while (std::getline(in, line)) {
+        std::vector<std::string> cells;
+        std::string cell;
+        bool quoted = false;
+        for (std::size_t i = 0; i < line.size(); ++i) {
+            const char c = line[i];
+            if (quoted) {
+                if (c == '"') {
+                    if (i + 1 < line.size() && line[i + 1] == '"') {
+                        cell += '"';
+                        ++i;
+                    } else {
+                        quoted = false;
+                    }
+                } else {
+                    cell += c;
+                }
+            } else if (c == '"') {
+                quoted = true;
+            } else if (c == ',') {
+                cells.push_back(std::move(cell));
+                cell.clear();
+            } else {
+                cell += c;
+            }
+        }
+        cells.push_back(std::move(cell));
+        rows.push_back(std::move(cells));
+    }
+    return rows;
+}
+
+}  // namespace mw

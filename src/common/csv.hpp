@@ -1,0 +1,35 @@
+// CSV emission for bench outputs so figures can be re-plotted externally.
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mw {
+
+/// Streaming CSV writer. Values containing commas/quotes are quoted.
+class CsvWriter {
+public:
+    /// Open (truncate) `path`; throws mw::IoError on failure.
+    explicit CsvWriter(const std::string& path);
+
+    /// Write one row; all values are stringified by the caller.
+    void row(std::initializer_list<std::string_view> cells);
+    void row(const std::vector<std::string>& cells);
+
+    [[nodiscard]] const std::string& path() const { return path_; }
+
+private:
+    void write_cell(std::string_view cell, bool first);
+
+    std::string path_;
+    std::ofstream out_;
+};
+
+/// Parse a CSV file fully into memory (small files: traces, datasets).
+/// Handles quoted cells; throws mw::IoError when the file cannot be read.
+std::vector<std::vector<std::string>> read_csv(const std::string& path);
+
+}  // namespace mw

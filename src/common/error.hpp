@@ -1,0 +1,66 @@
+// Error handling primitives shared by every manyworlds library.
+//
+// We follow the C++ Core Guidelines: errors that a caller can reasonably
+// handle are reported via exceptions derived from mw::Error; programming
+// errors (violated preconditions) abort via MW_ASSERT in debug-friendly form.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mw {
+
+/// Base class of all exceptions thrown by manyworlds libraries.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument is outside its documented domain.
+class InvalidArgument : public Error {
+public:
+    explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an operation is attempted on an object in the wrong state
+/// (e.g. dispatching to a device that has not loaded the model).
+class StateError : public Error {
+public:
+    explicit StateError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O failures (weight files, trace files, CSV outputs).
+class IoError : public Error {
+public:
+    explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid(std::string_view expr, std::string_view file, int line,
+                                       const std::string& msg) {
+    std::string what;
+    what.append(file).append(":").append(std::to_string(line)).append(": check `");
+    what.append(expr).append("` failed: ").append(msg);
+    throw InvalidArgument(what);
+}
+}  // namespace detail
+
+}  // namespace mw
+
+/// Validate a caller-visible precondition; throws mw::InvalidArgument on failure.
+#define MW_CHECK(expr, msg)                                                     \
+    do {                                                                        \
+        if (!(expr)) ::mw::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
+    } while (0)
+
+/// Validate an internal invariant; aborts on failure (never disabled).
+#define MW_ASSERT(expr)                                                             \
+    do {                                                                            \
+        if (!(expr)) {                                                              \
+            ::std::fprintf(stderr, "%s:%d: assertion `%s` failed\n", __FILE__, __LINE__, #expr); \
+            ::std::abort();                                                         \
+        }                                                                           \
+    } while (0)

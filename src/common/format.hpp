@@ -1,0 +1,112 @@
+// Minimal {}-style string formatting (std::format is unavailable in GCC 12).
+//
+// Supported placeholders:
+//   {}        default rendering (iostream rules; doubles get %.6g)
+//   {:.Nf}    fixed, N digits             (floating point)
+//   {:.Ng}    significant, N digits       (floating point)
+//   {:.Ne}    scientific, N digits        (floating point)
+//   {:Nd}     width-N integer (space padded)
+// A literal `{{` renders `{` and `}}` renders `}`.
+// Excess placeholders render as-is; excess arguments are ignored.
+#pragma once
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <type_traits>
+
+namespace mw {
+namespace detail {
+
+inline std::string render_default(const std::string& v) { return v; }
+inline std::string render_default(const char* v) { return v; }
+inline std::string render_default(std::string_view v) { return std::string(v); }
+inline std::string render_default(bool v) { return v ? "true" : "false"; }
+
+template <typename T>
+std::string render_default(const T& v) {
+    if constexpr (std::is_floating_point_v<T>) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", static_cast<double>(v));
+        return buf;
+    } else {
+        std::ostringstream out;
+        out << v;
+        return out.str();
+    }
+}
+
+template <typename T>
+std::string render_spec(const T& v, std::string_view spec) {
+    if (spec.empty()) return render_default(v);
+    if constexpr (std::is_arithmetic_v<T> && !std::is_same_v<T, bool>) {
+        char fmt[32];
+        char buf[96];
+        const char conv = spec.back();
+        const std::string body(spec.substr(0, spec.size() - 1));
+        if (conv == 'f' || conv == 'g' || conv == 'e') {
+            std::snprintf(fmt, sizeof(fmt), "%%%s%c", body.c_str(), conv);
+            std::snprintf(buf, sizeof(buf), fmt, static_cast<double>(v));
+            return buf;
+        }
+        if (conv == 'd') {
+            std::snprintf(fmt, sizeof(fmt), "%%%slld", body.c_str());
+            std::snprintf(buf, sizeof(buf), fmt, static_cast<long long>(v));
+            return buf;
+        }
+    }
+    return render_default(v);
+}
+
+inline void format_impl(std::string& out, std::string_view fmt) {
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if ((c == '{' || c == '}') && i + 1 < fmt.size() && fmt[i + 1] == c) ++i;
+        out.push_back(c);
+    }
+}
+
+template <typename First, typename... Rest>
+void format_impl(std::string& out, std::string_view fmt, const First& first,
+                 const Rest&... rest) {
+    for (std::size_t i = 0; i < fmt.size(); ++i) {
+        const char c = fmt[i];
+        if (c == '{') {
+            if (i + 1 < fmt.size() && fmt[i + 1] == '{') {
+                out.push_back('{');
+                ++i;
+                continue;
+            }
+            const std::size_t close = fmt.find('}', i);
+            if (close == std::string_view::npos) {
+                out.append(fmt.substr(i));
+                return;
+            }
+            std::string_view spec = fmt.substr(i + 1, close - i - 1);
+            if (!spec.empty() && spec.front() == ':') spec.remove_prefix(1);
+            out.append(render_spec(first, spec));
+            format_impl(out, fmt.substr(close + 1), rest...);
+            return;
+        }
+        if (c == '}' && i + 1 < fmt.size() && fmt[i + 1] == '}') {
+            out.push_back('}');
+            ++i;
+            continue;
+        }
+        out.push_back(c);
+    }
+}
+
+}  // namespace detail
+
+/// Render `fmt` with `{}` placeholders substituted by `args`.
+template <typename... Args>
+std::string format(std::string_view fmt, const Args&... args) {
+    std::string out;
+    out.reserve(fmt.size() + 16 * sizeof...(args));
+    detail::format_impl(out, fmt, args...);
+    return out;
+}
+
+}  // namespace mw

@@ -1,0 +1,38 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <string>
+
+namespace mw::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_sink_mutex;
+
+const char* level_tag(Level level) {
+    switch (level) {
+        case Level::kDebug: return "DEBUG";
+        case Level::kInfo: return "INFO ";
+        case Level::kWarn: return "WARN ";
+        case Level::kError: return "ERROR";
+        case Level::kOff: return "OFF  ";
+    }
+    return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void emit(Level lvl, std::string_view msg) {
+    if (lvl < level()) return;
+    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    std::fprintf(stderr, "[mw %s] %.*s\n", level_tag(lvl), static_cast<int>(msg.size()),
+                 msg.data());
+}
+
+}  // namespace mw::log

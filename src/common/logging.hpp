@@ -1,0 +1,37 @@
+// Minimal leveled logger. Single global sink (stderr), thread-safe.
+#pragma once
+
+#include <string_view>
+
+#include "common/format.hpp"
+
+namespace mw::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Set the global minimum level that will be emitted (default: kWarn, so
+/// library code is silent in tests/benches unless something is wrong).
+void set_level(Level level);
+Level level();
+
+/// Emit a pre-formatted message at the given level.
+void emit(Level level, std::string_view msg);
+
+template <typename... Args>
+void debug(std::string_view fmt, const Args&... args) {
+    if (level() <= Level::kDebug) emit(Level::kDebug, ::mw::format(fmt, args...));
+}
+template <typename... Args>
+void info(std::string_view fmt, const Args&... args) {
+    if (level() <= Level::kInfo) emit(Level::kInfo, ::mw::format(fmt, args...));
+}
+template <typename... Args>
+void warn(std::string_view fmt, const Args&... args) {
+    if (level() <= Level::kWarn) emit(Level::kWarn, ::mw::format(fmt, args...));
+}
+template <typename... Args>
+void error(std::string_view fmt, const Args&... args) {
+    if (level() <= Level::kError) emit(Level::kError, ::mw::format(fmt, args...));
+}
+
+}  // namespace mw::log

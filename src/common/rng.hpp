@@ -1,0 +1,139 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components in manyworlds (weight init, synthetic datasets,
+// measurement noise, workload arrivals, forest bagging) draw from mw::Rng so
+// that every experiment is reproducible from a single seed. The generator is
+// xoshiro256**, seeded through SplitMix64 as its authors recommend.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+/// SplitMix64 step; used to expand a single 64-bit seed into a full state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ULL;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit Rng(std::uint64_t seed = 0x5eedULL) { reseed(seed); }
+
+    /// Re-initialise the state from a 64-bit seed.
+    void reseed(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ULL; }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n). Requires n > 0.
+    std::uint64_t below(std::uint64_t n) {
+        MW_CHECK(n > 0, "Rng::below requires n > 0");
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * n;
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = (0 - n) % n;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * n;
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    std::int64_t range(std::int64_t lo, std::int64_t hi) {
+        MW_CHECK(lo <= hi, "Rng::range requires lo <= hi");
+        return lo + static_cast<std::int64_t>(below(static_cast<std::uint64_t>(hi - lo + 1)));
+    }
+
+    /// Standard normal via Box-Muller (uses two uniforms per pair; caches none
+    /// to keep the state stream position deterministic per call).
+    double normal() {
+        double u1 = uniform();
+        while (u1 <= 0.0) u1 = uniform();
+        const double u2 = uniform();
+        return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+    }
+
+    /// Normal with mean/stddev.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// Log-normal multiplicative noise factor with median 1 and shape sigma.
+    /// Used for "measured" performance samples; sigma = 0 degenerates to 1.
+    double lognormal_factor(double sigma) {
+        if (sigma <= 0.0) return 1.0;
+        return std::exp(normal(0.0, sigma));
+    }
+
+    /// Exponential variate with the given rate (inter-arrival times).
+    double exponential(double rate) {
+        MW_CHECK(rate > 0.0, "Rng::exponential requires rate > 0");
+        double u = uniform();
+        while (u <= 0.0) u = uniform();
+        return -std::log(u) / rate;
+    }
+
+    /// Bernoulli draw with probability p of true.
+    bool bernoulli(double p) { return uniform() < p; }
+
+    /// Fisher-Yates shuffle.
+    template <typename T>
+    void shuffle(std::vector<T>& v) {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i));
+            using std::swap;
+            swap(v[i - 1], v[j]);
+        }
+    }
+
+    /// Split off an independent child generator (for parallel determinism).
+    Rng split() {
+        const std::uint64_t child_seed = (*this)() ^ 0xa02bdbf7bb3c0a7ULL;
+        return Rng(child_seed);
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4]{};
+};
+
+}  // namespace mw

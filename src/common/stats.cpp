@@ -1,0 +1,119 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+void OnlineStats::add(double x) {
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void OnlineStats::merge(const OnlineStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+Ewma::Ewma(double alpha) : alpha_(alpha) {
+    MW_CHECK(alpha > 0.0 && alpha <= 1.0, "Ewma alpha must be in (0,1]");
+}
+
+double Ewma::add(double x) {
+    if (!initialised_) {
+        value_ = x;
+        initialised_ = true;
+    } else {
+        value_ = alpha_ * x + (1.0 - alpha_) * value_;
+    }
+    return value_;
+}
+
+void Ewma::reset() {
+    value_ = 0.0;
+    initialised_ = false;
+}
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double s = 0.0;
+    for (const double x : xs) s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double s = 0.0;
+    for (const double x : xs) s += (x - m) * (x - m);
+    return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+double percentile(std::span<const double> xs, double p) {
+    MW_CHECK(!xs.empty(), "percentile of empty sample");
+    MW_CHECK(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+    std::vector<double> sorted(xs.begin(), xs.end());
+    std::sort(sorted.begin(), sorted.end());
+    if (sorted.size() == 1) return sorted[0];
+    const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+
+double geomean(std::span<const double> xs) {
+    MW_CHECK(!xs.empty(), "geomean of empty sample");
+    double log_sum = 0.0;
+    for (const double x : xs) {
+        MW_CHECK(x > 0.0, "geomean requires positive inputs");
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+std::size_t argmax(std::span<const double> xs) {
+    MW_CHECK(!xs.empty(), "argmax of empty sample");
+    return static_cast<std::size_t>(
+        std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+std::size_t argmin(std::span<const double> xs) {
+    MW_CHECK(!xs.empty(), "argmin of empty sample");
+    return static_cast<std::size_t>(
+        std::distance(xs.begin(), std::min_element(xs.begin(), xs.end())));
+}
+
+}  // namespace mw

@@ -1,0 +1,76 @@
+// Streaming and batch statistics used throughout the measurement pipeline.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mw {
+
+/// Welford online mean/variance accumulator (numerically stable).
+class OnlineStats {
+public:
+    /// Fold one observation into the accumulator.
+    void add(double x);
+
+    [[nodiscard]] std::size_t count() const { return n_; }
+    [[nodiscard]] double mean() const { return mean_; }
+    /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+    [[nodiscard]] double variance() const;
+    [[nodiscard]] double stddev() const;
+    [[nodiscard]] double min() const { return min_; }
+    [[nodiscard]] double max() const { return max_; }
+    [[nodiscard]] double sum() const { return sum_; }
+
+    /// Merge another accumulator (parallel reduction; Chan et al.).
+    void merge(const OnlineStats& other);
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/// Exponentially weighted moving average; the scheduler's drift detector.
+class Ewma {
+public:
+    /// alpha in (0, 1]; larger alpha reacts faster.
+    explicit Ewma(double alpha);
+
+    /// Fold one observation; returns the updated average.
+    double add(double x);
+
+    [[nodiscard]] bool empty() const { return !initialised_; }
+    [[nodiscard]] double value() const { return value_; }
+    void reset();
+
+private:
+    double alpha_;
+    double value_ = 0.0;
+    bool initialised_ = false;
+};
+
+/// Arithmetic mean of a sample; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1); 0 for fewer than two values.
+double stddev(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. Sorts a copy.
+double percentile(std::span<const double> xs, double p);
+
+double median(std::span<const double> xs);
+
+/// Geometric mean; requires strictly positive inputs.
+double geomean(std::span<const double> xs);
+
+/// Index of the maximum element (first on ties); requires non-empty.
+std::size_t argmax(std::span<const double> xs);
+
+/// Index of the minimum element (first on ties); requires non-empty.
+std::size_t argmin(std::span<const double> xs);
+
+}  // namespace mw

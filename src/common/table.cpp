@@ -1,0 +1,56 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+void TextTable::header(std::vector<std::string> cells) { header_ = std::move(cells); }
+
+void TextTable::row(std::vector<std::string> cells) {
+    if (!header_.empty()) {
+        MW_CHECK(cells.size() == header_.size(), "row width does not match header");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& cells) {
+        if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            widths[i] = std::max(widths[i], cells[i].size());
+        }
+    };
+    if (!header_.empty()) grow(header_);
+    for (const auto& r : rows_) grow(r);
+
+    std::ostringstream out;
+    auto emit = [&out, &widths](const std::vector<std::string>& cells) {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (i) out << " | ";
+            out << cells[i];
+            out << std::string(widths[i] - cells[i].size(), ' ');
+        }
+        out << '\n';
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t i = 0; i < widths.size(); ++i) total += widths[i] + (i ? 3 : 0);
+        out << std::string(total, '-') << '\n';
+    }
+    for (const auto& r : rows_) emit(r);
+    return out.str();
+}
+
+void TextTable::print() const {
+    const std::string s = str();
+    std::fwrite(s.data(), 1, s.size(), stdout);
+    std::fflush(stdout);
+}
+
+}  // namespace mw

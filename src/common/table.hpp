@@ -1,0 +1,32 @@
+// ASCII table rendering: benches print paper-style tables with this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mw {
+
+/// Accumulates rows of string cells and renders an aligned ASCII table.
+class TextTable {
+public:
+    /// Set the header row (also fixes the column count).
+    void header(std::vector<std::string> cells);
+
+    /// Append a data row; must match the header width if one was set.
+    void row(std::vector<std::string> cells);
+
+    /// Render with column alignment, `| ` separators and a rule under the
+    /// header.
+    [[nodiscard]] std::string str() const;
+
+    /// Render directly to stdout.
+    void print() const;
+
+    [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mw

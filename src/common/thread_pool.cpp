@@ -1,0 +1,90 @@
+#include "common/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+    workers_.reserve(threads);
+    for (std::size_t i = 0; i < threads; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& w : workers_) w.join();
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+    auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
+    std::future<void> future = packaged->get_future();
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        MW_CHECK(!stopping_, "submit on a stopping ThreadPool");
+        queue_.emplace_back([packaged] { (*packaged)(); });
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn, std::size_t grain) {
+    if (begin >= end) return;
+    const std::size_t total = end - begin;
+    if (grain == 0) {
+        const std::size_t target_chunks = std::max<std::size_t>(1, size() * 4);
+        grain = std::max<std::size_t>(1, total / target_chunks);
+    }
+    // Small ranges: run inline, avoid synchronization entirely.
+    if (total <= grain || size() == 1) {
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+        return;
+    }
+    std::vector<std::future<void>> futures;
+    futures.reserve(total / grain + 1);
+    for (std::size_t chunk = begin; chunk < end; chunk += grain) {
+        const std::size_t chunk_end = std::min(chunk + grain, end);
+        futures.push_back(submit([&fn, chunk, chunk_end] {
+            for (std::size_t i = chunk; i < chunk_end; ++i) fn(i);
+        }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (...) {
+            if (!first_error) first_error = std::current_exception();
+        }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+}
+
+ThreadPool& ThreadPool::global() {
+    static ThreadPool pool;
+    return pool;
+}
+
+void ThreadPool::worker_loop() {
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (stopping_ && queue_.empty()) return;
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+}  // namespace mw

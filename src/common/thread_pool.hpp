@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a parallel_for primitive.
+//
+// This is the shared-memory execution substrate the "OpenCL work-group"
+// abstraction in src/nn/kernels maps onto: a work-group becomes one task, and
+// work-items inside a group run sequentially inside the task (exactly how a
+// CPU OpenCL runtime coalesces work-items onto hardware threads).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mw {
+
+/// A fixed pool of worker threads with FIFO task dispatch.
+class ThreadPool {
+public:
+    /// Spawn `threads` workers (0 -> std::thread::hardware_concurrency()).
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+    /// Enqueue an arbitrary task; the returned future observes completion
+    /// and propagates exceptions.
+    std::future<void> submit(std::function<void()> task);
+
+    /// Run fn(i) for i in [begin, end) across the pool, in chunks of
+    /// `grain` iterations (grain == 0 picks ~4 chunks per worker). Blocks
+    /// until every iteration completed; rethrows the first task exception.
+    void parallel_for(std::size_t begin, std::size_t end,
+                      const std::function<void(std::size_t)>& fn, std::size_t grain = 0);
+
+    /// Process-wide shared pool (lazily constructed, hardware concurrency).
+    static ThreadPool& global();
+
+private:
+    void worker_loop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+};
+
+}  // namespace mw

@@ -1,0 +1,33 @@
+// Monotonic wall-clock stopwatch used by the measurement harness and benches.
+#pragma once
+
+#include <chrono>
+
+namespace mw {
+
+/// A restartable monotonic stopwatch. Construction starts it.
+class Stopwatch {
+public:
+    Stopwatch() : start_(Clock::now()) {}
+
+    /// Restart and return the elapsed seconds since the previous start.
+    double lap() {
+        const auto now = Clock::now();
+        const double s = std::chrono::duration<double>(now - start_).count();
+        start_ = now;
+        return s;
+    }
+
+    /// Elapsed seconds since the last (re)start without restarting.
+    [[nodiscard]] double elapsed() const {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+    void restart() { start_ = Clock::now(); }
+
+private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+}  // namespace mw

@@ -1,0 +1,58 @@
+#include "data/dataset.hpp"
+
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mw::data {
+
+SplitResult train_test_split(const Dataset& full, double test_fraction, Rng& rng) {
+    MW_CHECK(test_fraction > 0.0 && test_fraction < 1.0, "test_fraction must be in (0,1)");
+    const std::size_t n = full.size();
+    MW_CHECK(n >= 2, "dataset too small to split");
+    const std::size_t elems = full.sample_elems();
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    rng.shuffle(order);
+
+    const auto n_test = std::max<std::size_t>(1, static_cast<std::size_t>(
+                                                     static_cast<double>(n) * test_fraction));
+    const std::size_t n_train = n - n_test;
+
+    auto take = [&](std::size_t begin, std::size_t count) {
+        Dataset out;
+        out.num_classes = full.num_classes;
+        out.x = Tensor(Shape{count, elems});
+        out.y.resize(count);
+        for (std::size_t i = 0; i < count; ++i) {
+            const std::size_t src = order[begin + i];
+            std::memcpy(out.x.data() + i * elems, full.x.data() + src * elems,
+                        elems * sizeof(float));
+            out.y[i] = full.y[src];
+        }
+        return out;
+    };
+
+    return {take(0, n_train), take(n_train, n_test)};
+}
+
+std::vector<std::size_t> class_histogram(const Dataset& d) {
+    std::vector<std::size_t> hist(d.num_classes, 0);
+    for (const std::size_t label : d.y) {
+        MW_CHECK(label < d.num_classes, "label out of range");
+        ++hist[label];
+    }
+    return hist;
+}
+
+Tensor batch_of(const Dataset& d, std::size_t begin, std::size_t count) {
+    MW_CHECK(begin + count <= d.size(), "batch range out of dataset bounds");
+    const std::size_t elems = d.sample_elems();
+    Tensor batch(Shape{count, elems});
+    std::memcpy(batch.data(), d.x.data() + begin * elems, count * elems * sizeof(float));
+    return batch;
+}
+
+}  // namespace mw::data

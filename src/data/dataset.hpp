@@ -1,0 +1,39 @@
+// Labelled datasets and split utilities.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mw::data {
+
+/// A labelled classification dataset. `x` is (n, features...) with the
+/// feature layout matching the consuming model's input shape; `y` holds
+/// class indices.
+struct Dataset {
+    Tensor x;
+    std::vector<std::size_t> y;
+    std::size_t num_classes = 0;
+
+    [[nodiscard]] std::size_t size() const { return y.size(); }
+    [[nodiscard]] std::size_t sample_elems() const {
+        return y.empty() ? 0 : x.numel() / y.size();
+    }
+};
+
+/// Deterministically shuffle and split into train/test by `test_fraction`.
+struct SplitResult {
+    Dataset train;
+    Dataset test;
+};
+SplitResult train_test_split(const Dataset& full, double test_fraction, Rng& rng);
+
+/// Per-class sample counts.
+std::vector<std::size_t> class_histogram(const Dataset& d);
+
+/// Extract rows [begin, end) as a batch tensor shaped (count, features...).
+Tensor batch_of(const Dataset& d, std::size_t begin, std::size_t count);
+
+}  // namespace mw::data

@@ -1,0 +1,36 @@
+// Deterministic synthetic stand-ins for the paper's training datasets.
+//
+// The paper trains its zoo on Iris, MNIST and CIFAR-10. Inference cost is a
+// function of tensor shapes only, so for the reproduction we generate
+// learnable synthetic datasets with the same shapes and class counts:
+//   iris-like    4 features, 3 Gaussian class clusters
+//   mnist-like   1x28x28 images, 10 classes of procedurally drawn glyphs
+//   cifar-like   3x32x32 images, 10 classes of coloured texture fields
+// Each generator is fully determined by (n, seed).
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace mw::data {
+
+/// Iris-like: 3 Gaussian clusters in 4-D, unit-ish scale, mild overlap.
+Dataset make_iris_like(std::size_t n, std::uint64_t seed);
+
+/// MNIST-like: 28x28 single-channel glyphs, 10 classes; each class renders a
+/// distinct stroke pattern with positional jitter and pixel noise.
+Dataset make_mnist_like(std::size_t n, std::uint64_t seed);
+
+/// CIFAR-like: 32x32 RGB textures, 10 classes; each class mixes a distinct
+/// spatial frequency / orientation / colour signature.
+Dataset make_cifar_like(std::size_t n, std::uint64_t seed);
+
+/// Generic feature-vector dataset with `features` dims and `classes`
+/// Gaussian clusters — used to exercise arbitrary FFNN zoo architectures.
+Dataset make_clusters(std::size_t n, std::size_t features, std::size_t classes,
+                      double separation, std::uint64_t seed);
+
+/// Random (unlabelled-content, labelled-shape) inference inputs for a model
+/// input of `sample_elems` scalars — the streaming classification payloads.
+Tensor make_inference_payload(std::size_t batch, std::size_t sample_elems, std::uint64_t seed);
+
+}  // namespace mw::data

@@ -1,0 +1,136 @@
+// Device: the device-agnostic execution endpoint of the runtime.
+//
+// A Device owns (a) loaded model instances (the Dispatcher of Fig. 2 loads
+// models onto every device after training), (b) a DVFS clock state evolving
+// on a simulated timeline, and (c) a power timeline that the src/power
+// meters sample. Inference results are computed with the real kernels on
+// host threads; time/energy come from the analytic execution model so that
+// the scheduler sees the paper's testbed rather than this container
+// (see DESIGN.md §1).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "device/measurement.hpp"
+#include "nn/model.hpp"
+
+namespace mw::device {
+
+/// Execution options for a submission.
+struct SubmitOptions {
+    bool compute_outputs = true;  ///< run the real kernels (false: price only)
+};
+
+/// Outputs plus the measurement for a data-carrying submission.
+struct InferenceResult {
+    Tensor outputs;
+    Measurement measurement;
+};
+
+/// A simulated heterogeneous processing device. Instantiate with one of the
+/// presets in params.hpp, or any custom DeviceParams (the runtime is
+/// device-agnostic: an FPGA/NPU/DSP is just another parameter set — see
+/// examples/custom_device.cpp).
+class Device {
+public:
+    explicit Device(DeviceParams params, ThreadPool* pool = nullptr);
+    virtual ~Device() = default;
+
+    Device(const Device&) = delete;
+    Device& operator=(const Device&) = delete;
+
+    [[nodiscard]] const DeviceParams& params() const { return params_; }
+    [[nodiscard]] const std::string& name() const { return params_.name; }
+    [[nodiscard]] DeviceKind kind() const { return params_.kind; }
+
+    /// Multiplicative log-normal measurement noise (sigma = 0 disables).
+    void set_noise(double sigma, std::uint64_t seed);
+
+    /// Runtime slowdown factor (>= 1), modelling thermal throttling or
+    /// contention. Divides the device's compute and memory rates; the
+    /// adaptive scheduler is expected to discover the change via its
+    /// exploration probes (see bench/adaptation).
+    void set_throttle(double slowdown);
+    [[nodiscard]] double throttle() const { return throttle_; }
+
+    // --- model management (used by the Dispatcher) ---
+    void load_model(std::shared_ptr<const nn::Model> model);
+    void unload_model(const std::string& model_name);
+    [[nodiscard]] bool has_model(const std::string& model_name) const;
+    [[nodiscard]] const nn::Model& model(const std::string& model_name) const;
+    [[nodiscard]] std::vector<std::string> loaded_models() const;
+
+    // --- execution ---
+    /// Classify `input` with the named model at simulated time `sim_time`.
+    InferenceResult run(const std::string& model_name, const Tensor& input, double sim_time,
+                        const SubmitOptions& options = {});
+
+    /// Price a batch without materialising data (used by the measurement
+    /// sweeps, where a 256K-sample tensor would be pointless to allocate).
+    Measurement profile(const std::string& model_name, std::size_t batch, double sim_time);
+
+    // --- clock / state (what the scheduler's "PCIe state probe" reads) ---
+    [[nodiscard]] double clock_ratio_at(double sim_time) const;
+    [[nodiscard]] bool is_warm(double sim_time) const;
+    /// Measurement-control overrides (the paper pins "idle" vs "warmed-up").
+    void force_warm();
+    void force_idle();
+
+    /// Simulated time at which the device finishes its queued work.
+    [[nodiscard]] double busy_until() const { return busy_until_; }
+
+    /// Reset the simulated timeline (queue, clock state, power history) to
+    /// t = 0. Called after offline profiling campaigns so serving starts on
+    /// a quiescent platform; energy/batch counters are preserved.
+    void reset_timeline();
+
+    /// Register a device that shares this device's memory domain (§II: the
+    /// CPU and the iGPU contend for the DDR4 controller and LLC). While a
+    /// peer is busy, this device's effective memory bandwidth drops by
+    /// params().contention_slowdown. Wired up by DeviceRegistry.
+    void add_memory_peer(const Device* peer);
+    [[nodiscard]] std::size_t memory_peer_count() const { return memory_peers_.size(); }
+
+    /// Instantaneous power draw at `sim_time` (for the sampling meters).
+    [[nodiscard]] double power_at(double sim_time) const;
+
+    /// Cumulative energy across all submissions so far.
+    [[nodiscard]] double total_energy_j() const { return total_energy_j_; }
+    [[nodiscard]] std::size_t total_batches() const { return total_batches_; }
+
+private:
+    Measurement execute(const nn::Model& model, std::size_t batch, double sim_time);
+    void record_power_segment(double t0, double t1, double watts);
+
+    DeviceParams params_;
+    ThreadPool* pool_;
+    std::vector<const Device*> memory_peers_;
+    std::map<std::string, std::shared_ptr<const nn::Model>> models_;
+
+    // DVFS state.
+    double clock_ratio_;
+    double last_active_end_ = 0.0;
+    double busy_until_ = 0.0;
+
+    // Measurement noise.
+    double noise_sigma_ = 0.0;
+    Rng noise_rng_{0};
+    double throttle_ = 1.0;
+
+    // Power timeline (bounded history for the sampling meters).
+    struct PowerSegment {
+        double t0, t1, watts;
+    };
+    std::vector<PowerSegment> power_timeline_;
+
+    double total_energy_j_ = 0.0;
+    std::size_t total_batches_ = 0;
+};
+
+}  // namespace mw::device

@@ -1,0 +1,142 @@
+#include "device/exec_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mw::device {
+namespace {
+
+constexpr double kGiga = 1e9;
+
+/// Integral of r(t) = 1 - (1-r0) e^(-t/tau) from 0 to T.
+double ramp_integral(double T, double r0, double tau) {
+    return T - (1.0 - r0) * tau * (1.0 - std::exp(-T / tau));
+}
+
+}  // namespace
+
+double solve_ramp_time(double work_full_s, double r0, double tau) {
+    MW_CHECK(work_full_s >= 0.0, "negative work");
+    MW_CHECK(r0 > 0.0 && r0 <= 1.0, "clock ratio must be in (0,1]");
+    if (work_full_s == 0.0) return 0.0;
+    if (r0 >= 1.0 - 1e-12 || tau <= 0.0) return work_full_s;
+    // T is bracketed by [work (all at full clock), work / r0 (all at r0)].
+    double lo = work_full_s;
+    double hi = work_full_s / r0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (ramp_integral(mid, r0, tau) < work_full_s) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+double clock_after_run(double r0, double tau, double elapsed) {
+    if (tau <= 0.0) return 1.0;
+    return 1.0 - (1.0 - r0) * std::exp(-elapsed / tau);
+}
+
+double clock_after_idle(double r, double idle_ratio, double decay_tau, double gap) {
+    if (decay_tau <= 0.0 || gap <= 0.0) return r;
+    return idle_ratio + (r - idle_ratio) * std::exp(-gap / decay_tau);
+}
+
+double work_group_efficiency(const DeviceParams& p, double group_size, double total_items) {
+    MW_CHECK(group_size >= 1.0 && total_items >= 1.0, "work-group sizes must be positive");
+    const double groups = std::max(1.0, total_items / group_size);
+    // Per-group fixed dispatch/synchronisation cost.
+    const double dispatch_eff =
+        total_items / (total_items + groups * p.group_dispatch_item_cost);
+    // Occupancy: the device wants several groups in flight per compute unit.
+    const double wanted_groups = 4.0 * std::max(1.0, p.compute_units);
+    const double occupancy = std::min(1.0, groups / wanted_groups);
+    // Register/resource pressure past the sweet spot.
+    const double resource =
+        group_size <= p.max_efficient_group ? 1.0 : p.max_efficient_group / group_size;
+    return dispatch_eff * occupancy * resource;
+}
+
+ExecBreakdown estimate_execution(const DeviceParams& p, const nn::ModelCost& cost,
+                                 double bytes_in, double bytes_out, double clock_start) {
+    MW_CHECK(p.peak_gflops > 0.0 && p.mem_bandwidth_gbps > 0.0, "device params incomplete");
+    ExecBreakdown b;
+    b.clock_start = clock_start;
+
+    // --- kernel phase at full boost clock ---
+    double kernels_full = 0.0;
+    double kernels_cold = 0.0;  // same phase priced at the start clock
+    double util_weighted = 0.0;
+    double flops_total = 0.0;
+    const double compute_rate = p.peak_gflops * kGiga * p.compute_efficiency;
+    // mem_bandwidth_gbps is the *effective* streaming bandwidth for the
+    // row-major float4 access pattern of §IV-B (well below the spec sheet on
+    // GDDR, where thread-per-node access forgoes full coalescing); DMA-style
+    // streams do not need occupancy, so there is no saturation term here.
+    const double mem_rate = p.mem_bandwidth_gbps * kGiga;
+
+    for (const auto& lc : cost.per_layer) {
+        if (lc.kernel_launches == 0 && lc.flops == 0.0) continue;  // fused layer
+        const double wi = std::max(1.0, lc.work_items);
+        const double feq = lc.flops + wi * p.flops_per_item_overhead;
+        const double sat_c = std::clamp(wi / p.parallel_width, 1.0 / p.parallel_width, 1.0);
+        const double bytes =
+            (lc.bytes_in + lc.bytes_out) * p.act_cache_factor + lc.bytes_weights;
+        const double t_comp = feq / (compute_rate * sat_c);
+        const double t_mem = bytes / mem_rate;
+        const double launch = lc.kernel_launches * p.kernel_launch_overhead_s;
+        // DVFS scales the ALUs, not the DRAM pipes: a memory-bound layer is
+        // insensitive to the boost state (this is why the paper's Mnist-Deep
+        // — dominated by weight streaming — shows no idle/warm gap, while
+        // the compute-bound models show up to ~7x).
+        kernels_full += std::max(t_comp, t_mem) + launch;
+        kernels_cold += std::max(t_comp / clock_start, t_mem) + launch;
+        util_weighted += lc.flops * sat_c;
+        flops_total += lc.flops;
+    }
+    b.t_kernels_full = kernels_full;
+    b.utilisation = flops_total > 0.0 ? util_weighted / flops_total : 0.0;
+
+    // --- DVFS: stretch the kernel phase under the ramping clock ---
+    // Effective start ratio folds the memory-bound share in: a fully
+    // memory-bound phase has r_eff = 1 (no stretch), a fully compute-bound
+    // one has r_eff = clock_start.
+    const double r_eff = kernels_cold > 0.0 ? kernels_full / kernels_cold : 1.0;
+    b.t_kernels = solve_ramp_time(kernels_full, r_eff, p.clock_ramp_tau_s);
+    b.clock_end = p.clock_ramp_tau_s > 0.0
+                      ? clock_after_run(clock_start, p.clock_ramp_tau_s, b.t_kernels)
+                      : 1.0;
+
+    // --- host + interconnect phases ---
+    b.t_host = p.dispatch_overhead_s;
+    if (p.over_pcie) {
+        b.t_xfer_in = p.pcie_latency_s + bytes_in / (p.pcie_bandwidth_gbps * kGiga);
+        b.t_xfer_out = p.pcie_latency_s + bytes_out / (p.pcie_bandwidth_gbps * kGiga);
+    }
+
+    // --- energy ---
+    const double dyn_range = p.max_power_w - p.idle_power_w;
+    // Kernel phase: the dynamic share scales ~linearly with the clock ratio
+    // on these boards (VRM/memory overheads dominate at low clocks), so the
+    // dynamic energy per unit of work is clock-independent — it equals the
+    // full-speed kernel time. The idle floor, however, accrues over the
+    // *stretched* wall time: this is exactly why the paper finds an
+    // idle-start GPU always consumes more Joules than a warmed-up one.
+    const double kernel_energy =
+        p.idle_power_w * b.t_kernels + dyn_range * b.utilisation * b.t_kernels_full;
+    // Transfers: DMA engines draw a small dynamic share above idle.
+    const double xfer_t = b.t_xfer_in + b.t_xfer_out;
+    const double xfer_energy = (p.idle_power_w + 0.08 * dyn_range) * xfer_t;
+    b.energy_device_j = kernel_energy + xfer_energy + p.idle_power_w * b.t_host;
+
+    // Host assist: the CPU package stays engaged while feeding a co-processor.
+    b.energy_host_j = p.host_assist_power_w * b.total_s();
+
+    return b;
+}
+
+}  // namespace mw::device

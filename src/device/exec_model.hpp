@@ -1,0 +1,74 @@
+// The analytic execution model: prices one inference batch on one device.
+//
+// Structure of a discrete-GPU submission (§II-A of the paper):
+//   host staging -> PCIe DMA in -> per-layer kernels -> PCIe DMA out
+// CPU / iGPU submissions skip the PCIe phases (zero-copy mapping).
+//
+// Per layer l with cost lc (from nn::LayerCost):
+//   feq_l  = flops + work_items * flops_per_item_overhead   (thread-per-node
+//            kernels pay a fixed per-item cost: index math, bounds, launch
+//            divergence; this is what makes tiny layers inefficient)
+//   sat_c  = clamp(work_items / parallel_width)             (latency hiding)
+//   t_comp = feq_l / (peak * efficiency * sat_c)
+//   t_mem  = bytes / (bandwidth * sat_m)
+//   t_l    = max(t_comp, t_mem) + launch_overhead
+// The kernel phase runs under the DVFS clock ratio r(t), which ramps
+// exponentially from its start value toward 1.0 (GPU Boost); the wall time
+// solves integral r dt = full-speed time.
+#pragma once
+
+#include "device/params.hpp"
+#include "nn/model.hpp"
+
+namespace mw::device {
+
+/// Phase-by-phase timing and energy for one batch on one device.
+struct ExecBreakdown {
+    double t_host = 0.0;          ///< dispatch / staging
+    double t_xfer_in = 0.0;       ///< PCIe DMA towards the device
+    double t_kernels = 0.0;       ///< kernel phase, wall time (clock-scaled)
+    double t_xfer_out = 0.0;      ///< PCIe DMA of the results
+    double t_kernels_full = 0.0;  ///< kernel phase at full boost clock
+    double utilisation = 0.0;     ///< flops-weighted compute saturation
+    double clock_start = 1.0;
+    double clock_end = 1.0;
+    double energy_device_j = 0.0;
+    double energy_host_j = 0.0;
+
+    [[nodiscard]] double total_s() const {
+        return t_host + t_xfer_in + t_kernels + t_xfer_out;
+    }
+    [[nodiscard]] double energy_j() const { return energy_device_j + energy_host_j; }
+    [[nodiscard]] double avg_power_w() const {
+        const double t = total_s();
+        return t > 0.0 ? energy_j() / t : 0.0;
+    }
+};
+
+/// Solve for the wall time T such that integral_0^T r(t) dt = work_full,
+/// where r(t) = 1 - (1 - r0) * exp(-t / tau). Monotone; bisection.
+double solve_ramp_time(double work_full_s, double r0, double tau);
+
+/// Clock ratio after running for `elapsed` seconds from ratio `r0`.
+double clock_after_run(double r0, double tau, double elapsed);
+
+/// Clock ratio after idling for `gap` seconds from ratio `r` (decays toward
+/// the idle ratio with the decay time constant).
+double clock_after_idle(double r, double idle_ratio, double decay_tau, double gap);
+
+/// Price a batch of the given model cost on a device, starting from clock
+/// ratio `clock_start`. `bytes_in`/`bytes_out` are the payload sizes that
+/// would cross the interconnect for discrete devices.
+ExecBreakdown estimate_execution(const DeviceParams& params, const nn::ModelCost& cost,
+                                 double bytes_in, double bytes_out, double clock_start);
+
+/// Relative kernel efficiency (0..1] of splitting `total_items` work-items
+/// into work-groups of `group_size` on a device — the effect §IV-B of the
+/// paper measures: CPUs peak with few large groups (4096 items), discrete
+/// GPUs with many small ones (256 items, maximising registers per item).
+/// Three factors: per-group dispatch cost, occupancy across compute units,
+/// and a register/resource penalty past the device's sweet spot.
+double work_group_efficiency(const DeviceParams& params, double group_size,
+                             double total_items);
+
+}  // namespace mw::device

@@ -1,0 +1,50 @@
+// Measurement: what a device reports back after executing a batch — the
+// quantities the paper's characterization (Figs. 3 and 4) and the scheduler
+// consume: throughput, latency and energy.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "common/units.hpp"
+#include "device/exec_model.hpp"
+#include "device/params.hpp"
+
+namespace mw::device {
+
+/// One completed batch execution.
+struct Measurement {
+    std::string device_name;
+    DeviceKind device_kind = DeviceKind::kCpu;
+    std::string model_name;
+    std::size_t batch = 0;
+
+    double submit_time = 0.0;  ///< simulated timeline seconds
+    double start_time = 0.0;   ///< when the device began (>= submit on queueing)
+    double end_time = 0.0;
+
+    ExecBreakdown breakdown;
+    double bytes_in = 0.0;   ///< classified payload bytes
+    double energy_j = 0.0;   ///< device + host assist (possibly noise-scaled)
+    bool device_was_warm = true;
+
+    /// End-to-end latency as the paper plots it (Fig. 3 right columns).
+    [[nodiscard]] double latency_s() const { return end_time - submit_time; }
+
+    /// Input-bits-per-second throughput (Fig. 3 left columns).
+    [[nodiscard]] double throughput_bps() const {
+        return throughput_bps_from(bytes_in, latency_s());
+    }
+
+    [[nodiscard]] double avg_power_w() const {
+        const double t = latency_s();
+        return t > 0.0 ? energy_j / t : 0.0;
+    }
+
+private:
+    static double throughput_bps_from(double bytes, double seconds) {
+        return mw::throughput_bps(bytes, seconds);
+    }
+};
+
+}  // namespace mw::device

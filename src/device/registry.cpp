@@ -1,0 +1,71 @@
+#include "device/registry.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::device {
+
+Device& DeviceRegistry::add(std::unique_ptr<Device> device) {
+    MW_CHECK(device != nullptr, "null device");
+    MW_CHECK(!contains(device->name()), "duplicate device name: " + device->name());
+    devices_.push_back(std::move(device));
+    Device& added = *devices_.back();
+    // Wire shared-memory domains both ways (§II: CPU and iGPU contend).
+    if (added.params().memory_domain >= 0) {
+        for (const auto& other : devices_) {
+            if (other.get() == &added) continue;
+            if (other->params().memory_domain == added.params().memory_domain) {
+                added.add_memory_peer(other.get());
+                other->add_memory_peer(&added);
+            }
+        }
+    }
+    return added;
+}
+
+Device& DeviceRegistry::emplace(DeviceParams params, ThreadPool* pool) {
+    return add(std::make_unique<Device>(std::move(params), pool));
+}
+
+Device& DeviceRegistry::at(const std::string& name) const {
+    for (const auto& d : devices_) {
+        if (d->name() == name) return *d;
+    }
+    throw InvalidArgument("no such device: " + name);
+}
+
+bool DeviceRegistry::contains(const std::string& name) const {
+    for (const auto& d : devices_) {
+        if (d->name() == name) return true;
+    }
+    return false;
+}
+
+std::vector<Device*> DeviceRegistry::devices() const {
+    std::vector<Device*> out;
+    out.reserve(devices_.size());
+    for (const auto& d : devices_) out.push_back(d.get());
+    return out;
+}
+
+std::vector<std::string> DeviceRegistry::names() const {
+    std::vector<std::string> out;
+    out.reserve(devices_.size());
+    for (const auto& d : devices_) out.push_back(d->name());
+    return out;
+}
+
+void DeviceRegistry::load_model_everywhere(const std::shared_ptr<const nn::Model>& model) {
+    for (const auto& d : devices_) d->load_model(model);
+}
+
+DeviceRegistry DeviceRegistry::standard_testbed(const RegistryConfig& config, ThreadPool* pool) {
+    DeviceRegistry registry;
+    std::uint64_t seed = config.noise_seed;
+    for (auto params : {i7_8700_params(), uhd630_params(), gtx1080ti_params()}) {
+        Device& d = registry.emplace(std::move(params), pool);
+        d.set_noise(config.noise_sigma, seed++);
+    }
+    return registry;
+}
+
+}  // namespace mw::device

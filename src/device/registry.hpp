@@ -1,0 +1,54 @@
+// DeviceRegistry: the set of processing devices available to the scheduler.
+//
+// The registry is how the system stays device-agnostic (§V-A): devices are
+// added by name with arbitrary DeviceParams, and the scheduler only ever
+// enumerates the registry — it has no hard-coded device list.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace mw::device {
+
+/// Noise/seed configuration applied to every device in a registry.
+struct RegistryConfig {
+    double noise_sigma = 0.0;
+    std::uint64_t noise_seed = 42;
+};
+
+/// Owns the devices of a platform.
+class DeviceRegistry {
+public:
+    DeviceRegistry() = default;
+
+    DeviceRegistry(DeviceRegistry&&) noexcept = default;
+    DeviceRegistry& operator=(DeviceRegistry&&) noexcept = default;
+
+    /// Register a device; names must be unique.
+    Device& add(std::unique_ptr<Device> device);
+
+    /// Convenience: construct a Device from params and register it.
+    Device& emplace(DeviceParams params, ThreadPool* pool = nullptr);
+
+    [[nodiscard]] std::size_t size() const { return devices_.size(); }
+    [[nodiscard]] Device& at(const std::string& name) const;
+    [[nodiscard]] bool contains(const std::string& name) const;
+    [[nodiscard]] std::vector<Device*> devices() const;
+    [[nodiscard]] std::vector<std::string> names() const;
+
+    /// Load one model onto every registered device (Dispatcher step 5 of
+    /// Fig. 2).
+    void load_model_everywhere(const std::shared_ptr<const nn::Model>& model);
+
+    /// The paper's testbed: i7-8700 CPU + UHD 630 iGPU + GTX 1080 Ti dGPU.
+    static DeviceRegistry standard_testbed(const RegistryConfig& config = {},
+                                           ThreadPool* pool = nullptr);
+
+private:
+    std::vector<std::unique_ptr<Device>> devices_;
+};
+
+}  // namespace mw::device

@@ -1,0 +1,49 @@
+// The classifier interface shared by every scheduler model of Table II.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace mw::ml {
+
+/// Hyperparameter assignment (criterion strings are encoded numerically:
+/// 0 = gini, 1 = entropy).
+using ParamSet = std::map<std::string, double>;
+
+/// Abstract multi-class classifier.
+class Classifier {
+public:
+    virtual ~Classifier() = default;
+
+    /// Fit on the full dataset (resets any previous fit).
+    virtual void fit(const MlDataset& data) = 0;
+
+    /// Predict the class of one feature row.
+    [[nodiscard]] virtual int predict(std::span<const double> row) const = 0;
+
+    /// Fresh untrained copy with the same hyperparameters.
+    [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Predict every row of a dataset.
+    [[nodiscard]] std::vector<int> predict_all(const MlDataset& data) const {
+        std::vector<int> out(data.size());
+        for (std::size_t i = 0; i < data.size(); ++i) out[i] = predict(data.row(i));
+        return out;
+    }
+};
+
+using ClassifierPtr = std::unique_ptr<Classifier>;
+
+/// Factory producing a classifier from a hyperparameter assignment —
+/// what grid search iterates over.
+using ClassifierFactory = std::function<ClassifierPtr(const ParamSet&)>;
+
+}  // namespace mw::ml

@@ -1,0 +1,186 @@
+#include "ml/cross_validation.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <numeric>
+
+namespace mw::ml {
+
+std::vector<Fold> kfold(std::size_t n, std::size_t k, std::uint64_t seed) {
+    MW_CHECK(k >= 2 && k <= n, "k must be in [2, n]");
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    Rng rng(seed);
+    rng.shuffle(order);
+
+    std::vector<Fold> folds(k);
+    for (std::size_t i = 0; i < n; ++i) folds[i % k].test.push_back(order[i]);
+    for (std::size_t f = 0; f < k; ++f) {
+        for (std::size_t g = 0; g < k; ++g) {
+            if (g == f) continue;
+            folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                                  folds[g].test.end());
+        }
+    }
+    return folds;
+}
+
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels, std::size_t classes,
+                                   std::size_t k, std::uint64_t seed) {
+    MW_CHECK(k >= 2, "k must be >= 2");
+    Rng rng(seed);
+    // Shuffle within each class, then deal class-by-class round robin.
+    std::vector<std::vector<std::size_t>> by_class(classes);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        MW_CHECK(labels[i] >= 0 && static_cast<std::size_t>(labels[i]) < classes,
+                 "label out of range");
+        by_class[labels[i]].push_back(i);
+    }
+    std::vector<Fold> folds(k);
+    std::size_t deal = 0;
+    for (auto& members : by_class) {
+        rng.shuffle(members);
+        for (const std::size_t idx : members) folds[deal++ % k].test.push_back(idx);
+    }
+    for (std::size_t f = 0; f < k; ++f) {
+        MW_CHECK(!folds[f].test.empty(), "stratified fold ended up empty (k too large)");
+        for (std::size_t g = 0; g < k; ++g) {
+            if (g == f) continue;
+            folds[f].train.insert(folds[f].train.end(), folds[g].test.begin(),
+                                  folds[g].test.end());
+        }
+    }
+    return folds;
+}
+
+CvResult cross_validate(const Classifier& proto, const MlDataset& data,
+                        const std::vector<Fold>& folds, ThreadPool* pool) {
+    std::vector<std::vector<int>> fold_truth(folds.size());
+    std::vector<std::vector<int>> fold_pred(folds.size());
+
+    auto run_fold = [&](std::size_t f) {
+        const MlDataset train = data.subset(folds[f].train);
+        const MlDataset test = data.subset(folds[f].test);
+        auto model = proto.clone();
+        model->fit(train);
+        fold_truth[f] = test.y;
+        fold_pred[f] = model->predict_all(test);
+    };
+
+    if (pool) {
+        pool->parallel_for(0, folds.size(), run_fold, 1);
+    } else {
+        for (std::size_t f = 0; f < folds.size(); ++f) run_fold(f);
+    }
+
+    CvResult result;
+    for (std::size_t f = 0; f < folds.size(); ++f) {
+        result.truth.insert(result.truth.end(), fold_truth[f].begin(), fold_truth[f].end());
+        result.predicted.insert(result.predicted.end(), fold_pred[f].begin(),
+                                fold_pred[f].end());
+    }
+    result.accuracy = accuracy(result.truth, result.predicted);
+    result.weighted = weighted_scores(result.truth, result.predicted, data.classes);
+    return result;
+}
+
+GridSearchResult grid_search(const ClassifierFactory& factory,
+                             const std::vector<ParamSet>& grid, const MlDataset& data,
+                             std::size_t k, std::uint64_t seed, ThreadPool* pool) {
+    MW_CHECK(!grid.empty(), "empty grid");
+    const auto folds = stratified_kfold(data.y, data.classes, k, seed);
+
+    GridSearchResult result;
+    result.scores.resize(grid.size());
+
+    // Parallelise over grid points (each point runs its folds serially so
+    // nested pools do not oversubscribe).
+    auto eval_point = [&](std::size_t g) {
+        const auto model = factory(grid[g]);
+        const CvResult cv = cross_validate(*model, data, folds, nullptr);
+        result.scores[g] = {grid[g], cv.accuracy};
+    };
+    if (pool) {
+        pool->parallel_for(0, grid.size(), eval_point, 1);
+    } else {
+        for (std::size_t g = 0; g < grid.size(); ++g) eval_point(g);
+    }
+
+    for (const auto& [params, score] : result.scores) {
+        if (score > result.best_accuracy) {
+            result.best_accuracy = score;
+            result.best_params = params;
+        }
+    }
+    return result;
+}
+
+std::vector<ParamSet> make_grid(
+    const std::vector<std::pair<std::string, std::vector<double>>>& axes) {
+    std::vector<ParamSet> grid{{}};
+    for (const auto& [name, values] : axes) {
+        MW_CHECK(!values.empty(), "empty axis in grid: " + name);
+        std::vector<ParamSet> expanded;
+        expanded.reserve(grid.size() * values.size());
+        for (const auto& base : grid) {
+            for (const double v : values) {
+                ParamSet p = base;
+                p[name] = v;
+                expanded.push_back(std::move(p));
+            }
+        }
+        grid = std::move(expanded);
+    }
+    return grid;
+}
+
+NestedCvResult nested_cross_validate(const ClassifierFactory& factory,
+                                     const std::vector<ParamSet>& grid, const MlDataset& data,
+                                     std::size_t outer_k, std::size_t inner_k,
+                                     std::uint64_t seed, ThreadPool* pool) {
+    const auto outer_folds = stratified_kfold(data.y, data.classes, outer_k, seed);
+
+    NestedCvResult result;
+    std::map<std::string, std::pair<ParamSet, int>> chosen_counts;
+    auto param_key = [](const ParamSet& p) {
+        std::string key;
+        for (const auto& [k2, v] : p) key += k2 + "=" + std::to_string(v) + ";";
+        return key;
+    };
+
+    for (std::size_t f = 0; f < outer_folds.size(); ++f) {
+        const MlDataset train = data.subset(outer_folds[f].train);
+        const MlDataset test = data.subset(outer_folds[f].test);
+
+        // Inner loop: choose hyperparameters on the outer-train split only.
+        const GridSearchResult inner =
+            grid_search(factory, grid, train, inner_k, seed + f + 1, pool);
+        auto& entry = chosen_counts[param_key(inner.best_params)];
+        entry.first = inner.best_params;
+        ++entry.second;
+
+        // Refit on the full outer-train split, evaluate out-of-fold.
+        auto model = factory(inner.best_params);
+        model->fit(train);
+        const auto predicted = model->predict_all(test);
+        result.outer.truth.insert(result.outer.truth.end(), test.y.begin(), test.y.end());
+        result.outer.predicted.insert(result.outer.predicted.end(), predicted.begin(),
+                                      predicted.end());
+    }
+
+    result.outer.accuracy = accuracy(result.outer.truth, result.outer.predicted);
+    result.outer.weighted =
+        weighted_scores(result.outer.truth, result.outer.predicted, data.classes);
+
+    int best_count = 0;
+    for (const auto& [key, entry] : chosen_counts) {
+        if (entry.second > best_count) {
+            best_count = entry.second;
+            result.chosen_params = entry.first;
+        }
+    }
+    return result;
+}
+
+}  // namespace mw::ml

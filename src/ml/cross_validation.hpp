@@ -1,0 +1,67 @@
+// K-fold machinery: plain and stratified folds, cross-validated scoring,
+// grid search and the stratified nested cross-validation protocol of §V-C.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "ml/classifier.hpp"
+#include "ml/metrics.hpp"
+
+namespace mw::ml {
+
+/// One train/validation index split.
+struct Fold {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+};
+
+/// Plain shuffled k-fold split of [0, n).
+std::vector<Fold> kfold(std::size_t n, std::size_t k, std::uint64_t seed);
+
+/// Stratified k-fold: every fold preserves the class proportions — the
+/// paper's counter to the 30/40/30 class imbalance.
+std::vector<Fold> stratified_kfold(const std::vector<int>& labels, std::size_t classes,
+                                   std::size_t k, std::uint64_t seed);
+
+/// Out-of-fold predictions and aggregate scores from one CV pass.
+struct CvResult {
+    double accuracy = 0.0;
+    PrfScores weighted;
+    std::vector<int> truth;       ///< concatenated over folds
+    std::vector<int> predicted;
+};
+
+/// Fit a clone of `proto` on each fold's train split, score on its test
+/// split. Folds run in parallel when a pool is given.
+CvResult cross_validate(const Classifier& proto, const MlDataset& data,
+                        const std::vector<Fold>& folds, ThreadPool* pool = nullptr);
+
+/// Exhaustive grid search: k-fold-scored accuracy for each ParamSet.
+struct GridSearchResult {
+    ParamSet best_params;
+    double best_accuracy = 0.0;
+    std::vector<std::pair<ParamSet, double>> scores;  ///< every grid point
+};
+
+GridSearchResult grid_search(const ClassifierFactory& factory,
+                             const std::vector<ParamSet>& grid, const MlDataset& data,
+                             std::size_t k, std::uint64_t seed, ThreadPool* pool = nullptr);
+
+/// Cartesian product of per-parameter value lists -> flat grid.
+std::vector<ParamSet> make_grid(
+    const std::vector<std::pair<std::string, std::vector<double>>>& axes);
+
+/// Stratified nested cross-validation (§V-C): the outer folds estimate the
+/// generalisation of "grid-search-then-fit"; the inner folds choose the
+/// hyperparameters. Returns the outer out-of-fold result and the parameters
+/// chosen most often.
+struct NestedCvResult {
+    CvResult outer;
+    ParamSet chosen_params;  ///< modal winner of the inner searches
+};
+
+NestedCvResult nested_cross_validate(const ClassifierFactory& factory,
+                                     const std::vector<ParamSet>& grid, const MlDataset& data,
+                                     std::size_t outer_k, std::size_t inner_k,
+                                     std::uint64_t seed, ThreadPool* pool = nullptr);
+
+}  // namespace mw::ml

@@ -1,0 +1,54 @@
+// Feature-matrix dataset for the scheduler's classical ML toolkit.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mw::ml {
+
+/// A dense (n x features) dataset with integer class labels.
+struct MlDataset {
+    std::size_t features = 0;
+    std::size_t classes = 0;
+    std::vector<double> x;  ///< row-major, size() * features
+    std::vector<int> y;
+
+    [[nodiscard]] std::size_t size() const { return y.size(); }
+
+    [[nodiscard]] std::span<const double> row(std::size_t i) const {
+        MW_CHECK(i < size(), "row index out of range");
+        return {x.data() + i * features, features};
+    }
+
+    /// Append one labelled row; the width must match `features`.
+    void add(std::span<const double> row_values, int label) {
+        MW_CHECK(row_values.size() == features, "row width mismatch");
+        MW_CHECK(label >= 0 && static_cast<std::size_t>(label) < classes, "label out of range");
+        x.insert(x.end(), row_values.begin(), row_values.end());
+        y.push_back(label);
+    }
+
+    /// Dataset restricted to the given row indices.
+    [[nodiscard]] MlDataset subset(std::span<const std::size_t> indices) const {
+        MlDataset out;
+        out.features = features;
+        out.classes = classes;
+        out.x.reserve(indices.size() * features);
+        out.y.reserve(indices.size());
+        for (const std::size_t i : indices) out.add(row(i), y.at(i));
+        return out;
+    }
+
+    /// Per-class row counts.
+    [[nodiscard]] std::vector<std::size_t> class_counts() const {
+        std::vector<std::size_t> counts(classes, 0);
+        for (const int label : y) ++counts[label];
+        return counts;
+    }
+};
+
+}  // namespace mw::ml

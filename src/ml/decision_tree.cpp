@@ -1,0 +1,166 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace mw::ml {
+namespace {
+
+/// Impurity of a class histogram.
+double impurity(std::span<const std::size_t> counts, std::size_t total,
+                SplitCriterion criterion) {
+    if (total == 0) return 0.0;
+    const double n = static_cast<double>(total);
+    double value = criterion == SplitCriterion::kGini ? 1.0 : 0.0;
+    for (const std::size_t c : counts) {
+        if (c == 0) continue;
+        const double p = static_cast<double>(c) / n;
+        if (criterion == SplitCriterion::kGini) {
+            value -= p * p;
+        } else {
+            value -= p * std::log2(p);
+        }
+    }
+    return value;
+}
+
+int majority_label(std::span<const std::size_t> counts) {
+    return static_cast<int>(std::distance(
+        counts.begin(), std::max_element(counts.begin(), counts.end())));
+}
+
+}  // namespace
+
+SplitCriterion criterion_from_code(double code) {
+    return code >= 0.5 ? SplitCriterion::kEntropy : SplitCriterion::kGini;
+}
+
+DecisionTree::DecisionTree(TreeConfig config) : config_(config) {}
+
+void DecisionTree::fit(const MlDataset& data) {
+    std::vector<std::size_t> indices(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    fit_indices(data, indices);
+}
+
+void DecisionTree::fit_indices(const MlDataset& data, std::span<const std::size_t> indices) {
+    MW_CHECK(!indices.empty(), "cannot fit a tree on zero rows");
+    MW_CHECK(data.classes >= 2, "need at least two classes");
+    nodes_.clear();
+    Rng rng(config_.seed);
+    std::vector<std::size_t> working(indices.begin(), indices.end());
+    build(data, working, 0, rng);
+}
+
+int DecisionTree::build(const MlDataset& data, std::vector<std::size_t>& indices,
+                        std::size_t depth, Rng& rng) {
+    std::vector<std::size_t> counts(data.classes, 0);
+    for (const std::size_t i : indices) ++counts[data.y[i]];
+    const double node_impurity = impurity(counts, indices.size(), config_.criterion);
+
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back({});
+    nodes_[node_id].label = majority_label(counts);
+
+    const bool pure = node_impurity <= 1e-12;
+    if (pure || depth >= config_.max_depth ||
+        indices.size() < 2 * config_.min_samples_leaf || indices.size() < 2) {
+        return node_id;
+    }
+
+    // Candidate features: all, or a random subset (forest mode).
+    std::vector<std::size_t> features(data.features);
+    std::iota(features.begin(), features.end(), 0);
+    if (config_.max_features > 0 && config_.max_features < data.features) {
+        rng.shuffle(features);
+        features.resize(config_.max_features);
+    }
+
+    // Best threshold search: sort the node's rows by each candidate feature
+    // and scan the class histogram across the boundary.
+    double best_gain = 1e-12;
+    int best_feature = -1;
+    double best_threshold = 0.0;
+
+    std::vector<std::size_t> sorted(indices);
+    std::vector<std::size_t> left_counts(data.classes);
+    for (const std::size_t f : features) {
+        std::sort(sorted.begin(), sorted.end(), [&](std::size_t a, std::size_t b) {
+            return data.row(a)[f] < data.row(b)[f];
+        });
+        std::fill(left_counts.begin(), left_counts.end(), 0);
+        for (std::size_t pos = 0; pos + 1 < sorted.size(); ++pos) {
+            ++left_counts[data.y[sorted[pos]]];
+            const double v = data.row(sorted[pos])[f];
+            const double next = data.row(sorted[pos + 1])[f];
+            if (v == next) continue;  // no boundary here
+            const std::size_t n_left = pos + 1;
+            const std::size_t n_right = sorted.size() - n_left;
+            if (n_left < config_.min_samples_leaf || n_right < config_.min_samples_leaf) {
+                continue;
+            }
+            std::vector<std::size_t> right_counts(data.classes);
+            for (std::size_t c = 0; c < data.classes; ++c) {
+                right_counts[c] = counts[c] - left_counts[c];
+            }
+            const double wl = static_cast<double>(n_left) / static_cast<double>(sorted.size());
+            const double gain = node_impurity -
+                                wl * impurity(left_counts, n_left, config_.criterion) -
+                                (1.0 - wl) * impurity(right_counts, n_right, config_.criterion);
+            if (gain > best_gain) {
+                best_gain = gain;
+                best_feature = static_cast<int>(f);
+                best_threshold = 0.5 * (v + next);
+            }
+        }
+    }
+
+    if (best_feature < 0) return node_id;  // no useful split
+
+    std::vector<std::size_t> left;
+    std::vector<std::size_t> right;
+    for (const std::size_t i : indices) {
+        (data.row(i)[best_feature] <= best_threshold ? left : right).push_back(i);
+    }
+    MW_ASSERT(!left.empty() && !right.empty());
+
+    nodes_[node_id].feature = best_feature;
+    nodes_[node_id].threshold = best_threshold;
+    const int left_id = build(data, left, depth + 1, rng);
+    nodes_[node_id].left = left_id;
+    const int right_id = build(data, right, depth + 1, rng);
+    nodes_[node_id].right = right_id;
+    return node_id;
+}
+
+int DecisionTree::predict(std::span<const double> row) const {
+    MW_CHECK(!nodes_.empty(), "predict before fit");
+    int node = 0;
+    while (nodes_[node].feature >= 0) {
+        node = row[nodes_[node].feature] <= nodes_[node].threshold ? nodes_[node].left
+                                                                   : nodes_[node].right;
+    }
+    return nodes_[node].label;
+}
+
+ClassifierPtr DecisionTree::clone() const { return std::make_unique<DecisionTree>(config_); }
+
+std::size_t DecisionTree::depth() const {
+    // Iterative depth computation over the node array.
+    if (nodes_.empty()) return 0;
+    std::vector<std::pair<int, std::size_t>> stack{{0, 1}};
+    std::size_t deepest = 0;
+    while (!stack.empty()) {
+        const auto [node, d] = stack.back();
+        stack.pop_back();
+        deepest = std::max(deepest, d);
+        if (nodes_[node].feature >= 0) {
+            stack.push_back({nodes_[node].left, d + 1});
+            stack.push_back({nodes_[node].right, d + 1});
+        }
+    }
+    return deepest;
+}
+
+}  // namespace mw::ml

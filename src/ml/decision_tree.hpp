@@ -1,0 +1,57 @@
+// CART decision tree with gini/entropy splitting — the Table II "Decision
+// Tree" baseline and the unit of the Random Forest.
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace mw::ml {
+
+enum class SplitCriterion { kGini, kEntropy };
+
+SplitCriterion criterion_from_code(double code);
+
+/// Decision-tree hyperparameters (Table I names).
+struct TreeConfig {
+    std::size_t max_depth = 8;
+    std::size_t min_samples_leaf = 1;
+    SplitCriterion criterion = SplitCriterion::kGini;
+    /// Features examined per split: 0 = all, otherwise a random subset of
+    /// this size (Random Forest sets ~sqrt(features)).
+    std::size_t max_features = 0;
+    std::uint64_t seed = 1;
+};
+
+/// CART classifier: binary splits on feature thresholds.
+class DecisionTree final : public Classifier {
+public:
+    explicit DecisionTree(TreeConfig config = {});
+
+    void fit(const MlDataset& data) override;
+    [[nodiscard]] int predict(std::span<const double> row) const override;
+    [[nodiscard]] ClassifierPtr clone() const override;
+    [[nodiscard]] std::string name() const override { return "decision-tree"; }
+
+    /// Fit on a bootstrap-selected subset (used by the forest).
+    void fit_indices(const MlDataset& data, std::span<const std::size_t> indices);
+
+    [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+    [[nodiscard]] std::size_t depth() const;
+    [[nodiscard]] const TreeConfig& config() const { return config_; }
+
+private:
+    struct Node {
+        int feature = -1;        ///< -1 => leaf
+        double threshold = 0.0;  ///< go left when x[feature] <= threshold
+        int left = -1;
+        int right = -1;
+        int label = 0;           ///< leaf prediction
+    };
+
+    int build(const MlDataset& data, std::vector<std::size_t>& indices, std::size_t depth,
+              Rng& rng);
+
+    TreeConfig config_;
+    std::vector<Node> nodes_;
+};
+
+}  // namespace mw::ml

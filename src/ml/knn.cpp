@@ -1,0 +1,83 @@
+#include "ml/knn.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::ml {
+
+KnnClassifier::KnnClassifier(std::size_t k, bool standardise)
+    : k_(k), standardise_(standardise) {
+    MW_CHECK(k >= 1, "k must be at least 1");
+}
+
+void KnnClassifier::fit(const MlDataset& data) {
+    MW_CHECK(data.size() >= 1, "knn needs data");
+    mean_.assign(data.features, 0.0);
+    scale_.assign(data.features, 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) mean_[f] += row[f];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            const double d = row[f] - mean_[f];
+            scale_[f] += d * d;
+        }
+    }
+    for (auto& s : scale_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12) s = 1.0;  // constant feature
+    }
+    if (!standardise_) {
+        std::fill(mean_.begin(), mean_.end(), 0.0);
+        std::fill(scale_.begin(), scale_.end(), 1.0);
+    }
+
+    train_.features = data.features;
+    train_.classes = data.classes;
+    train_.y = data.y;
+    train_.x.resize(data.x.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            train_.x[i * data.features + f] = (row[f] - mean_[f]) / scale_[f];
+        }
+    }
+}
+
+std::vector<double> KnnClassifier::standardise(std::span<const double> row) const {
+    std::vector<double> out(row.size());
+    for (std::size_t f = 0; f < row.size(); ++f) out[f] = (row[f] - mean_[f]) / scale_[f];
+    return out;
+}
+
+int KnnClassifier::predict(std::span<const double> row) const {
+    MW_CHECK(train_.size() > 0, "predict before fit");
+    const auto q = standardise(row);
+    const std::size_t k = std::min(k_, train_.size());
+
+    // Partial selection of the k smallest distances.
+    std::vector<std::pair<double, int>> dists;
+    dists.reserve(train_.size());
+    for (std::size_t i = 0; i < train_.size(); ++i) {
+        const auto r = train_.row(i);
+        double d = 0.0;
+        for (std::size_t f = 0; f < q.size(); ++f) {
+            const double diff = q[f] - r[f];
+            d += diff * diff;
+        }
+        dists.emplace_back(d, train_.y[i]);
+    }
+    std::nth_element(dists.begin(), dists.begin() + (k - 1), dists.end());
+
+    std::vector<std::size_t> votes(train_.classes, 0);
+    for (std::size_t i = 0; i < k; ++i) ++votes[dists[i].second];
+    return static_cast<int>(
+        std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+ClassifierPtr KnnClassifier::clone() const { return std::make_unique<KnnClassifier>(k_, standardise_); }
+
+}  // namespace mw::ml

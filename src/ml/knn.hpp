@@ -1,0 +1,30 @@
+// k-Nearest-Neighbours baseline (Table II).
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace mw::ml {
+
+/// Brute-force k-NN with z-scored features and Euclidean distance.
+class KnnClassifier final : public Classifier {
+public:
+    /// `standardise` z-scores features before distance computation; the
+    /// paper's scikit-learn pipeline does NOT scale (the Table II k-NN).
+    explicit KnnClassifier(std::size_t k = 5, bool standardise = true);
+
+    void fit(const MlDataset& data) override;
+    [[nodiscard]] int predict(std::span<const double> row) const override;
+    [[nodiscard]] ClassifierPtr clone() const override;
+    [[nodiscard]] std::string name() const override { return "knn"; }
+
+private:
+    [[nodiscard]] std::vector<double> standardise(std::span<const double> row) const;
+
+    std::size_t k_;
+    bool standardise_;
+    MlDataset train_;          // standardised copy
+    std::vector<double> mean_;
+    std::vector<double> scale_;
+};
+
+}  // namespace mw::ml

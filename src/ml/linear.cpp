@@ -1,0 +1,111 @@
+#include "ml/linear.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::ml {
+
+LinearClassifier::LinearClassifier() : LinearClassifier(Config{}) {}
+
+LinearClassifier::LinearClassifier(Config config) : config_(config) {}
+
+void LinearClassifier::fit(const MlDataset& data) {
+    MW_CHECK(data.size() >= 2, "linear classifier needs data");
+    features_ = data.features;
+    classes_ = data.classes;
+
+    // Standardise.
+    mean_.assign(features_, 0.0);
+    scale_.assign(features_, 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < features_; ++f) mean_[f] += row[f];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < features_; ++f) {
+            const double d = row[f] - mean_[f];
+            scale_[f] += d * d;
+        }
+    }
+    for (auto& s : scale_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12) s = 1.0;
+    }
+    if (!config_.standardise) {
+        std::fill(mean_.begin(), mean_.end(), 0.0);
+        std::fill(scale_.begin(), scale_.end(), 1.0);
+    }
+    std::vector<double> z(data.size() * features_);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < features_; ++f) {
+            z[i * features_ + f] = (row[f] - mean_[f]) / scale_[f];
+        }
+    }
+
+    const std::size_t width = features_ + 1;
+    weights_.assign(classes_ * width, 0.0);
+    std::vector<double> logits(classes_);
+    std::vector<double> grad(classes_ * width);
+
+    const double inv_n = 1.0 / static_cast<double>(data.size());
+    for (std::size_t iter = 0; iter < config_.iterations; ++iter) {
+        std::fill(grad.begin(), grad.end(), 0.0);
+        for (std::size_t i = 0; i < data.size(); ++i) {
+            const double* zi = z.data() + i * features_;
+            double mx = -1e300;
+            for (std::size_t c = 0; c < classes_; ++c) {
+                const double* w = weights_.data() + c * width;
+                double acc = w[features_];
+                for (std::size_t f = 0; f < features_; ++f) acc += w[f] * zi[f];
+                logits[c] = acc;
+                mx = std::max(mx, acc);
+            }
+            double sum = 0.0;
+            for (auto& l : logits) {
+                l = std::exp(l - mx);
+                sum += l;
+            }
+            for (std::size_t c = 0; c < classes_; ++c) {
+                const double p = logits[c] / sum;
+                const double err = p - (static_cast<int>(c) == data.y[i] ? 1.0 : 0.0);
+                double* g = grad.data() + c * width;
+                for (std::size_t f = 0; f < features_; ++f) g[f] += err * zi[f];
+                g[features_] += err;
+            }
+        }
+        for (std::size_t k = 0; k < weights_.size(); ++k) {
+            weights_[k] -= config_.learning_rate *
+                           (grad[k] * inv_n + config_.l2 * weights_[k]);
+        }
+    }
+}
+
+std::vector<double> LinearClassifier::decision(std::span<const double> row) const {
+    MW_CHECK(!weights_.empty(), "predict before fit");
+    const std::size_t width = features_ + 1;
+    std::vector<double> scores(classes_);
+    for (std::size_t c = 0; c < classes_; ++c) {
+        const double* w = weights_.data() + c * width;
+        double acc = w[features_];
+        for (std::size_t f = 0; f < features_; ++f) {
+            acc += w[f] * (row[f] - mean_[f]) / scale_[f];
+        }
+        scores[c] = acc;
+    }
+    return scores;
+}
+
+int LinearClassifier::predict(std::span<const double> row) const {
+    const auto scores = decision(row);
+    return static_cast<int>(
+        std::distance(scores.begin(), std::max_element(scores.begin(), scores.end())));
+}
+
+ClassifierPtr LinearClassifier::clone() const {
+    return std::make_unique<LinearClassifier>(config_);
+}
+
+}  // namespace mw::ml

@@ -1,0 +1,40 @@
+// Multinomial logistic ("Linear Regression" baseline of Table II).
+#pragma once
+
+#include "ml/classifier.hpp"
+
+namespace mw::ml {
+
+/// Softmax-linear classifier trained by full-batch gradient descent on
+/// z-scored features.
+class LinearClassifier final : public Classifier {
+public:
+    struct Config {
+        std::size_t iterations = 300;
+        double learning_rate = 0.5;
+        double l2 = 1e-4;
+        /// z-score features first (the paper's pipeline does not).
+        bool standardise = true;
+    };
+
+    LinearClassifier();
+    explicit LinearClassifier(Config config);
+
+    void fit(const MlDataset& data) override;
+    [[nodiscard]] int predict(std::span<const double> row) const override;
+    [[nodiscard]] ClassifierPtr clone() const override;
+    [[nodiscard]] std::string name() const override { return "linear"; }
+
+    /// Class scores (softmax logits) for one row.
+    [[nodiscard]] std::vector<double> decision(std::span<const double> row) const;
+
+private:
+    Config config_;
+    std::size_t features_ = 0;
+    std::size_t classes_ = 0;
+    std::vector<double> weights_;  ///< classes x (features + 1), bias last
+    std::vector<double> mean_;
+    std::vector<double> scale_;
+};
+
+}  // namespace mw::ml

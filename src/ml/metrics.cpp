@@ -1,0 +1,100 @@
+#include "ml/metrics.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::ml {
+namespace {
+
+struct PerClass {
+    std::vector<double> precision;
+    std::vector<double> recall;
+    std::vector<double> f1;
+    std::vector<std::size_t> support;
+};
+
+PerClass per_class_scores(const std::vector<int>& truth, const std::vector<int>& predicted,
+                          std::size_t classes) {
+    const auto cm = confusion_matrix(truth, predicted, classes);
+    PerClass out;
+    out.precision.resize(classes);
+    out.recall.resize(classes);
+    out.f1.resize(classes);
+    out.support.resize(classes);
+    for (std::size_t c = 0; c < classes; ++c) {
+        std::size_t tp = cm[c * classes + c];
+        std::size_t fp = 0;
+        std::size_t fn = 0;
+        for (std::size_t o = 0; o < classes; ++o) {
+            if (o == c) continue;
+            fp += cm[o * classes + c];
+            fn += cm[c * classes + o];
+        }
+        out.support[c] = tp + fn;
+        out.precision[c] = (tp + fp) > 0 ? static_cast<double>(tp) / (tp + fp) : 0.0;
+        out.recall[c] = (tp + fn) > 0 ? static_cast<double>(tp) / (tp + fn) : 0.0;
+        const double denom = out.precision[c] + out.recall[c];
+        out.f1[c] = denom > 0.0 ? 2.0 * out.precision[c] * out.recall[c] / denom : 0.0;
+    }
+    return out;
+}
+
+}  // namespace
+
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predicted) {
+    MW_CHECK(truth.size() == predicted.size(), "label vectors differ in size");
+    MW_CHECK(!truth.empty(), "accuracy of empty labels");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        if (truth[i] == predicted[i]) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& truth,
+                                          const std::vector<int>& predicted,
+                                          std::size_t classes) {
+    MW_CHECK(truth.size() == predicted.size(), "label vectors differ in size");
+    std::vector<std::size_t> cm(classes * classes, 0);
+    for (std::size_t i = 0; i < truth.size(); ++i) {
+        MW_CHECK(truth[i] >= 0 && static_cast<std::size_t>(truth[i]) < classes,
+                 "truth label out of range");
+        MW_CHECK(predicted[i] >= 0 && static_cast<std::size_t>(predicted[i]) < classes,
+                 "predicted label out of range");
+        ++cm[truth[i] * classes + predicted[i]];
+    }
+    return cm;
+}
+
+PrfScores macro_scores(const std::vector<int>& truth, const std::vector<int>& predicted,
+                       std::size_t classes) {
+    const PerClass pc = per_class_scores(truth, predicted, classes);
+    PrfScores s;
+    for (std::size_t c = 0; c < classes; ++c) {
+        s.precision += pc.precision[c];
+        s.recall += pc.recall[c];
+        s.f1 += pc.f1[c];
+    }
+    const auto k = static_cast<double>(classes);
+    s.precision /= k;
+    s.recall /= k;
+    s.f1 /= k;
+    return s;
+}
+
+PrfScores weighted_scores(const std::vector<int>& truth, const std::vector<int>& predicted,
+                          std::size_t classes) {
+    const PerClass pc = per_class_scores(truth, predicted, classes);
+    PrfScores s;
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < classes; ++c) total += pc.support[c];
+    MW_CHECK(total > 0, "no samples");
+    for (std::size_t c = 0; c < classes; ++c) {
+        const double w = static_cast<double>(pc.support[c]) / static_cast<double>(total);
+        s.precision += w * pc.precision[c];
+        s.recall += w * pc.recall[c];
+        s.f1 += w * pc.f1[c];
+    }
+    return s;
+}
+
+}  // namespace mw::ml

@@ -1,0 +1,34 @@
+// Classification metrics: accuracy, confusion matrix, precision/recall/F1
+// (Table III reports the weighted scores of the Random Forest).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mw::ml {
+
+/// Fraction of matching labels.
+double accuracy(const std::vector<int>& truth, const std::vector<int>& predicted);
+
+/// counts[t * classes + p] = rows with true class t predicted as p.
+std::vector<std::size_t> confusion_matrix(const std::vector<int>& truth,
+                                          const std::vector<int>& predicted,
+                                          std::size_t classes);
+
+/// Aggregate precision/recall/F1.
+struct PrfScores {
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+};
+
+/// Macro-averaged scores (unweighted mean over classes).
+PrfScores macro_scores(const std::vector<int>& truth, const std::vector<int>& predicted,
+                       std::size_t classes);
+
+/// Support-weighted scores (what scikit-learn's "weighted" average reports —
+/// the flavour the paper quotes in Table III for imbalanced classes).
+PrfScores weighted_scores(const std::vector<int>& truth, const std::vector<int>& predicted,
+                          std::size_t classes);
+
+}  // namespace mw::ml

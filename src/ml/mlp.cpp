@@ -1,0 +1,77 @@
+#include "ml/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/model_builder.hpp"
+#include "nn/trainer.hpp"
+
+namespace mw::ml {
+
+MlpClassifier::MlpClassifier() : MlpClassifier(Config{}) {}
+
+MlpClassifier::MlpClassifier(Config config) : config_(std::move(config)) {}
+
+void MlpClassifier::fit(const MlDataset& data) {
+    MW_CHECK(data.size() >= 2, "mlp needs data");
+    mean_.assign(data.features, 0.0);
+    scale_.assign(data.features, 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) mean_[f] += row[f];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            const double d = row[f] - mean_[f];
+            scale_[f] += d * d;
+        }
+    }
+    for (auto& s : scale_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12) s = 1.0;
+    }
+    if (!config_.standardise) {
+        std::fill(mean_.begin(), mean_.end(), 0.0);
+        std::fill(scale_.begin(), scale_.end(), 1.0);
+    }
+
+    nn::FfnnSpec spec;
+    spec.input_dim = data.features;
+    spec.hidden = config_.hidden;
+    spec.output_dim = data.classes;
+    spec.hidden_act = nn::Activation::kTanh;
+    model_ = std::make_unique<nn::Model>(
+        nn::build_model(nn::ModelSpec{"mlp-sched", spec, true}, config_.seed));
+
+    Tensor x(Shape{data.size(), data.features});
+    std::vector<std::size_t> labels(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            x.at(i, f) = static_cast<float>((row[f] - mean_[f]) / scale_[f]);
+        }
+        labels[i] = static_cast<std::size_t>(data.y[i]);
+    }
+
+    nn::TrainConfig tc;
+    tc.epochs = config_.epochs;
+    tc.learning_rate = config_.learning_rate;
+    tc.batch_size = 32;
+    tc.shuffle_seed = config_.seed + 1;
+    nn::train(*model_, x, labels, tc);
+}
+
+int MlpClassifier::predict(std::span<const double> row) const {
+    MW_CHECK(model_ != nullptr, "predict before fit");
+    Tensor x(model_->input_shape(1));
+    for (std::size_t f = 0; f < row.size(); ++f) {
+        x.at(0, f) = static_cast<float>((row[f] - mean_[f]) / scale_[f]);
+    }
+    return static_cast<int>(model_->classify(x)[0]);
+}
+
+ClassifierPtr MlpClassifier::clone() const { return std::make_unique<MlpClassifier>(config_); }
+
+}  // namespace mw::ml

@@ -1,0 +1,36 @@
+// Feed-forward neural-network baseline (Table II), built on src/nn.
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "nn/model.hpp"
+
+namespace mw::ml {
+
+/// A small FFNN classifier over z-scored features.
+class MlpClassifier final : public Classifier {
+public:
+    struct Config {
+        std::vector<std::size_t> hidden{32, 16};
+        std::size_t epochs = 120;
+        float learning_rate = 0.05F;
+        std::uint64_t seed = 1;
+        /// z-score features first (the paper's pipeline does not).
+        bool standardise = true;
+    };
+
+    MlpClassifier();
+    explicit MlpClassifier(Config config);
+
+    void fit(const MlDataset& data) override;
+    [[nodiscard]] int predict(std::span<const double> row) const override;
+    [[nodiscard]] ClassifierPtr clone() const override;
+    [[nodiscard]] std::string name() const override { return "ffnn"; }
+
+private:
+    Config config_;
+    std::unique_ptr<nn::Model> model_;
+    std::vector<double> mean_;
+    std::vector<double> scale_;
+};
+
+}  // namespace mw::ml

@@ -1,0 +1,86 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::ml {
+
+ForestConfig ForestConfig::from_params(const ParamSet& params) {
+    ForestConfig c;
+    if (auto it = params.find("n_estimators"); it != params.end()) {
+        c.n_estimators = static_cast<std::size_t>(it->second);
+    }
+    if (auto it = params.find("max_depth"); it != params.end()) {
+        c.max_depth = static_cast<std::size_t>(it->second);
+    }
+    if (auto it = params.find("min_samples_leaf"); it != params.end()) {
+        c.min_samples_leaf = static_cast<std::size_t>(it->second);
+    }
+    if (auto it = params.find("criterion"); it != params.end()) {
+        c.criterion = criterion_from_code(it->second);
+    }
+    return c;
+}
+
+RandomForest::RandomForest(ForestConfig config, ThreadPool* pool)
+    : config_(config), pool_(pool) {
+    MW_CHECK(config_.n_estimators >= 1, "forest needs at least one tree");
+}
+
+void RandomForest::fit(const MlDataset& data) {
+    MW_CHECK(data.size() >= 2, "forest needs data");
+    classes_ = data.classes;
+    const auto max_features = static_cast<std::size_t>(
+        std::max(1.0, std::round(std::sqrt(static_cast<double>(data.features)))));
+
+    trees_.clear();
+    trees_.reserve(config_.n_estimators);
+    Rng seeder(config_.seed);
+    std::vector<std::uint64_t> tree_seeds;
+    for (std::size_t t = 0; t < config_.n_estimators; ++t) tree_seeds.push_back(seeder());
+
+    for (std::size_t t = 0; t < config_.n_estimators; ++t) {
+        TreeConfig tc;
+        tc.max_depth = config_.max_depth;
+        tc.min_samples_leaf = config_.min_samples_leaf;
+        tc.criterion = config_.criterion;
+        tc.max_features = max_features;
+        tc.seed = tree_seeds[t];
+        trees_.emplace_back(tc);
+    }
+
+    auto fit_one = [&](std::size_t t) {
+        // Bootstrap sample (with replacement) drawn from the tree's own seed
+        // so parallel fitting stays deterministic.
+        Rng rng(tree_seeds[t] ^ 0x9e3779b97f4a7c15ULL);
+        std::vector<std::size_t> bootstrap(data.size());
+        for (auto& idx : bootstrap) idx = rng.below(data.size());
+        trees_[t].fit_indices(data, bootstrap);
+    };
+
+    if (pool_) {
+        pool_->parallel_for(0, trees_.size(), fit_one, 1);
+    } else {
+        for (std::size_t t = 0; t < trees_.size(); ++t) fit_one(t);
+    }
+}
+
+std::vector<double> RandomForest::predict_proba(std::span<const double> row) const {
+    MW_CHECK(!trees_.empty(), "predict before fit");
+    std::vector<double> votes(classes_, 0.0);
+    for (const auto& tree : trees_) votes[tree.predict(row)] += 1.0;
+    for (auto& v : votes) v /= static_cast<double>(trees_.size());
+    return votes;
+}
+
+int RandomForest::predict(std::span<const double> row) const {
+    const auto votes = predict_proba(row);
+    return static_cast<int>(
+        std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
+ClassifierPtr RandomForest::clone() const {
+    return std::make_unique<RandomForest>(config_, pool_);
+}
+
+}  // namespace mw::ml

@@ -1,0 +1,132 @@
+#include "ml/svm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::ml {
+
+SvmClassifier::SvmClassifier() : SvmClassifier(Config{}) {}
+
+SvmClassifier::SvmClassifier(Config config) : config_(config) {}
+
+void SvmClassifier::fit(const MlDataset& data) {
+    MW_CHECK(data.size() >= 2, "svm needs data");
+
+    mean_.assign(data.features, 0.0);
+    scale_.assign(data.features, 0.0);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) mean_[f] += row[f];
+    }
+    for (auto& m : mean_) m /= static_cast<double>(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            const double d = row[f] - mean_[f];
+            scale_[f] += d * d;
+        }
+    }
+    for (auto& s : scale_) {
+        s = std::sqrt(s / static_cast<double>(data.size()));
+        if (s < 1e-12) s = 1.0;
+    }
+    if (!config_.standardise) {
+        std::fill(mean_.begin(), mean_.end(), 0.0);
+        std::fill(scale_.begin(), scale_.end(), 1.0);
+    }
+
+    train_.features = data.features;
+    train_.classes = data.classes;
+    train_.y = data.y;
+    train_.x.resize(data.x.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const auto row = data.row(i);
+        for (std::size_t f = 0; f < data.features; ++f) {
+            train_.x[i * data.features + f] = (row[f] - mean_[f]) / scale_[f];
+        }
+    }
+
+    const std::size_t n = train_.size();
+    alphas_.assign(data.classes * n, 0.0);
+    Rng rng(config_.seed);
+
+    // Precompute the Gram matrix once; Pegasos then only does lookups.
+    std::vector<float> gram(n * n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto xi = train_.row(i);
+        gram[i * n + i] = 1.0F;
+        for (std::size_t j = i + 1; j < n; ++j) {
+            const auto g = static_cast<float>(kernel_row(xi, j));
+            gram[i * n + j] = g;
+            gram[j * n + i] = g;
+        }
+    }
+
+    // Kernelised Pegasos, one binary problem per class (one-vs-rest).
+    for (std::size_t cls = 0; cls < data.classes; ++cls) {
+        double* alpha = alphas_.data() + cls * n;
+        std::size_t t = 0;
+        for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+            for (std::size_t step = 0; step < n; ++step) {
+                ++t;
+                const std::size_t i = rng.below(n);
+                const double yi = train_.y[i] == static_cast<int>(cls) ? 1.0 : -1.0;
+                // margin = y_i / (lambda t) * sum_j alpha_j y_j K(x_j, x_i)
+                double acc = 0.0;
+                const float* gram_row = gram.data() + i * n;
+                for (std::size_t j = 0; j < n; ++j) {
+                    if (alpha[j] == 0.0) continue;
+                    const double yj = train_.y[j] == static_cast<int>(cls) ? 1.0 : -1.0;
+                    acc += alpha[j] * yj * gram_row[j];
+                }
+                const double margin = yi * acc / (config_.lambda * static_cast<double>(t));
+                if (margin < 1.0) alpha[i] += 1.0;
+            }
+        }
+        // Fold the 1/(lambda T) factor into the stored coefficients.
+        const double norm = 1.0 / (config_.lambda * static_cast<double>(t));
+        for (std::size_t j = 0; j < n; ++j) alpha[j] *= norm;
+    }
+}
+
+std::vector<double> SvmClassifier::standardise(std::span<const double> row) const {
+    std::vector<double> out(row.size());
+    for (std::size_t f = 0; f < row.size(); ++f) out[f] = (row[f] - mean_[f]) / scale_[f];
+    return out;
+}
+
+double SvmClassifier::kernel_row(std::span<const double> z, std::size_t i) const {
+    const auto r = train_.row(i);
+    double d = 0.0;
+    for (std::size_t f = 0; f < z.size(); ++f) {
+        const double diff = z[f] - r[f];
+        d += diff * diff;
+    }
+    return std::exp(-config_.gamma * d);
+}
+
+int SvmClassifier::predict(std::span<const double> row) const {
+    MW_CHECK(!alphas_.empty(), "predict before fit");
+    const auto z = standardise(row);
+    const std::size_t n = train_.size();
+    double best = -1e300;
+    int best_cls = 0;
+    for (std::size_t cls = 0; cls < train_.classes; ++cls) {
+        const double* alpha = alphas_.data() + cls * n;
+        double acc = 0.0;
+        for (std::size_t j = 0; j < n; ++j) {
+            if (alpha[j] == 0.0) continue;
+            const double yj = train_.y[j] == static_cast<int>(cls) ? 1.0 : -1.0;
+            acc += alpha[j] * yj * kernel_row(z, j);
+        }
+        if (acc > best) {
+            best = acc;
+            best_cls = static_cast<int>(cls);
+        }
+    }
+    return best_cls;
+}
+
+ClassifierPtr SvmClassifier::clone() const { return std::make_unique<SvmClassifier>(config_); }
+
+}  // namespace mw::ml

@@ -1,0 +1,74 @@
+#include "nn/activation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mw::nn {
+
+Activation activation_from_name(const std::string& name) {
+    if (name == "identity") return Activation::kIdentity;
+    if (name == "relu") return Activation::kRelu;
+    if (name == "tanh") return Activation::kTanh;
+    if (name == "sigmoid") return Activation::kSigmoid;
+    if (name == "softmax") return Activation::kSoftmax;
+    throw InvalidArgument("unknown activation: " + name);
+}
+
+std::string activation_name(Activation a) {
+    switch (a) {
+        case Activation::kIdentity: return "identity";
+        case Activation::kRelu: return "relu";
+        case Activation::kTanh: return "tanh";
+        case Activation::kSigmoid: return "sigmoid";
+        case Activation::kSoftmax: return "softmax";
+    }
+    return "?";
+}
+
+void apply_activation(Activation a, Tensor& t) {
+    switch (a) {
+        case Activation::kIdentity:
+            return;
+        case Activation::kRelu:
+            for (auto& x : t.span()) x = std::max(x, 0.0F);
+            return;
+        case Activation::kTanh:
+            for (auto& x : t.span()) x = std::tanh(x);
+            return;
+        case Activation::kSigmoid:
+            for (auto& x : t.span()) x = 1.0F / (1.0F + std::exp(-x));
+            return;
+        case Activation::kSoftmax: {
+            MW_CHECK(t.shape().rank() == 2, "softmax requires rank-2 activations");
+            const std::size_t rows = t.shape()[0];
+            const std::size_t cols = t.shape()[1];
+            for (std::size_t r = 0; r < rows; ++r) {
+                float* row = t.data() + r * cols;
+                const float mx = *std::max_element(row, row + cols);
+                float sum = 0.0F;
+                for (std::size_t c = 0; c < cols; ++c) {
+                    row[c] = std::exp(row[c] - mx);
+                    sum += row[c];
+                }
+                const float inv = 1.0F / sum;
+                for (std::size_t c = 0; c < cols; ++c) row[c] *= inv;
+            }
+            return;
+        }
+    }
+}
+
+float activation_grad_from_output(Activation a, float output) {
+    switch (a) {
+        case Activation::kIdentity: return 1.0F;
+        case Activation::kRelu: return output > 0.0F ? 1.0F : 0.0F;
+        case Activation::kTanh: return 1.0F - output * output;
+        case Activation::kSigmoid: return output * (1.0F - output);
+        case Activation::kSoftmax: break;
+    }
+    throw InvalidArgument("softmax gradient must be fused with the loss");
+}
+
+}  // namespace mw::nn

@@ -1,0 +1,29 @@
+// Activation functions and their derivatives.
+//
+// Derivatives are expressed in terms of the *outputs* (relu', tanh' and
+// sigmoid' all admit this form), so layers never need to store
+// pre-activation values for backprop. Softmax is applied only on output
+// layers and is differentiated jointly with cross-entropy in the trainer.
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.hpp"
+
+namespace mw::nn {
+
+enum class Activation { kIdentity, kRelu, kTanh, kSigmoid, kSoftmax };
+
+/// Parse "relu" / "tanh" / "sigmoid" / "softmax" / "identity".
+Activation activation_from_name(const std::string& name);
+std::string activation_name(Activation a);
+
+/// Apply `a` in place over the whole tensor. For kSoftmax the tensor must be
+/// rank-2 and the softmax is taken over axis 1 (per sample).
+void apply_activation(Activation a, Tensor& t);
+
+/// d(act)/d(pre-activation) evaluated from the *post*-activation value.
+/// Precondition: a is not kSoftmax (handled jointly with the loss).
+float activation_grad_from_output(Activation a, float output);
+
+}  // namespace mw::nn

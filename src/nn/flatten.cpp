@@ -1,0 +1,41 @@
+#include "nn/flatten.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mw::nn {
+
+std::string Flatten::describe() const { return "flatten"; }
+
+Shape Flatten::output_shape(const Shape& input) const {
+    MW_CHECK(input.rank() == 4, "Flatten expects rank-4 input");
+    return Shape{input[0], input[1] * input[2] * input[3]};
+}
+
+void Flatten::forward(const Tensor& in, Tensor& out, ThreadPool* pool) const {
+    (void)pool;
+    MW_CHECK(out.shape() == output_shape(in.shape()), "Flatten output tensor has wrong shape");
+    std::memcpy(out.data(), in.data(), in.numel() * sizeof(float));
+}
+
+void Flatten::backward(const Tensor& in, const Tensor& out, const Tensor& dout, Tensor& din,
+                       ThreadPool* pool) {
+    (void)out;
+    (void)pool;
+    MW_CHECK(din.shape() == in.shape(), "Flatten backward din shape mismatch");
+    MW_CHECK(dout.numel() == din.numel(), "Flatten backward size mismatch");
+    std::memcpy(din.data(), dout.data(), dout.numel() * sizeof(float));
+}
+
+LayerCost Flatten::cost(const Shape& input) const {
+    LayerCost c;
+    const double bytes = static_cast<double>(input.numel()) * sizeof(float);
+    c.bytes_in = bytes;
+    c.bytes_out = bytes;
+    c.work_items = static_cast<double>(input[0]);
+    c.kernel_launches = 0;  // fused into the adjoining kernels on-device
+    return c;
+}
+
+}  // namespace mw::nn

@@ -1,0 +1,19 @@
+// Flatten: (batch, ch, h, w) -> (batch, ch*h*w). Pure reshape + copy.
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mw::nn {
+
+/// Bridges the convolutional feature extractor to the dense classifier head.
+class Flatten final : public Layer {
+public:
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] Shape output_shape(const Shape& input) const override;
+    void forward(const Tensor& in, Tensor& out, ThreadPool* pool) const override;
+    void backward(const Tensor& in, const Tensor& out, const Tensor& dout, Tensor& din,
+                  ThreadPool* pool) override;
+    [[nodiscard]] LayerCost cost(const Shape& input) const override;
+};
+
+}  // namespace mw::nn

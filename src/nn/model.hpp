@@ -1,0 +1,130 @@
+// Model: an inference network plus its architectural descriptor.
+//
+// The ModelSpec is the serialisable architecture description that the
+// paper's Fig. 2 "Model Building Module" consumes; ModelDesc is the compact
+// structural summary (§V-B) the scheduler extracts features from.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "nn/activation.hpp"
+#include "nn/layer.hpp"
+
+namespace mw::nn {
+
+/// Feed-forward architecture: input -> hidden... -> output.
+struct FfnnSpec {
+    std::size_t input_dim = 0;
+    std::vector<std::size_t> hidden;  ///< node counts of the hidden layers
+    std::size_t output_dim = 0;
+    Activation hidden_act = Activation::kRelu;
+};
+
+/// One VGG block: `convs` same-padded convolutions followed by max-pooling.
+struct VggBlockSpec {
+    std::size_t convs = 1;
+    std::size_t filters = 32;
+    std::size_t filter_size = 3;
+    std::size_t pool_size = 2;
+};
+
+/// Convolutional architecture: VGG blocks -> flatten -> dense head.
+struct CnnSpec {
+    std::size_t in_channels = 1;
+    std::size_t in_h = 0;
+    std::size_t in_w = 0;
+    std::vector<VggBlockSpec> blocks;
+    std::vector<std::size_t> dense_hidden;
+    std::size_t output_dim = 0;
+    Activation hidden_act = Activation::kRelu;
+};
+
+/// A named architecture of either family.
+struct ModelSpec {
+    std::string name;
+    std::variant<FfnnSpec, CnnSpec> arch;
+    bool softmax_output = true;
+
+    [[nodiscard]] bool is_cnn() const { return std::holds_alternative<CnnSpec>(arch); }
+    [[nodiscard]] const FfnnSpec& ffnn() const { return std::get<FfnnSpec>(arch); }
+    [[nodiscard]] const CnnSpec& cnn() const { return std::get<CnnSpec>(arch); }
+};
+
+/// The structural summary used for scheduler features (§V-B of the paper):
+/// FFNNs are represented by (depth, total neurons); CNNs add the number of
+/// VGG blocks, convolutions per block, filter size and pooling size.
+struct ModelDesc {
+    bool is_cnn = false;
+    std::size_t depth = 0;           ///< count of weight layers
+    std::size_t total_neurons = 0;   ///< nodes summed over all layers
+    std::size_t vgg_blocks = 0;
+    std::size_t convs_per_block = 0;
+    std::size_t filter_size = 0;
+    std::size_t pool_size = 0;
+    std::size_t input_elems = 0;     ///< scalars per input sample
+    std::size_t output_dim = 0;
+};
+
+/// Aggregated analytic cost of a model at one batch size.
+struct ModelCost {
+    LayerCost total;
+    std::vector<LayerCost> per_layer;
+};
+
+/// A runnable inference model: the layer pipeline built from a ModelSpec.
+class Model {
+public:
+    Model(ModelSpec spec, std::vector<LayerPtr> layers);
+
+    Model(Model&&) noexcept = default;
+    Model& operator=(Model&&) noexcept = default;
+
+    [[nodiscard]] const std::string& name() const { return spec_.name; }
+    [[nodiscard]] const ModelSpec& spec() const { return spec_; }
+    [[nodiscard]] const ModelDesc& desc() const { return desc_; }
+
+    [[nodiscard]] std::size_t layer_count() const { return layers_.size(); }
+    [[nodiscard]] Layer& layer(std::size_t i) { return *layers_.at(i); }
+    [[nodiscard]] const Layer& layer(std::size_t i) const { return *layers_.at(i); }
+
+    /// Input tensor shape at a given batch size.
+    [[nodiscard]] Shape input_shape(std::size_t batch) const;
+
+    /// Bytes of one input sample (drives the paper's Gbit/s throughput metric).
+    [[nodiscard]] std::size_t bytes_per_sample() const;
+
+    /// Run the full pipeline; returns the output activations
+    /// (batch x output_dim, probabilities when softmax_output).
+    [[nodiscard]] Tensor forward(const Tensor& input, ThreadPool* pool = nullptr) const;
+
+    /// Like forward() but returns every intermediate activation
+    /// (activations[0] == input copy omitted; activations[i] is the output of
+    /// layer i). Used by the trainer.
+    [[nodiscard]] std::vector<Tensor> forward_collect(const Tensor& input,
+                                                      ThreadPool* pool = nullptr) const;
+
+    /// Argmax class labels for a batch of inputs.
+    [[nodiscard]] std::vector<std::size_t> classify(const Tensor& input,
+                                                    ThreadPool* pool = nullptr) const;
+
+    /// Analytic cost profile at batch size `batch`.
+    [[nodiscard]] ModelCost cost(std::size_t batch) const;
+
+    [[nodiscard]] std::size_t param_count() const;
+
+    /// One-line structural summary for logs and tables.
+    [[nodiscard]] std::string summary() const;
+
+private:
+    void validate_pipeline() const;
+    static ModelDesc derive_desc(const ModelSpec& spec);
+
+    ModelSpec spec_;
+    ModelDesc desc_;
+    std::vector<LayerPtr> layers_;
+};
+
+}  // namespace mw::nn

@@ -1,0 +1,73 @@
+#include "nn/model_builder.hpp"
+
+#include "common/error.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pooling.hpp"
+#include "nn/weights.hpp"
+
+namespace mw::nn {
+namespace {
+
+std::vector<LayerPtr> build_ffnn(const FfnnSpec& spec, bool softmax_output) {
+    MW_CHECK(spec.input_dim > 0 && spec.output_dim > 0, "FFNN dims must be positive");
+    std::vector<LayerPtr> layers;
+    std::size_t prev = spec.input_dim;
+    for (const std::size_t nodes : spec.hidden) {
+        layers.push_back(std::make_unique<Dense>(prev, nodes, spec.hidden_act));
+        prev = nodes;
+    }
+    layers.push_back(std::make_unique<Dense>(
+        prev, spec.output_dim,
+        softmax_output ? Activation::kSoftmax : Activation::kIdentity));
+    return layers;
+}
+
+std::vector<LayerPtr> build_cnn(const CnnSpec& spec, bool softmax_output) {
+    MW_CHECK(spec.in_h > 0 && spec.in_w > 0 && spec.in_channels > 0, "CNN input dims");
+    MW_CHECK(!spec.blocks.empty(), "CNN needs at least one VGG block");
+    std::vector<LayerPtr> layers;
+    std::size_t ch = spec.in_channels;
+    std::size_t h = spec.in_h;
+    std::size_t w = spec.in_w;
+    for (const auto& block : spec.blocks) {
+        for (std::size_t i = 0; i < block.convs; ++i) {
+            layers.push_back(
+                std::make_unique<Conv2d>(ch, block.filters, block.filter_size, spec.hidden_act));
+            ch = block.filters;
+        }
+        MW_CHECK(h % block.pool_size == 0 && w % block.pool_size == 0,
+                 "CNN spatial extent not divisible by pool size");
+        layers.push_back(std::make_unique<MaxPool>(block.pool_size));
+        h /= block.pool_size;
+        w /= block.pool_size;
+    }
+    layers.push_back(std::make_unique<Flatten>());
+    std::size_t prev = ch * h * w;
+    for (const std::size_t nodes : spec.dense_hidden) {
+        layers.push_back(std::make_unique<Dense>(prev, nodes, spec.hidden_act));
+        prev = nodes;
+    }
+    layers.push_back(std::make_unique<Dense>(
+        prev, spec.output_dim,
+        softmax_output ? Activation::kSoftmax : Activation::kIdentity));
+    return layers;
+}
+
+}  // namespace
+
+Model build_model(ModelSpec spec) {
+    std::vector<LayerPtr> layers = spec.is_cnn() ? build_cnn(spec.cnn(), spec.softmax_output)
+                                                 : build_ffnn(spec.ffnn(), spec.softmax_output);
+    return Model(std::move(spec), std::move(layers));
+}
+
+Model build_model(ModelSpec spec, std::uint64_t weight_seed) {
+    Model model = build_model(std::move(spec));
+    Rng rng(weight_seed);
+    initialise_weights(model, rng);
+    return model;
+}
+
+}  // namespace mw::nn

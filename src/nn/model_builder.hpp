@@ -1,0 +1,18 @@
+// The "Model Building Module" of the paper's Fig. 2: turns an architecture
+// description (ModelSpec) into a runnable layer pipeline, and (with
+// weights.hpp) initialises or restores the parameters.
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace mw::nn {
+
+/// Build the layer pipeline for `spec`. Parameters are zero until
+/// initialise_weights() (or a weights file load) fills them.
+Model build_model(ModelSpec spec);
+
+/// Convenience: build + He/Xavier-initialise with the given seed.
+Model build_model(ModelSpec spec, std::uint64_t weight_seed);
+
+}  // namespace mw::nn

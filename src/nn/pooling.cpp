@@ -1,0 +1,112 @@
+#include "nn/pooling.hpp"
+
+#include <algorithm>
+#include "common/format.hpp"
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mw::nn {
+
+MaxPool::MaxPool(std::size_t pool_size) : p_(pool_size) {
+    MW_CHECK(pool_size >= 1, "MaxPool size must be >= 1");
+}
+
+std::string MaxPool::describe() const { return mw::format("maxpool({}x{})", p_, p_); }
+
+Shape MaxPool::output_shape(const Shape& input) const {
+    MW_CHECK(input.rank() == 4, "MaxPool expects rank-4 input");
+    MW_CHECK(input[2] % p_ == 0 && input[3] % p_ == 0,
+             "MaxPool input extents must be divisible by the pool size; got " + input.str());
+    return Shape{input[0], input[1], input[2] / p_, input[3] / p_};
+}
+
+void MaxPool::forward(const Tensor& in, Tensor& out, ThreadPool* pool) const {
+    MW_CHECK(out.shape() == output_shape(in.shape()), "MaxPool output tensor has wrong shape");
+    const std::size_t batch = in.shape()[0];
+    const std::size_t ch = in.shape()[1];
+    const std::size_t h = in.shape()[2];
+    const std::size_t w = in.shape()[3];
+    const std::size_t oh = h / p_;
+    const std::size_t ow = w / p_;
+
+    auto run_sample = [&](std::size_t b) {
+        for (std::size_t c = 0; c < ch; ++c) {
+            const float* in_ch = in.data() + (b * ch + c) * h * w;
+            float* out_ch = out.data() + (b * ch + c) * oh * ow;
+            for (std::size_t y = 0; y < oh; ++y) {
+                for (std::size_t x = 0; x < ow; ++x) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    for (std::size_t py = 0; py < p_; ++py) {
+                        const float* row = in_ch + (y * p_ + py) * w + x * p_;
+                        for (std::size_t px = 0; px < p_; ++px) best = std::max(best, row[px]);
+                    }
+                    out_ch[y * ow + x] = best;
+                }
+            }
+        }
+    };
+
+    if (pool && batch > 1) {
+        pool->parallel_for(0, batch, run_sample, 1);
+    } else {
+        for (std::size_t b = 0; b < batch; ++b) run_sample(b);
+    }
+}
+
+void MaxPool::backward(const Tensor& in, const Tensor& out, const Tensor& dout, Tensor& din,
+                       ThreadPool* pool) {
+    (void)out;
+    (void)pool;
+    MW_CHECK(din.shape() == in.shape(), "MaxPool backward din shape mismatch");
+    const std::size_t batch = in.shape()[0];
+    const std::size_t ch = in.shape()[1];
+    const std::size_t h = in.shape()[2];
+    const std::size_t w = in.shape()[3];
+    const std::size_t oh = h / p_;
+    const std::size_t ow = w / p_;
+    MW_CHECK(dout.shape() == Shape({batch, ch, oh, ow}), "MaxPool backward dout shape mismatch");
+
+    din.fill(0.0F);
+    for (std::size_t b = 0; b < batch; ++b) {
+        for (std::size_t c = 0; c < ch; ++c) {
+            const float* in_ch = in.data() + (b * ch + c) * h * w;
+            const float* dout_ch = dout.data() + (b * ch + c) * oh * ow;
+            float* din_ch = din.data() + (b * ch + c) * h * w;
+            for (std::size_t y = 0; y < oh; ++y) {
+                for (std::size_t x = 0; x < ow; ++x) {
+                    // Route the gradient to the (first) argmax of the window.
+                    std::size_t best_idx = (y * p_) * w + x * p_;
+                    float best = in_ch[best_idx];
+                    for (std::size_t py = 0; py < p_; ++py) {
+                        for (std::size_t px = 0; px < p_; ++px) {
+                            const std::size_t idx = (y * p_ + py) * w + (x * p_ + px);
+                            if (in_ch[idx] > best) {
+                                best = in_ch[idx];
+                                best_idx = idx;
+                            }
+                        }
+                    }
+                    din_ch[best_idx] += dout_ch[y * ow + x];
+                }
+            }
+        }
+    }
+}
+
+LayerCost MaxPool::cost(const Shape& input) const {
+    const auto batch = static_cast<double>(input[0]);
+    const auto ch = static_cast<double>(input[1]);
+    const auto oh = static_cast<double>(input[2] / p_);
+    const auto ow = static_cast<double>(input[3] / p_);
+    LayerCost c;
+    c.flops = batch * ch * oh * ow * static_cast<double>(p_ * p_);  // compares
+    c.bytes_in = batch * ch * static_cast<double>(input[2] * input[3]) * sizeof(float);
+    c.bytes_out = batch * ch * oh * ow * sizeof(float);
+    c.bytes_weights = 0.0;
+    c.work_items = batch * ch * oh;  // row-tiled, matching the conv kernels
+    c.kernel_launches = 1;
+    return c;
+}
+
+}  // namespace mw::nn

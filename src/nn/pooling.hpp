@@ -1,0 +1,27 @@
+// Max-pooling layer (square window, stride == window, no padding).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mw::nn {
+
+/// Non-overlapping max pooling, e.g. 2x2 as in the paper's VGG blocks.
+/// Input extents must be divisible by the pool size.
+class MaxPool final : public Layer {
+public:
+    explicit MaxPool(std::size_t pool_size);
+
+    [[nodiscard]] std::string describe() const override;
+    [[nodiscard]] Shape output_shape(const Shape& input) const override;
+    void forward(const Tensor& in, Tensor& out, ThreadPool* pool) const override;
+    void backward(const Tensor& in, const Tensor& out, const Tensor& dout, Tensor& din,
+                  ThreadPool* pool) override;
+    [[nodiscard]] LayerCost cost(const Shape& input) const override;
+
+    [[nodiscard]] std::size_t pool_size() const { return p_; }
+
+private:
+    std::size_t p_;
+};
+
+}  // namespace mw::nn

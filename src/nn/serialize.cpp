@@ -1,0 +1,172 @@
+#include "nn/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/weights.hpp"
+
+namespace mw::nn {
+namespace {
+
+constexpr const char* kMagicLine = "manyworlds-model v1";
+constexpr const char* kSeparator = "---";
+
+std::vector<std::size_t> parse_size_list(std::istringstream& in) {
+    std::vector<std::size_t> values;
+    std::size_t v = 0;
+    while (in >> v) values.push_back(v);
+    return values;
+}
+
+}  // namespace
+
+std::string spec_to_text(const ModelSpec& spec) {
+    std::ostringstream out;
+    out << kMagicLine << '\n';
+    out << "name " << spec.name << '\n';
+    out << "softmax " << (spec.softmax_output ? 1 : 0) << '\n';
+    if (spec.is_cnn()) {
+        const CnnSpec& cnn = spec.cnn();
+        out << "family cnn\n";
+        out << "hidden_act " << activation_name(cnn.hidden_act) << '\n';
+        out << "input " << cnn.in_channels << ' ' << cnn.in_h << ' ' << cnn.in_w << '\n';
+        for (const auto& b : cnn.blocks) {
+            out << "block " << b.convs << ' ' << b.filters << ' ' << b.filter_size << ' '
+                << b.pool_size << '\n';
+        }
+        out << "dense_hidden";
+        for (const auto n : cnn.dense_hidden) out << ' ' << n;
+        out << '\n';
+        out << "output_dim " << cnn.output_dim << '\n';
+    } else {
+        const FfnnSpec& f = spec.ffnn();
+        out << "family ffnn\n";
+        out << "hidden_act " << activation_name(f.hidden_act) << '\n';
+        out << "input_dim " << f.input_dim << '\n';
+        out << "hidden";
+        for (const auto n : f.hidden) out << ' ' << n;
+        out << '\n';
+        out << "output_dim " << f.output_dim << '\n';
+    }
+    return out.str();
+}
+
+ModelSpec spec_from_text(const std::string& text) {
+    std::istringstream in(text);
+    std::string line;
+    if (!std::getline(in, line) || line != kMagicLine) {
+        throw IoError("not a manyworlds model header");
+    }
+
+    ModelSpec spec;
+    std::string family;
+    FfnnSpec ffnn;
+    CnnSpec cnn;
+    bool softmax = true;
+
+    while (std::getline(in, line)) {
+        if (line.empty() || line == kSeparator) break;
+        std::istringstream fields(line);
+        std::string key;
+        fields >> key;
+        if (key == "name") {
+            fields >> spec.name;
+        } else if (key == "softmax") {
+            int v = 1;
+            fields >> v;
+            softmax = v != 0;
+        } else if (key == "family") {
+            fields >> family;
+        } else if (key == "hidden_act") {
+            std::string act;
+            fields >> act;
+            ffnn.hidden_act = activation_from_name(act);
+            cnn.hidden_act = ffnn.hidden_act;
+        } else if (key == "input_dim") {
+            fields >> ffnn.input_dim;
+        } else if (key == "input") {
+            fields >> cnn.in_channels >> cnn.in_h >> cnn.in_w;
+        } else if (key == "block") {
+            VggBlockSpec b;
+            fields >> b.convs >> b.filters >> b.filter_size >> b.pool_size;
+            cnn.blocks.push_back(b);
+        } else if (key == "hidden") {
+            ffnn.hidden = parse_size_list(fields);
+        } else if (key == "dense_hidden") {
+            cnn.dense_hidden = parse_size_list(fields);
+        } else if (key == "output_dim") {
+            std::size_t v = 0;
+            fields >> v;
+            ffnn.output_dim = v;
+            cnn.output_dim = v;
+        } else {
+            throw IoError("unknown model header key: " + key);
+        }
+    }
+
+    if (spec.name.empty()) throw IoError("model header lacks a name");
+    spec.softmax_output = softmax;
+    if (family == "ffnn") {
+        spec.arch = ffnn;
+    } else if (family == "cnn") {
+        spec.arch = cnn;
+    } else {
+        throw IoError("unknown or missing model family: `" + family + "`");
+    }
+    return spec;
+}
+
+void save_model(const Model& model, const std::string& path) {
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) throw IoError("cannot open model file for writing: " + path);
+        out << spec_to_text(model.spec()) << kSeparator << '\n';
+        if (!out) throw IoError("write failed: " + path);
+    }
+    // Append the weights blob after the header.
+    const std::string tmp = path + ".weights.tmp";
+    save_weights(model, tmp);
+    std::ifstream weights(tmp, std::ios::binary);
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << weights.rdbuf();
+    if (!out) throw IoError("write failed: " + path);
+    weights.close();
+    std::remove(tmp.c_str());
+}
+
+Model load_model(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) throw IoError("cannot open model file: " + path);
+    std::string header;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line == kSeparator) break;
+        header += line;
+        header += '\n';
+    }
+    MW_CHECK(line == kSeparator, "model file lacks the header separator: " + path);
+
+    Model model = build_model(spec_from_text(header));
+
+    // The weights blob starts right after the separator; stage it to a
+    // temporary file so the weights reader stays single-purpose.
+    const std::string tmp = path + ".weights.tmp";
+    {
+        std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+        out << in.rdbuf();
+        if (!out) throw IoError("cannot stage weights blob from: " + path);
+    }
+    try {
+        load_weights(model, tmp);
+    } catch (...) {
+        std::remove(tmp.c_str());
+        throw;
+    }
+    std::remove(tmp.c_str());
+    return model;
+}
+
+}  // namespace mw::nn

@@ -1,0 +1,31 @@
+// Whole-model serialization: architecture description + trained weights in
+// one file. This is what lets models be "dynamically added" to a running
+// scheduler (§V-A: "it is also typical to dynamically add models") — a
+// producer trains and ships a .mwmodel file, the Dispatcher loads and
+// deploys it without recompilation.
+//
+// File layout: a short text header (one key per line) describing the
+// ModelSpec, a "---" separator, then the binary weights blob of weights.cpp.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "nn/model.hpp"
+
+namespace mw::nn {
+
+/// Render a ModelSpec as the text header format.
+std::string spec_to_text(const ModelSpec& spec);
+
+/// Parse a header produced by spec_to_text; throws mw::IoError on malformed
+/// or unsupported content.
+ModelSpec spec_from_text(const std::string& text);
+
+/// Write spec + weights to `path` (".mwmodel" by convention).
+void save_model(const Model& model, const std::string& path);
+
+/// Rebuild the model from a .mwmodel file (architecture and weights).
+Model load_model(const std::string& path);
+
+}  // namespace mw::nn

@@ -1,0 +1,158 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+
+namespace mw::nn {
+namespace {
+
+/// Copy rows [offset, offset+count) of the dataset into a batch tensor
+/// matching the model's input shape.
+Tensor slice_batch(const Model& model, const Tensor& x, const std::vector<std::size_t>& order,
+                   std::size_t offset, std::size_t count) {
+    const std::size_t sample_elems = x.numel() / x.shape()[0];
+    Tensor batch(model.input_shape(count));
+    MW_CHECK(batch.numel() == count * sample_elems, "dataset sample size mismatch");
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t src = order[offset + i];
+        std::memcpy(batch.data() + i * sample_elems, x.data() + src * sample_elems,
+                    sample_elems * sizeof(float));
+    }
+    return batch;
+}
+
+}  // namespace
+
+double cross_entropy(const Tensor& probs, const std::vector<std::size_t>& labels,
+                     std::size_t offset, std::size_t count) {
+    const std::size_t classes = probs.shape()[1];
+    double loss = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t label = labels[offset + i];
+        MW_CHECK(label < classes, "label out of range");
+        const float p = std::max(probs.at(i, label), 1e-12F);
+        loss -= std::log(static_cast<double>(p));
+    }
+    return loss / static_cast<double>(count);
+}
+
+std::vector<EpochStats> train(Model& model, const Tensor& x, const std::vector<std::size_t>& y,
+                              const TrainConfig& config, ThreadPool* pool) {
+    const std::size_t n = x.shape()[0];
+    MW_CHECK(n == y.size(), "dataset X/y size mismatch");
+    MW_CHECK(config.batch_size > 0, "batch_size must be positive");
+    MW_CHECK(model.spec().softmax_output, "trainer requires a softmax output head");
+
+    // Momentum buffers, one per parameter tensor.
+    std::vector<Tensor> velocity;
+    for (std::size_t li = 0; li < model.layer_count(); ++li) {
+        for (const auto& b : model.layer(li).param_bindings()) {
+            velocity.emplace_back(b.value->shape());
+        }
+    }
+
+    Rng rng(config.shuffle_seed);
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+
+    std::vector<EpochStats> history;
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        rng.shuffle(order);
+        double epoch_loss = 0.0;
+        std::size_t correct = 0;
+        std::size_t batches = 0;
+
+        for (std::size_t offset = 0; offset < n; offset += config.batch_size) {
+            const std::size_t count = std::min(config.batch_size, n - offset);
+            const Tensor batch = slice_batch(model, x, order, offset, count);
+
+            // Forward, collecting activations for backprop.
+            const std::vector<Tensor> acts = model.forward_collect(batch, pool);
+            const Tensor& probs = acts.back();
+
+            std::vector<std::size_t> batch_labels(count);
+            for (std::size_t i = 0; i < count; ++i) batch_labels[i] = y[order[offset + i]];
+            epoch_loss += cross_entropy(probs, batch_labels, 0, count);
+            ++batches;
+            for (std::size_t i = 0; i < count; ++i) {
+                const float* row = probs.data() + i * probs.shape()[1];
+                const auto pred = static_cast<std::size_t>(std::distance(
+                    row, std::max_element(row, row + probs.shape()[1])));
+                if (pred == batch_labels[i]) ++correct;
+            }
+
+            // dL/dz of softmax+CE, averaged over the batch.
+            Tensor dout(probs.shape());
+            const float inv = 1.0F / static_cast<float>(count);
+            for (std::size_t i = 0; i < count; ++i) {
+                const float* p = probs.data() + i * probs.shape()[1];
+                float* d = dout.data() + i * probs.shape()[1];
+                for (std::size_t c = 0; c < probs.shape()[1]; ++c) {
+                    d[c] = (p[c] - (c == batch_labels[i] ? 1.0F : 0.0F)) * inv;
+                }
+            }
+
+            // Backward through the pipeline.
+            for (std::size_t li = 0; li < model.layer_count(); ++li) model.layer(li).zero_grads();
+            Tensor current_dout = std::move(dout);
+            for (std::size_t li = model.layer_count(); li-- > 0;) {
+                const Tensor& in = li == 0 ? batch : acts[li - 1];
+                Tensor din(in.shape());
+                model.layer(li).backward(in, acts[li], current_dout, din, pool);
+                current_dout = std::move(din);
+            }
+
+            // SGD with momentum (and optional L2).
+            std::size_t vi = 0;
+            for (std::size_t li = 0; li < model.layer_count(); ++li) {
+                for (const auto& b : model.layer(li).param_bindings()) {
+                    float* v = velocity[vi].data();
+                    float* w = b.value->data();
+                    const float* g = b.grad->data();
+                    for (std::size_t k = 0; k < b.value->numel(); ++k) {
+                        float grad = g[k] + config.weight_decay * w[k];
+                        v[k] = config.momentum * v[k] - config.learning_rate * grad;
+                        w[k] += v[k];
+                    }
+                    ++vi;
+                }
+            }
+        }
+
+        EpochStats stats;
+        stats.loss = epoch_loss / static_cast<double>(std::max<std::size_t>(1, batches));
+        stats.accuracy = static_cast<double>(correct) / static_cast<double>(n);
+        history.push_back(stats);
+        if (config.verbose) {
+            log::info("epoch {}: loss={:.4f} acc={:.3f}", epoch, stats.loss, stats.accuracy);
+        }
+    }
+    return history;
+}
+
+double evaluate_accuracy(const Model& model, const Tensor& x, const std::vector<std::size_t>& y,
+                         ThreadPool* pool) {
+    const std::size_t n = x.shape()[0];
+    MW_CHECK(n == y.size(), "dataset X/y size mismatch");
+    const std::size_t sample_elems = x.numel() / n;
+    constexpr std::size_t kChunk = 256;
+    std::size_t correct = 0;
+    for (std::size_t offset = 0; offset < n; offset += kChunk) {
+        const std::size_t count = std::min(kChunk, n - offset);
+        Tensor batch(model.input_shape(count));
+        std::memcpy(batch.data(), x.data() + offset * sample_elems,
+                    count * sample_elems * sizeof(float));
+        const auto preds = model.classify(batch, pool);
+        for (std::size_t i = 0; i < count; ++i) {
+            if (preds[i] == y[offset + i]) ++correct;
+        }
+    }
+    return static_cast<double>(correct) / static_cast<double>(n);
+}
+
+}  // namespace mw::nn

@@ -1,0 +1,48 @@
+// Mini-batch SGD trainer with softmax cross-entropy.
+//
+// Training happens offline in the paper (§III-B trains the zoo models on
+// Iris/MNIST/CIFAR); we implement it so the zoo models carry real learned
+// weights and so gradient-check tests can validate the inference kernels.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "nn/model.hpp"
+
+namespace mw::nn {
+
+/// Trainer configuration.
+struct TrainConfig {
+    std::size_t epochs = 10;
+    std::size_t batch_size = 32;
+    float learning_rate = 0.05F;
+    float momentum = 0.9F;
+    float weight_decay = 0.0F;
+    std::uint64_t shuffle_seed = 1;
+    bool verbose = false;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+    double loss = 0.0;
+    double accuracy = 0.0;
+};
+
+/// Softmax cross-entropy over a batch; labels are class indices.
+/// `probs` must already be softmax outputs.
+double cross_entropy(const Tensor& probs, const std::vector<std::size_t>& labels,
+                     std::size_t offset, std::size_t count);
+
+/// Train `model` in place. X is (n, features...) flattened to the model's
+/// input shape; y holds class indices. Returns per-epoch stats.
+std::vector<EpochStats> train(Model& model, const Tensor& x, const std::vector<std::size_t>& y,
+                              const TrainConfig& config, ThreadPool* pool = nullptr);
+
+/// Fraction of correct argmax predictions of `model` on (x, y).
+double evaluate_accuracy(const Model& model, const Tensor& x, const std::vector<std::size_t>& y,
+                         ThreadPool* pool = nullptr);
+
+}  // namespace mw::nn

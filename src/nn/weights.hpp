@@ -1,0 +1,26 @@
+// The "Weights Building Module" of the paper's Fig. 2: creates the weight
+// buffers (He/Xavier initialisation) and loads/stores them to disk so a
+// trained model can be handed to the Dispatcher and onto every device.
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "nn/model.hpp"
+
+namespace mw::nn {
+
+/// Initialise every trainable tensor in `model`:
+/// He-normal for relu layers, Xavier-uniform otherwise; biases to zero.
+void initialise_weights(Model& model, Rng& rng);
+
+/// Serialise all parameters to a binary file ("MWWT" format: magic, version,
+/// tensor count, then per-tensor element counts + raw floats).
+/// Throws mw::IoError on failure.
+void save_weights(const Model& model, const std::string& path);
+
+/// Restore parameters saved by save_weights. The model architecture must
+/// match (tensor counts and sizes are validated). Throws mw::IoError.
+void load_weights(Model& model, const std::string& path);
+
+}  // namespace mw::nn

@@ -1,0 +1,123 @@
+#include "nn/zoo.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::nn::zoo {
+namespace {
+
+ModelSpec ffnn(std::string name, std::size_t input, std::vector<std::size_t> hidden,
+               std::size_t output) {
+    FfnnSpec spec;
+    spec.input_dim = input;
+    spec.hidden = std::move(hidden);
+    spec.output_dim = output;
+    return ModelSpec{std::move(name), spec, true};
+}
+
+ModelSpec cnn(std::string name, std::size_t channels, std::size_t hw,
+              std::vector<VggBlockSpec> blocks, std::vector<std::size_t> dense,
+              std::size_t output) {
+    CnnSpec spec;
+    spec.in_channels = channels;
+    spec.in_h = hw;
+    spec.in_w = hw;
+    spec.blocks = std::move(blocks);
+    spec.dense_hidden = std::move(dense);
+    spec.output_dim = output;
+    return ModelSpec{std::move(name), spec, true};
+}
+
+}  // namespace
+
+ModelSpec simple() { return ffnn("simple", 4, {6, 6}, 3); }
+
+ModelSpec mnist_small() { return ffnn("mnist-small", 784, {784, 800}, 10); }
+
+ModelSpec mnist_deep() { return ffnn("mnist-deep", 784, {2500, 2000, 1500, 1000, 500}, 10); }
+
+ModelSpec mnist_cnn() {
+    return cnn("mnist-cnn", 1, 28,
+               {{.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2},
+                {.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2}},
+               {128}, 10);
+}
+
+ModelSpec cifar10() {
+    return cnn("cifar-10", 3, 32,
+               {{.convs = 2, .filters = 32, .filter_size = 3, .pool_size = 2},
+                {.convs = 2, .filters = 32, .filter_size = 3, .pool_size = 2},
+                {.convs = 2, .filters = 32, .filter_size = 3, .pool_size = 2}},
+               {128}, 10);
+}
+
+std::vector<ModelSpec> paper_models() {
+    return {simple(), mnist_small(), mnist_deep(), mnist_cnn(), cifar10()};
+}
+
+std::vector<ModelSpec> augmentation_models() {
+    std::vector<ModelSpec> specs;
+
+    // FFNN sweep: depth 1..6 hidden layers, widths 32..3000 nodes.
+    specs.push_back(ffnn("ffnn-aug-w64", 128, {64}, 10));
+    specs.push_back(ffnn("ffnn-aug-w256x2", 256, {256, 256}, 10));
+    specs.push_back(ffnn("ffnn-aug-w1024", 784, {1024}, 10));
+    specs.push_back(ffnn("ffnn-aug-w1024x3", 784, {1024, 1024, 1024}, 10));
+    specs.push_back(ffnn("ffnn-aug-w3000x2", 784, {3000, 3000}, 10));
+    specs.push_back(ffnn("ffnn-aug-d4narrow", 64, {32, 32, 32, 32}, 8));
+    specs.push_back(ffnn("ffnn-aug-d6taper", 1024, {2048, 1024, 512, 256, 128, 64}, 10));
+    specs.push_back(ffnn("ffnn-aug-tiny", 16, {128}, 4));
+
+    // CNN sweep: 1..4 VGG blocks, 1..3 convs per block, filter sizes 3/5/7,
+    // pooling sizes 2/4, filter counts 8..64.
+    specs.push_back(cnn("cnn-aug-b1c1f16", 1, 28,
+                        {{.convs = 1, .filters = 16, .filter_size = 3, .pool_size = 2}},
+                        {64}, 10));
+    specs.push_back(cnn("cnn-aug-b2c2f32", 1, 28,
+                        {{.convs = 2, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 2, .filters = 32, .filter_size = 3, .pool_size = 2}},
+                        {128}, 10));
+    specs.push_back(cnn("cnn-aug-k5f32", 3, 32,
+                        {{.convs = 1, .filters = 32, .filter_size = 5, .pool_size = 2}},
+                        {128}, 10));
+    specs.push_back(cnn("cnn-aug-b2k5", 3, 32,
+                        {{.convs = 1, .filters = 32, .filter_size = 5, .pool_size = 2},
+                         {.convs = 1, .filters = 32, .filter_size = 5, .pool_size = 2}},
+                        {256}, 10));
+    specs.push_back(cnn("cnn-aug-b3c3", 3, 32,
+                        {{.convs = 3, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 3, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 3, .filters = 32, .filter_size = 3, .pool_size = 2}},
+                        {128}, 10));
+    specs.push_back(cnn("cnn-aug-b4f32", 3, 32,
+                        {{.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2},
+                         {.convs = 1, .filters = 32, .filter_size = 3, .pool_size = 2}},
+                        {64}, 10));
+    specs.push_back(cnn("cnn-aug-k7f8", 1, 28,
+                        {{.convs = 2, .filters = 8, .filter_size = 7, .pool_size = 2}},
+                        {32}, 10));
+    specs.push_back(cnn("cnn-aug-p4f16", 3, 32,
+                        {{.convs = 2, .filters = 16, .filter_size = 3, .pool_size = 4},
+                         {.convs = 2, .filters = 16, .filter_size = 3, .pool_size = 4}},
+                        {64}, 10));
+
+    return specs;
+}
+
+std::vector<ModelSpec> all_models() {
+    std::vector<ModelSpec> specs = paper_models();
+    auto aug = augmentation_models();
+    specs.insert(specs.end(), std::make_move_iterator(aug.begin()),
+                 std::make_move_iterator(aug.end()));
+    return specs;
+}
+
+ModelSpec by_name(const std::string& name) {
+    for (auto& spec : all_models()) {
+        if (spec.name == name) return spec;
+    }
+    throw InvalidArgument("unknown zoo model: " + name);
+}
+
+}  // namespace mw::nn::zoo

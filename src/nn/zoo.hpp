@@ -1,0 +1,44 @@
+// The model zoo: the five benchmark models of §III-B and the sixteen
+// augmentation architectures of §V-B that the paper adds to cover the
+// FFNN/CNN parameter space (depth, layer sizes, VGG blocks, convolutions per
+// block, filter size, pooling size) when training the scheduler.
+#pragma once
+
+#include <vector>
+
+#include "nn/model.hpp"
+
+namespace mw::nn::zoo {
+
+/// §III-B.1: Iris classifier, two hidden layers of six nodes (4 -> 6 -> 6 -> 3).
+ModelSpec simple();
+
+/// §III-B.2: MNIST FFNN, hidden layers 784 and 800 (784 -> 784 -> 800 -> 10).
+ModelSpec mnist_small();
+
+/// §III-B.3: deep MNIST FFNN, hidden 2500-2000-1500-1000-500.
+ModelSpec mnist_deep();
+
+/// §III-B.4: MNIST CNN, two VGG blocks of one 3x3x32 conv + 2x2 pool,
+/// dense head 128 -> 10.
+ModelSpec mnist_cnn();
+
+/// §III-B.5: CIFAR-10 CNN, three VGG blocks of two 3x3x32 convs + 2x2 pool,
+/// dense head 128 -> 10.
+ModelSpec cifar10();
+
+/// The five models above, in paper order.
+std::vector<ModelSpec> paper_models();
+
+/// The sixteen additional architectures used for data augmentation (§V-B):
+/// eight FFNNs sweeping depth and width, eight CNNs sweeping VGG blocks,
+/// convolutions per block, filter size and pooling size.
+std::vector<ModelSpec> augmentation_models();
+
+/// paper_models() + augmentation_models() (21 architectures).
+std::vector<ModelSpec> all_models();
+
+/// Find a spec by name across all_models(); throws mw::InvalidArgument.
+ModelSpec by_name(const std::string& name);
+
+}  // namespace mw::nn::zoo

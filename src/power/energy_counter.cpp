@@ -1,0 +1,40 @@
+#include "power/energy_counter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mw::power {
+
+EnergyCounter::EnergyCounter(const PowerMeter& meter, double period_s)
+    : meter_(&meter), period_s_(period_s) {
+    MW_CHECK(period_s > 0.0, "sampling period must be positive");
+}
+
+double EnergyCounter::integrate(double t0, double t1) const {
+    MW_CHECK(t1 >= t0, "integrate: t1 < t0");
+    if (t1 == t0) return 0.0;
+    // Trapezoidal rule on the sampling grid, refined so short windows still
+    // get >= 16 intervals.
+    const double span = t1 - t0;
+    const auto steps = static_cast<std::size_t>(
+        std::max<double>(16.0, std::ceil(span / period_s_)));
+    const double dt = span / static_cast<double>(steps);
+    double acc = 0.0;
+    double prev = meter_->read_watts(t0);
+    for (std::size_t i = 1; i <= steps; ++i) {
+        const double t = t0 + static_cast<double>(i) * dt;
+        const double cur = meter_->read_watts(t);
+        acc += 0.5 * (prev + cur) * dt;
+        prev = cur;
+    }
+    return acc;
+}
+
+double EnergyCounter::integrate_above(double t0, double t1, double baseline_w) const {
+    const double joules = integrate(t0, t1);
+    return std::max(0.0, joules - baseline_w * (t1 - t0));
+}
+
+}  // namespace mw::power

@@ -1,0 +1,26 @@
+// Energy integration over sampled power (Watt-seconds -> Joules, Fig. 4).
+#pragma once
+
+#include "power/meter.hpp"
+
+namespace mw::power {
+
+/// Integrates a PowerMeter over simulated time with trapezoidal samples.
+class EnergyCounter {
+public:
+    /// `period_s`: sampling interval (nvidia-smi-style polling).
+    EnergyCounter(const PowerMeter& meter, double period_s);
+
+    /// Integrate the meter over [t0, t1]; returns Joules.
+    [[nodiscard]] double integrate(double t0, double t1) const;
+
+    /// Joules consumed above a baseline power level over [t0, t1] — the
+    /// "extra energy caused by this run" view.
+    [[nodiscard]] double integrate_above(double t0, double t1, double baseline_w) const;
+
+private:
+    const PowerMeter* meter_;
+    double period_s_;
+};
+
+}  // namespace mw::power

@@ -1,0 +1,55 @@
+#include "power/meter.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mw::power {
+namespace {
+
+/// nvidia-smi reports power with centiwatt resolution.
+double quantise_cw(double watts) { return std::round(watts * 100.0) / 100.0; }
+
+}  // namespace
+
+std::vector<PowerSample> PowerMeter::sample_window(double t0, double period_s,
+                                                   std::size_t count) const {
+    MW_CHECK(period_s > 0.0, "sampling period must be positive");
+    std::vector<PowerSample> samples;
+    samples.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const double t = t0 + static_cast<double>(i) * period_s;
+        samples.push_back({t, read_watts(t)});
+    }
+    return samples;
+}
+
+NvmlLikeMeter::NvmlLikeMeter(const device::Device& gpu) : gpu_(&gpu) {
+    MW_CHECK(gpu.kind() == device::DeviceKind::kDiscreteGpu,
+             "NvmlLikeMeter monitors discrete GPUs");
+}
+
+double NvmlLikeMeter::read_watts(double sim_time) const {
+    return quantise_cw(gpu_->power_at(sim_time));
+}
+
+std::string NvmlLikeMeter::domain() const { return "nvidia-smi:" + gpu_->name(); }
+
+PcmLikeMeter::PcmLikeMeter(const device::Device& cpu, const device::Device* igpu)
+    : cpu_(&cpu), igpu_(igpu) {
+    MW_CHECK(cpu.kind() == device::DeviceKind::kCpu, "PcmLikeMeter monitors the CPU package");
+    if (igpu) {
+        MW_CHECK(igpu->kind() == device::DeviceKind::kIntegratedGpu,
+                 "second PCM domain must be the integrated GPU");
+    }
+}
+
+double PcmLikeMeter::read_watts(double sim_time) const {
+    double watts = cpu_->power_at(sim_time);
+    if (igpu_) watts += igpu_->power_at(sim_time);
+    return quantise_cw(watts);
+}
+
+std::string PcmLikeMeter::domain() const { return "pcm:package(" + cpu_->name() + ")"; }
+
+}  // namespace mw::power

@@ -1,0 +1,66 @@
+// Power instrumentation (§III-A.1 of the paper).
+//
+// The paper reads the GTX 1080 Ti through nvidia-smi and the CPU package
+// (cores + iGPU domain) through Intel PCM. We reproduce the same interface
+// shape: meters expose periodic Watts samples over the simulated timeline,
+// and an EnergyCounter integrates them to Joules. The analytic energy in
+// device::Measurement is the ground truth; the meters exist so the benches
+// and the scheduler consume power exactly the way the paper's tooling does
+// (sampled, slightly quantised).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "device/device.hpp"
+
+namespace mw::power {
+
+/// A point-in-time power reading.
+struct PowerSample {
+    double time_s = 0.0;
+    double watts = 0.0;
+};
+
+/// Abstract sampled power meter.
+class PowerMeter {
+public:
+    virtual ~PowerMeter() = default;
+
+    /// Instantaneous draw of the monitored domain at simulated time t.
+    [[nodiscard]] virtual double read_watts(double sim_time) const = 0;
+
+    /// Human-readable domain name ("nvidia-smi:gtx1080ti", "pcm:package").
+    [[nodiscard]] virtual std::string domain() const = 0;
+
+    /// Collect `count` samples at `period_s` spacing starting at `t0`.
+    [[nodiscard]] std::vector<PowerSample> sample_window(double t0, double period_s,
+                                                         std::size_t count) const;
+};
+
+/// nvidia-smi equivalent: board power draw of one discrete GPU.
+/// Readings are quantised to the tool's reporting resolution (0.01 W).
+class NvmlLikeMeter final : public PowerMeter {
+public:
+    explicit NvmlLikeMeter(const device::Device& gpu);
+    [[nodiscard]] double read_watts(double sim_time) const override;
+    [[nodiscard]] std::string domain() const override;
+
+private:
+    const device::Device* gpu_;
+};
+
+/// Intel PCM equivalent: CPU package power — the sum of the core domain and
+/// the integrated-GPU domain, mirroring how RAPL package counters aggregate.
+class PcmLikeMeter final : public PowerMeter {
+public:
+    PcmLikeMeter(const device::Device& cpu, const device::Device* igpu);
+    [[nodiscard]] double read_watts(double sim_time) const override;
+    [[nodiscard]] std::string domain() const override;
+
+private:
+    const device::Device* cpu_;
+    const device::Device* igpu_;
+};
+
+}  // namespace mw::power

@@ -1,0 +1,77 @@
+#include "sched/dispatcher.hpp"
+
+#include "common/error.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/serialize.hpp"
+#include "nn/weights.hpp"
+
+namespace mw::sched {
+
+Dispatcher::Dispatcher(device::DeviceRegistry& registry) : registry_(&registry) {}
+
+nn::Model& Dispatcher::register_model(nn::ModelSpec spec, std::uint64_t weight_seed) {
+    auto model = std::make_shared<nn::Model>(nn::build_model(std::move(spec), weight_seed));
+    const std::string name = model->name();
+    MW_CHECK(!has_model(name), "model already registered: " + name);
+    models_[name] = model;
+    return *models_[name];
+}
+
+void Dispatcher::register_model(std::shared_ptr<nn::Model> model) {
+    MW_CHECK(model != nullptr, "null model");
+    MW_CHECK(!has_model(model->name()), "model already registered: " + model->name());
+    models_[model->name()] = std::move(model);
+}
+
+std::string Dispatcher::register_from_file(const std::string& path) {
+    auto model = std::make_shared<nn::Model>(nn::load_model(path));
+    const std::string name = model->name();
+    register_model(std::move(model));
+    return name;
+}
+
+void Dispatcher::load_weights_from(const std::string& model_name, const std::string& path) {
+    auto it = models_.find(model_name);
+    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
+    nn::load_weights(*it->second, path);
+}
+
+void Dispatcher::deploy(const std::string& model_name) {
+    auto it = models_.find(model_name);
+    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
+    registry_->load_model_everywhere(it->second);
+}
+
+void Dispatcher::deploy_all() {
+    for (const auto& [name, model] : models_) registry_->load_model_everywhere(model);
+}
+
+bool Dispatcher::has_model(const std::string& model_name) const {
+    return models_.count(model_name) > 0;
+}
+
+const nn::Model& Dispatcher::model(const std::string& model_name) const {
+    const auto it = models_.find(model_name);
+    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
+    return *it->second;
+}
+
+const nn::ModelDesc& Dispatcher::desc(const std::string& model_name) const {
+    return model(model_name).desc();
+}
+
+std::vector<std::string> Dispatcher::model_names() const {
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto& [name, model] : models_) names.push_back(name);
+    return names;
+}
+
+device::InferenceResult Dispatcher::run_on(const std::string& device_name,
+                                           const std::string& model_name, const Tensor& input,
+                                           double sim_time,
+                                           const device::SubmitOptions& options) {
+    return registry_->at(device_name).run(model_name, input, sim_time, options);
+}
+
+}  // namespace mw::sched

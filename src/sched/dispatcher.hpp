@@ -1,0 +1,58 @@
+// The Dispatcher of the paper's Fig. 2: receives architecture descriptions,
+// has the Model Building Module build them, the Weights Building Module
+// create/restore the parameter buffers, and finally loads every model onto
+// every available processing device.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "device/registry.hpp"
+#include "nn/model.hpp"
+
+namespace mw::sched {
+
+/// Owns the deployed models and routes execution to chosen devices.
+class Dispatcher {
+public:
+    explicit Dispatcher(device::DeviceRegistry& registry);
+
+    /// Fig. 2 steps 1-4: build the model from its spec and initialise
+    /// weights; returns the built model for (optional offline) training.
+    nn::Model& register_model(nn::ModelSpec spec, std::uint64_t weight_seed);
+
+    /// Register an externally trained model.
+    void register_model(std::shared_ptr<nn::Model> model);
+
+    /// Dynamically add a model shipped as a .mwmodel file (§V-A): the
+    /// architecture and trained weights are restored and the model becomes
+    /// schedulable after deploy(). Returns its name.
+    std::string register_from_file(const std::string& path);
+
+    /// Restore a model's weights from a file saved by nn::save_weights.
+    void load_weights_from(const std::string& model_name, const std::string& path);
+
+    /// Fig. 2 step 5: load the named model onto every device.
+    void deploy(const std::string& model_name);
+    void deploy_all();
+
+    [[nodiscard]] bool has_model(const std::string& model_name) const;
+    [[nodiscard]] const nn::Model& model(const std::string& model_name) const;
+    [[nodiscard]] const nn::ModelDesc& desc(const std::string& model_name) const;
+    [[nodiscard]] std::vector<std::string> model_names() const;
+
+    /// Execute a data-carrying request on a specific device.
+    device::InferenceResult run_on(const std::string& device_name,
+                                   const std::string& model_name, const Tensor& input,
+                                   double sim_time,
+                                   const device::SubmitOptions& options = {});
+
+    [[nodiscard]] device::DeviceRegistry& registry() { return *registry_; }
+
+private:
+    device::DeviceRegistry* registry_;
+    std::map<std::string, std::shared_ptr<nn::Model>> models_;
+};
+
+}  // namespace mw::sched

@@ -1,0 +1,33 @@
+#include "sched/features.hpp"
+
+#include <cmath>
+
+namespace mw::sched {
+
+const std::array<std::string, kFeatureCount>& feature_names() {
+    static const std::array<std::string, kFeatureCount> kNames{
+        "policy",        "is_cnn",     "depth",       "total_neurons", "vgg_blocks",
+        "convs_per_blk", "filter_size", "pool_size",  "batch",         "gpu_warm"};
+    return kNames;
+}
+
+std::vector<double> extract_features(Policy policy, const nn::ModelDesc& desc,
+                                     std::size_t batch, bool gpu_warm) {
+    std::vector<double> f(kFeatureCount);
+    f[0] = static_cast<double>(policy);
+    f[1] = desc.is_cnn ? 1.0 : 0.0;
+    f[2] = static_cast<double>(desc.depth);
+    // Raw structural sizes, exactly as the paper feeds them (no rescaling:
+    // the tree models are scale-free; the Table II baselines inherit the
+    // scale pathology the paper measured).
+    f[3] = static_cast<double>(desc.total_neurons);
+    f[4] = static_cast<double>(desc.vgg_blocks);
+    f[5] = static_cast<double>(desc.convs_per_block);
+    f[6] = static_cast<double>(desc.filter_size);
+    f[7] = static_cast<double>(desc.pool_size);
+    f[8] = static_cast<double>(batch);
+    f[9] = gpu_warm ? 1.0 : 0.0;
+    return f;
+}
+
+}  // namespace mw::sched

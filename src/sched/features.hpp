@@ -1,0 +1,31 @@
+// Feature representation of a scheduling decision (§V-B).
+//
+// The paper represents FFNNs by (depth, total neurons) and CNNs by four more
+// structural parameters (VGG blocks, convolutions per block, filter size,
+// pooling size); the sample size and the discrete-GPU state are the two
+// dominant runtime features. We add the policy as an input so one classifier
+// serves all three targets.
+#pragma once
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "nn/model.hpp"
+#include "sched/policy.hpp"
+
+namespace mw::sched {
+
+/// Number of scheduler features.
+inline constexpr std::size_t kFeatureCount = 10;
+
+/// Human-readable names, index-aligned with the extracted vector.
+const std::array<std::string, kFeatureCount>& feature_names();
+
+/// Extract the feature vector for one decision.
+/// `batch` is the sample size of the request; `gpu_warm` is the result of
+/// the scheduler's PCIe state probe.
+std::vector<double> extract_features(Policy policy, const nn::ModelDesc& desc,
+                                     std::size_t batch, bool gpu_warm);
+
+}  // namespace mw::sched

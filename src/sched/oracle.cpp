@@ -1,0 +1,31 @@
+#include "sched/oracle.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::sched {
+
+Oracle::Oracle(device::DeviceRegistry& registry) : registry_(&registry), harness_(registry) {}
+
+const device::Measurement& Oracle::Decision::best() const {
+    for (const auto& m : all) {
+        if (m.device_name == best_device) return m;
+    }
+    throw Error("oracle decision without matching measurement");
+}
+
+Oracle::Decision Oracle::decide(const std::string& model_name, std::size_t batch,
+                                GpuState state, Policy policy) {
+    Decision decision;
+    double best_score = -1e300;
+    for (const auto& name : registry_->names()) {
+        decision.all.push_back(harness_.measure(model_name, name, batch, state));
+        const double score = policy_score(policy, decision.all.back());
+        if (score > best_score) {
+            best_score = score;
+            decision.best_device = name;
+        }
+    }
+    return decision;
+}
+
+}  // namespace mw::sched

@@ -1,0 +1,33 @@
+// Oracle: exhaustive ground-truth device selection, used to label training
+// data on demand and to score the scheduler (the "ideal" bars of Fig. 6).
+#pragma once
+
+#include "sched/measurement_harness.hpp"
+
+namespace mw::sched {
+
+/// Measures a request on every device of a registry and returns the winner.
+class Oracle {
+public:
+    /// `registry` should be a noise-free twin of the serving registry when
+    /// used as ground truth for accuracy scoring.
+    explicit Oracle(device::DeviceRegistry& registry);
+
+    struct Decision {
+        std::string best_device;
+        std::vector<device::Measurement> all;  ///< one per device, registry order
+
+        /// Measurement of the winning device.
+        [[nodiscard]] const device::Measurement& best() const;
+    };
+
+    /// Try every device under controlled state and return the policy winner.
+    Decision decide(const std::string& model_name, std::size_t batch, GpuState state,
+                    Policy policy);
+
+private:
+    device::DeviceRegistry* registry_;
+    MeasurementHarness harness_;
+};
+
+}  // namespace mw::sched

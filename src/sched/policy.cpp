@@ -1,0 +1,32 @@
+#include "sched/policy.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::sched {
+
+std::string policy_name(Policy policy) {
+    switch (policy) {
+        case Policy::kMaxThroughput: return "throughput";
+        case Policy::kMinLatency: return "latency";
+        case Policy::kMinEnergy: return "energy";
+    }
+    return "?";
+}
+
+Policy policy_from_name(const std::string& name) {
+    if (name == "throughput") return Policy::kMaxThroughput;
+    if (name == "latency") return Policy::kMinLatency;
+    if (name == "energy") return Policy::kMinEnergy;
+    throw InvalidArgument("unknown policy: " + name);
+}
+
+double policy_score(Policy policy, const device::Measurement& m) {
+    switch (policy) {
+        case Policy::kMaxThroughput: return m.throughput_bps();
+        case Policy::kMinLatency: return -m.latency_s();
+        case Policy::kMinEnergy: return -m.energy_j;
+    }
+    return 0.0;
+}
+
+}  // namespace mw::sched

@@ -1,0 +1,24 @@
+// Scheduling policies (Fig. 5): what "best device" means for a request.
+#pragma once
+
+#include <string>
+
+#include "device/measurement.hpp"
+
+namespace mw::sched {
+
+/// The three optimisation targets the paper's scheduler supports.
+enum class Policy {
+    kMaxThroughput,  ///< maximise classified input bits per second
+    kMinLatency,     ///< minimise end-to-end batch latency
+    kMinEnergy,      ///< minimise Joules per classified batch
+};
+
+std::string policy_name(Policy policy);
+Policy policy_from_name(const std::string& name);
+
+/// Scalar score of a measurement under a policy — HIGHER is better for
+/// every policy (latency/energy are negated), so argmax picks the winner.
+double policy_score(Policy policy, const device::Measurement& m);
+
+}  // namespace mw::sched

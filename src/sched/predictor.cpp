@@ -1,0 +1,77 @@
+#include "sched/predictor.hpp"
+
+#include "common/error.hpp"
+#include "sched/features.hpp"
+
+namespace mw::sched {
+
+DevicePredictor::DevicePredictor(ml::ClassifierPtr classifier,
+                                 std::vector<std::string> device_names)
+    : classifier_(std::move(classifier)), device_names_(std::move(device_names)) {
+    MW_CHECK(classifier_ != nullptr, "null classifier");
+    MW_CHECK(device_names_.size() >= 2, "need at least two devices");
+}
+
+void DevicePredictor::fit(const SchedulerDataset& dataset) {
+    MW_CHECK(dataset.device_names == device_names_,
+             "dataset device order does not match the predictor");
+    classifier_->fit(dataset.data);
+}
+
+std::string DevicePredictor::predict(Policy policy, const nn::ModelDesc& desc,
+                                     std::size_t batch, bool gpu_warm) const {
+    return predict_row(extract_features(policy, desc, batch, gpu_warm));
+}
+
+std::string DevicePredictor::predict_row(std::span<const double> features) const {
+    const int label = classifier_->predict(features);
+    MW_CHECK(label >= 0 && static_cast<std::size_t>(label) < device_names_.size(),
+             "classifier produced an out-of-range device label");
+    return device_names_[label];
+}
+
+namespace {
+constexpr std::size_t kPolicyCount = 3;
+}
+
+PerPolicyPredictor::PerPolicyPredictor(const ml::Classifier& prototype,
+                                       std::vector<std::string> device_names)
+    : device_names_(std::move(device_names)) {
+    MW_CHECK(device_names_.size() >= 2, "need at least two devices");
+    specialists_.reserve(kPolicyCount);
+    for (std::size_t p = 0; p < kPolicyCount; ++p) specialists_.push_back(prototype.clone());
+}
+
+void PerPolicyPredictor::fit(const SchedulerDataset& dataset) {
+    MW_CHECK(dataset.device_names == device_names_,
+             "dataset device order does not match the predictor");
+    for (std::size_t p = 0; p < kPolicyCount; ++p) {
+        ml::MlDataset slice;
+        slice.features = dataset.data.features;
+        slice.classes = dataset.data.classes;
+        for (std::size_t i = 0; i < dataset.data.size(); ++i) {
+            if (dataset.row_policy[i] == static_cast<Policy>(p)) {
+                slice.add(dataset.data.row(i), dataset.data.y[i]);
+            }
+        }
+        MW_CHECK(slice.size() > 0, "dataset has no rows for policy " +
+                                       policy_name(static_cast<Policy>(p)));
+        specialists_[p]->fit(slice);
+    }
+}
+
+std::string PerPolicyPredictor::predict(Policy policy, const nn::ModelDesc& desc,
+                                        std::size_t batch, bool gpu_warm) const {
+    return predict_row(extract_features(policy, desc, batch, gpu_warm));
+}
+
+std::string PerPolicyPredictor::predict_row(std::span<const double> features) const {
+    const auto policy_idx = static_cast<std::size_t>(features[0]);
+    MW_CHECK(policy_idx < specialists_.size(), "feature row has a bad policy code");
+    const int label = specialists_[policy_idx]->predict(features);
+    MW_CHECK(label >= 0 && static_cast<std::size_t>(label) < device_names_.size(),
+             "classifier produced an out-of-range device label");
+    return device_names_[label];
+}
+
+}  // namespace mw::sched

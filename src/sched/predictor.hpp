@@ -1,0 +1,66 @@
+// DevicePredictor: a trained classifier plus the device-label mapping —
+// the decision core of the Fig. 5 scheduler.
+#pragma once
+
+#include "ml/classifier.hpp"
+#include "nn/model.hpp"
+#include "sched/policy.hpp"
+#include "sched/scheduler_dataset.hpp"
+
+namespace mw::sched {
+
+/// Maps (policy, model structure, sample size, GPU state) to a device name
+/// through any ml::Classifier.
+class DevicePredictor {
+public:
+    /// Takes ownership of an (untrained or trained) classifier; the device
+    /// name list defines the label order.
+    DevicePredictor(ml::ClassifierPtr classifier, std::vector<std::string> device_names);
+
+    /// Fit the underlying classifier on a scheduler dataset (device order
+    /// must match).
+    void fit(const SchedulerDataset& dataset);
+
+    /// Predict the device for one decision.
+    [[nodiscard]] std::string predict(Policy policy, const nn::ModelDesc& desc,
+                                      std::size_t batch, bool gpu_warm) const;
+
+    /// Predict from an already-extracted feature row.
+    [[nodiscard]] std::string predict_row(std::span<const double> features) const;
+
+    [[nodiscard]] const ml::Classifier& classifier() const { return *classifier_; }
+    [[nodiscard]] ml::Classifier& classifier() { return *classifier_; }
+    [[nodiscard]] const std::vector<std::string>& device_names() const { return device_names_; }
+
+private:
+    ml::ClassifierPtr classifier_;
+    std::vector<std::string> device_names_;
+};
+
+/// Alternative predictor design: one specialist classifier per policy,
+/// instead of feeding the policy as an input feature to a single model.
+/// Each specialist trains only on its policy's rows (the policy feature is
+/// constant there and carries no signal). bench/ablation_features compares
+/// the two designs.
+class PerPolicyPredictor {
+public:
+    /// `prototype` is cloned (untrained) once per policy.
+    PerPolicyPredictor(const ml::Classifier& prototype,
+                       std::vector<std::string> device_names);
+
+    /// Fit each specialist on the rows of its policy; throws when a policy
+    /// has no rows in the dataset.
+    void fit(const SchedulerDataset& dataset);
+
+    [[nodiscard]] std::string predict(Policy policy, const nn::ModelDesc& desc,
+                                      std::size_t batch, bool gpu_warm) const;
+    [[nodiscard]] std::string predict_row(std::span<const double> features) const;
+
+    [[nodiscard]] const std::vector<std::string>& device_names() const { return device_names_; }
+
+private:
+    std::vector<ml::ClassifierPtr> specialists_;  ///< indexed by Policy value
+    std::vector<std::string> device_names_;
+};
+
+}  // namespace mw::sched

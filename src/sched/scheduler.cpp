@@ -1,0 +1,112 @@
+#include "sched/scheduler.hpp"
+
+#include "common/error.hpp"
+#include "common/logging.hpp"
+#include "sched/features.hpp"
+
+namespace mw::sched {
+
+OnlineScheduler::OnlineScheduler(Dispatcher& dispatcher, DevicePredictor predictor,
+                                 SchedulerDataset training_data, SchedulerConfig config)
+    : dispatcher_(&dispatcher),
+      predictor_(std::move(predictor)),
+      data_(std::move(training_data)),
+      config_(config),
+      rng_(config.seed) {
+    MW_CHECK(config_.explore_probability >= 0.0 && config_.explore_probability <= 1.0,
+             "explore_probability must be in [0,1]");
+    MW_CHECK(predictor_.device_names() == data_.device_names,
+             "predictor/training-data device order mismatch");
+}
+
+bool OnlineScheduler::probe_gpu_state(double now) const {
+    // "The scheduler also performs a PCIe call to check the state of the
+    // discrete GPU (idle or not)."
+    for (device::Device* dev : dispatcher_->registry().devices()) {
+        if (dev->kind() == device::DeviceKind::kDiscreteGpu) return dev->is_warm(now);
+    }
+    return true;  // no discrete device -> state feature is moot
+}
+
+ScheduleDecision OnlineScheduler::decide(const ScheduleRequest& request, double now) {
+    MW_CHECK(request.batch > 0, "request batch must be positive");
+    ScheduleDecision decision;
+    decision.gpu_was_warm = probe_gpu_state(now);
+    decision.features = extract_features(request.policy, dispatcher_->desc(request.model_name),
+                                         request.batch, decision.gpu_was_warm);
+    decision.device_name = predictor_.predict_row(decision.features);
+    ++decisions_;
+    return decision;
+}
+
+ScheduleOutcome OnlineScheduler::submit(const ScheduleRequest& request, double now) {
+    ScheduleDecision decision = decide(request, now);
+
+    if (config_.explore_probability > 0.0 && rng_.bernoulli(config_.explore_probability)) {
+        // Exploration probe: measure every device, keep the ground truth as
+        // feedback, and serve the request from the measured-best device.
+        decision.explored = true;
+        ++explorations_;
+        double best_score = -1e300;
+        std::optional<device::Measurement> best;
+        for (const auto& name : predictor_.device_names()) {
+            device::Device& dev = dispatcher_->registry().at(name);
+            const device::Measurement m = dev.profile(request.model_name, request.batch, now);
+            const double score = policy_score(request.policy, m);
+            if (score > best_score) {
+                best_score = score;
+                best = m;
+            }
+        }
+        decision.device_name = best->device_name;
+        feedback_.push_back({decision.features, data_.label_of(best->device_name)});
+        if (config_.retrain_after > 0 && feedback_.size() >= config_.retrain_after) {
+            retrain();
+        }
+        return {decision, *best};
+    }
+
+    device::Device& dev = dispatcher_->registry().at(decision.device_name);
+    const device::Measurement m = dev.profile(request.model_name, request.batch, now);
+    return {decision, m};
+}
+
+OnlineScheduler::RunResult OnlineScheduler::run(const ScheduleRequest& request,
+                                                const Tensor& input, double now) {
+    const ScheduleDecision decision = decide(request, now);
+    device::InferenceResult inference =
+        dispatcher_->run_on(decision.device_name, request.model_name, input, now);
+    return {decision, std::move(inference)};
+}
+
+std::size_t OnlineScheduler::retrain() {
+    if (feedback_.empty()) return 0;
+    const std::size_t folded = feedback_.size();
+    const std::size_t weight = std::max<std::size_t>(1, config_.feedback_weight);
+    for (const auto& row : feedback_) {
+        for (std::size_t w = 0; w < weight; ++w) {
+            data_.data.add(row.features, row.best_label);
+            data_.row_model.push_back("feedback");
+            data_.row_policy.push_back(static_cast<Policy>(static_cast<int>(row.features[0])));
+            data_.row_batch.push_back(static_cast<std::size_t>(row.features[8]));
+            data_.row_state.push_back(row.features[9] > 0.5 ? GpuState::kWarm
+                                                            : GpuState::kIdle);
+        }
+    }
+    feedback_.clear();
+    predictor_.fit(data_);
+    ++retrains_;
+    log::info("scheduler retrained on {} feedback rows (dataset now {})", folded,
+              data_.data.size());
+    return folded;
+}
+
+double OnlineScheduler::total_energy_j() const {
+    double total = 0.0;
+    for (device::Device* dev : dispatcher_->registry().devices()) {
+        total += dev->total_energy_j();
+    }
+    return total;
+}
+
+}  // namespace mw::sched

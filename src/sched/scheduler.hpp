@@ -1,0 +1,112 @@
+// The online adaptive scheduler (Fig. 5).
+//
+// For each incoming classification request the scheduler reads the model
+// structure and the active policy, probes the discrete-GPU boost state (the
+// paper's "PCIe call"), extracts the feature vector and asks the trained
+// predictor for a device; the Dispatcher then executes there. Adaptation:
+// a small exploration budget occasionally measures the alternatives, the
+// resulting ground-truth labels accumulate in a feedback buffer, and
+// retrain() folds them back into the forest — this is what lets the
+// scheduler track data bursts, overloads and device-behaviour changes
+// (e.g. thermal throttling) at run time.
+#pragma once
+
+#include <deque>
+#include <optional>
+
+#include "common/stats.hpp"
+#include "sched/dispatcher.hpp"
+#include "sched/predictor.hpp"
+
+namespace mw::sched {
+
+/// One classification request entering the scheduler.
+struct ScheduleRequest {
+    std::string model_name;
+    std::size_t batch = 0;
+    Policy policy = Policy::kMaxThroughput;
+};
+
+/// The device decision made for a request.
+struct ScheduleDecision {
+    std::string device_name;
+    bool gpu_was_warm = false;
+    bool explored = false;  ///< decision came from an exploration probe
+    std::vector<double> features;
+};
+
+/// Decision plus the execution measurement.
+struct ScheduleOutcome {
+    ScheduleDecision decision;
+    device::Measurement measurement;
+};
+
+/// Scheduler knobs.
+struct SchedulerConfig {
+    /// Fraction of requests measured on *all* devices to harvest feedback
+    /// labels (0 disables adaptation data collection).
+    double explore_probability = 0.03;
+    /// Retrain automatically after this many new feedback rows (0 = manual).
+    std::size_t retrain_after = 0;
+    /// Replication factor of feedback rows when retraining: fresh ground
+    /// truth must be able to outvote the (much larger) stale training set,
+    /// otherwise the forest can never change its mind about a device whose
+    /// behaviour drifted.
+    std::size_t feedback_weight = 25;
+    std::uint64_t seed = 1;
+};
+
+/// Fig. 5: the online scheduler.
+class OnlineScheduler {
+public:
+    OnlineScheduler(Dispatcher& dispatcher, DevicePredictor predictor,
+                    SchedulerDataset training_data, SchedulerConfig config = {});
+
+    /// Decide the device for a request at simulated time `now` without
+    /// executing (probes the GPU state).
+    ScheduleDecision decide(const ScheduleRequest& request, double now);
+
+    /// Decide and execute (profile path — timing/energy only).
+    ScheduleOutcome submit(const ScheduleRequest& request, double now);
+
+    /// Decide and execute with a real payload; returns model outputs too.
+    struct RunResult {
+        ScheduleDecision decision;
+        device::InferenceResult inference;
+    };
+    RunResult run(const ScheduleRequest& request, const Tensor& input, double now);
+
+    /// Fold the accumulated feedback buffer into the training set and refit
+    /// the predictor. Returns the number of rows folded in.
+    std::size_t retrain();
+
+    // --- introspection ---
+    [[nodiscard]] const DevicePredictor& predictor() const { return predictor_; }
+    [[nodiscard]] std::size_t decisions() const { return decisions_; }
+    [[nodiscard]] std::size_t explorations() const { return explorations_; }
+    [[nodiscard]] std::size_t retrains() const { return retrains_; }
+    [[nodiscard]] std::size_t pending_feedback() const { return feedback_.size(); }
+    [[nodiscard]] double total_energy_j() const;
+
+private:
+    /// Probe whether any discrete device is currently warmed up.
+    [[nodiscard]] bool probe_gpu_state(double now) const;
+
+    Dispatcher* dispatcher_;
+    DevicePredictor predictor_;
+    SchedulerDataset data_;
+    SchedulerConfig config_;
+    Rng rng_;
+
+    struct FeedbackRow {
+        std::vector<double> features;
+        int best_label;
+    };
+    std::deque<FeedbackRow> feedback_;
+
+    std::size_t decisions_ = 0;
+    std::size_t explorations_ = 0;
+    std::size_t retrains_ = 0;
+};
+
+}  // namespace mw::sched

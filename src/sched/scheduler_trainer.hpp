@@ -1,0 +1,60 @@
+// Training of the scheduler (§V-C): the Table I hyperparameter grid, the
+// stratified nested cross-validation protocol, and the Table II comparison
+// across all candidate classifiers.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "ml/cross_validation.hpp"
+#include "sched/predictor.hpp"
+
+namespace mw::sched {
+
+/// The exact Random Forest hyperparameter grid of Table I.
+std::vector<ml::ParamSet> paper_hyperparameter_grid();
+
+/// A reduced grid (same axes, fewer values) for fast test runs.
+std::vector<ml::ParamSet> small_hyperparameter_grid();
+
+/// Uniform random subsample of a grid (randomised search): the full Table I
+/// grid has 1344 points, far more than a nested-CV bench needs to find the
+/// plateau of good forests.
+std::vector<ml::ParamSet> sample_grid(const std::vector<ml::ParamSet>& grid, std::size_t n,
+                                      std::uint64_t seed);
+
+/// Result of training the production scheduler.
+struct TrainedScheduler {
+    DevicePredictor predictor;            ///< final RF fit on the full dataset
+    ml::NestedCvResult cv;                ///< honest outer-fold scores (Table III)
+    ml::ParamSet chosen_params;           ///< winning Table I assignment
+    double train_seconds = 0.0;
+};
+
+/// §V-C: stratified nested CV over `grid`, then a final fit with the chosen
+/// hyperparameters on the full dataset.
+TrainedScheduler train_random_forest_scheduler(const SchedulerDataset& dataset,
+                                               const std::vector<ml::ParamSet>& grid,
+                                               std::size_t outer_k = 5,
+                                               std::size_t inner_k = 3,
+                                               std::uint64_t seed = 1,
+                                               ThreadPool* pool = nullptr);
+
+/// One Table II row.
+struct ModelComparisonRow {
+    std::string name;
+    double accuracy = 0.0;            ///< stratified-CV accuracy
+    ml::PrfScores weighted;           ///< Table III flavour
+    double train_seconds = 0.0;
+    double classify_ms = 0.0;         ///< mean per-decision latency
+    double unseen_accuracy = 0.0;     ///< accuracy on held-out architectures
+};
+
+/// Reproduce Table II: fit every candidate (baseline random selection,
+/// Linear, SVM, k-NN, FFNN, Random Forest, Decision Tree), cross-validated
+/// on `dataset`; when `unseen` is given, also score generalisation to
+/// architectures absent from training.
+std::vector<ModelComparisonRow> compare_scheduler_models(const SchedulerDataset& dataset,
+                                                         const SchedulerDataset* unseen,
+                                                         std::uint64_t seed,
+                                                         ThreadPool* pool = nullptr);
+
+}  // namespace mw::sched

@@ -1,0 +1,65 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+Shape::Shape(std::initializer_list<std::size_t> dims) {
+    MW_CHECK(dims.size() >= 1 && dims.size() <= kMaxRank, "Shape rank must be 1..4");
+    rank_ = dims.size();
+    std::size_t i = 0;
+    for (const std::size_t d : dims) {
+        MW_CHECK(d > 0, "Shape extents must be positive");
+        dims_[i++] = d;
+    }
+}
+
+std::size_t Shape::operator[](std::size_t axis) const {
+    MW_CHECK(axis < rank_, "Shape axis out of range");
+    return dims_[axis];
+}
+
+std::size_t Shape::numel() const {
+    if (rank_ == 0) return 0;
+    std::size_t n = 1;
+    for (std::size_t i = 0; i < rank_; ++i) n *= dims_[i];
+    return n;
+}
+
+std::size_t Shape::stride(std::size_t axis) const {
+    MW_CHECK(axis < rank_, "Shape axis out of range");
+    std::size_t s = 1;
+    for (std::size_t i = axis + 1; i < rank_; ++i) s *= dims_[i];
+    return s;
+}
+
+Shape Shape::with_batch(std::size_t batch) const {
+    MW_CHECK(rank_ >= 1, "with_batch on empty shape");
+    MW_CHECK(batch > 0, "batch must be positive");
+    Shape out = *this;
+    out.dims_[0] = batch;
+    return out;
+}
+
+bool Shape::operator==(const Shape& other) const {
+    if (rank_ != other.rank_) return false;
+    for (std::size_t i = 0; i < rank_; ++i) {
+        if (dims_[i] != other.dims_[i]) return false;
+    }
+    return true;
+}
+
+std::string Shape::str() const {
+    std::ostringstream out;
+    out << '(';
+    for (std::size_t i = 0; i < rank_; ++i) {
+        if (i) out << ", ";
+        out << dims_[i];
+    }
+    out << ')';
+    return out.str();
+}
+
+}  // namespace mw

@@ -1,0 +1,47 @@
+// Tensor shapes: up to 4 dimensions, row-major (C order).
+//
+// Convention used across src/nn:
+//   rank 2: (batch, features)           -- dense activations
+//   rank 4: (batch, channels, h, w)     -- conv activations (NCHW)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+namespace mw {
+
+/// A row-major tensor shape of rank 1..4.
+class Shape {
+public:
+    static constexpr std::size_t kMaxRank = 4;
+
+    Shape() = default;
+
+    /// Construct from 1 to 4 extents; every extent must be > 0.
+    Shape(std::initializer_list<std::size_t> dims);
+
+    [[nodiscard]] std::size_t rank() const { return rank_; }
+    [[nodiscard]] std::size_t operator[](std::size_t axis) const;
+
+    /// Total element count (product of extents); 0 for a default shape.
+    [[nodiscard]] std::size_t numel() const;
+
+    /// Row-major stride of `axis` in elements.
+    [[nodiscard]] std::size_t stride(std::size_t axis) const;
+
+    /// The same extents with axis 0 (batch) replaced.
+    [[nodiscard]] Shape with_batch(std::size_t batch) const;
+
+    bool operator==(const Shape& other) const;
+
+    /// e.g. "(32, 3, 32, 32)".
+    [[nodiscard]] std::string str() const;
+
+private:
+    std::array<std::size_t, kMaxRank> dims_{};
+    std::size_t rank_ = 0;
+};
+
+}  // namespace mw

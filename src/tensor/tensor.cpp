@@ -1,0 +1,86 @@
+#include "tensor/tensor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace mw {
+
+Tensor::Tensor(Shape shape) : shape_(shape), data_(aligned_alloc_floats(shape.numel())) {
+    std::memset(data_.get(), 0, numel() * sizeof(float));
+}
+
+Tensor::Tensor(const Tensor& other)
+    : shape_(other.shape_), data_(aligned_alloc_floats(other.numel())) {
+    if (other.numel() > 0) {
+        std::memcpy(data_.get(), other.data_.get(), other.numel() * sizeof(float));
+    }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+    if (this == &other) return *this;
+    Tensor copy(other);
+    *this = std::move(copy);
+    return *this;
+}
+
+float& Tensor::at(std::size_t i) {
+    MW_CHECK(i < numel(), "Tensor flat index out of range");
+    return data_[i];
+}
+
+float Tensor::at(std::size_t i) const {
+    MW_CHECK(i < numel(), "Tensor flat index out of range");
+    return data_[i];
+}
+
+float& Tensor::at(std::size_t r, std::size_t c) {
+    MW_CHECK(shape_.rank() == 2, "2-D access requires a rank-2 tensor");
+    MW_CHECK(r < shape_[0] && c < shape_[1], "Tensor 2-D index out of range");
+    return data_[r * shape_[1] + c];
+}
+
+float Tensor::at(std::size_t r, std::size_t c) const {
+    MW_CHECK(shape_.rank() == 2, "2-D access requires a rank-2 tensor");
+    MW_CHECK(r < shape_[0] && c < shape_[1], "Tensor 2-D index out of range");
+    return data_[r * shape_[1] + c];
+}
+
+std::span<const float> Tensor::row(std::size_t r) const {
+    MW_CHECK(shape_.rank() == 2, "row() requires a rank-2 tensor");
+    MW_CHECK(r < shape_[0], "row out of range");
+    return {data_.get() + r * shape_[1], shape_[1]};
+}
+
+std::span<float> Tensor::row(std::size_t r) {
+    MW_CHECK(shape_.rank() == 2, "row() requires a rank-2 tensor");
+    MW_CHECK(r < shape_[0], "row out of range");
+    return {data_.get() + r * shape_[1], shape_[1]};
+}
+
+void Tensor::fill(float value) { std::fill_n(data_.get(), numel(), value); }
+
+void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
+    for (std::size_t i = 0; i < numel(); ++i) {
+        data_[i] = static_cast<float>(rng.normal(mean, stddev));
+    }
+}
+
+void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
+    for (std::size_t i = 0; i < numel(); ++i) {
+        data_[i] = static_cast<float>(rng.uniform(lo, hi));
+    }
+}
+
+float Tensor::max_abs_diff(const Tensor& other) const {
+    MW_CHECK(shape_ == other.shape_, "max_abs_diff shape mismatch");
+    float worst = 0.0F;
+    for (std::size_t i = 0; i < numel(); ++i) {
+        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+    }
+    return worst;
+}
+
+}  // namespace mw

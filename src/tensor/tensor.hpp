@@ -1,0 +1,62 @@
+// Owning, SIMD-aligned, row-major float tensor.
+#pragma once
+
+#include <span>
+
+#include "common/aligned.hpp"
+#include "common/rng.hpp"
+#include "tensor/shape.hpp"
+
+namespace mw {
+
+/// A dense float tensor with value semantics (deep copy) and aligned storage.
+class Tensor {
+public:
+    Tensor() = default;
+
+    /// Allocate a zero-initialised tensor of the given shape.
+    explicit Tensor(Shape shape);
+
+    Tensor(const Tensor& other);
+    Tensor& operator=(const Tensor& other);
+    Tensor(Tensor&&) noexcept = default;
+    Tensor& operator=(Tensor&&) noexcept = default;
+
+    [[nodiscard]] const Shape& shape() const { return shape_; }
+    [[nodiscard]] std::size_t numel() const { return shape_.numel(); }
+    [[nodiscard]] bool empty() const { return numel() == 0; }
+
+    [[nodiscard]] float* data() { return data_.get(); }
+    [[nodiscard]] const float* data() const { return data_.get(); }
+    [[nodiscard]] std::span<float> span() { return {data_.get(), numel()}; }
+    [[nodiscard]] std::span<const float> span() const { return {data_.get(), numel()}; }
+
+    /// Flat element access with bounds checking in debug paths.
+    float& at(std::size_t i);
+    [[nodiscard]] float at(std::size_t i) const;
+
+    /// 2-D access (rank-2 tensors): row-major (row, col).
+    float& at(std::size_t row, std::size_t col);
+    [[nodiscard]] float at(std::size_t row, std::size_t col) const;
+
+    /// Row view of a rank-2 tensor.
+    [[nodiscard]] std::span<const float> row(std::size_t r) const;
+    [[nodiscard]] std::span<float> row(std::size_t r);
+
+    void fill(float value);
+
+    /// Fill with N(mean, stddev) draws from `rng`.
+    void fill_normal(Rng& rng, float mean, float stddev);
+
+    /// Fill with U[lo, hi) draws from `rng`.
+    void fill_uniform(Rng& rng, float lo, float hi);
+
+    /// Max absolute elementwise difference; shapes must match.
+    [[nodiscard]] float max_abs_diff(const Tensor& other) const;
+
+private:
+    Shape shape_;
+    AlignedFloatPtr data_;
+};
+
+}  // namespace mw

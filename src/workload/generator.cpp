@@ -1,0 +1,121 @@
+#include "workload/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace mw::workload {
+
+std::string pattern_name(ArrivalPattern pattern) {
+    switch (pattern) {
+        case ArrivalPattern::kConstant: return "constant";
+        case ArrivalPattern::kPoisson: return "poisson";
+        case ArrivalPattern::kBursty: return "bursty";
+        case ArrivalPattern::kDiurnal: return "diurnal";
+    }
+    return "?";
+}
+
+double expected_rate_at(const GeneratorConfig& config, double t) {
+    switch (config.pattern) {
+        case ArrivalPattern::kConstant:
+        case ArrivalPattern::kPoisson:
+        case ArrivalPattern::kBursty:
+            return config.mean_rate_hz;
+        case ArrivalPattern::kDiurnal:
+            return config.mean_rate_hz *
+                   (1.0 + config.diurnal_depth *
+                              std::sin(2.0 * std::numbers::pi * t / config.diurnal_period_s));
+    }
+    return config.mean_rate_hz;
+}
+
+Trace generate_trace(const GeneratorConfig& config) {
+    MW_CHECK(!config.model_names.empty(), "generator needs at least one model name");
+    MW_CHECK(!config.batch_choices.empty(), "generator needs batch choices");
+    MW_CHECK(config.duration_s > 0.0 && config.mean_rate_hz > 0.0, "bad generator timing");
+
+    Rng rng(config.seed);
+    Trace trace;
+
+    auto emit = [&](double t, bool in_burst) {
+        TimedRequest r;
+        r.arrival_s = t;
+        r.request.model_name =
+            config.model_names[rng.below(config.model_names.size())];
+        std::size_t batch_idx = rng.below(config.batch_choices.size());
+        if (in_burst && config.bursts_increase_batch) {
+            // Bias towards the upper half of the batch palette.
+            batch_idx = std::max(batch_idx, config.batch_choices.size() / 2 +
+                                                rng.below((config.batch_choices.size() + 1) / 2));
+            batch_idx = std::min(batch_idx, config.batch_choices.size() - 1);
+        }
+        r.request.batch = config.batch_choices[batch_idx];
+        r.request.policy = config.policy;
+        trace.push_back(std::move(r));
+    };
+
+    switch (config.pattern) {
+        case ArrivalPattern::kConstant: {
+            const double gap = 1.0 / config.mean_rate_hz;
+            for (double t = gap; t < config.duration_s; t += gap) emit(t, false);
+            break;
+        }
+        case ArrivalPattern::kPoisson: {
+            double t = 0.0;
+            while (true) {
+                t += rng.exponential(config.mean_rate_hz);
+                if (t >= config.duration_s) break;
+                emit(t, false);
+            }
+            break;
+        }
+        case ArrivalPattern::kBursty: {
+            double t = 0.0;
+            bool in_burst = false;
+            double phase_end = rng.exponential(1.0 / config.gap_mean_len_s);
+            while (t < config.duration_s) {
+                if (in_burst) {
+                    t += rng.exponential(config.burst_rate_hz);
+                    if (t < phase_end && t < config.duration_s) emit(t, true);
+                } else {
+                    t = phase_end;  // idle through the gap
+                }
+                if (t >= phase_end) {
+                    in_burst = !in_burst;
+                    const double mean_len =
+                        in_burst ? config.burst_mean_len_s : config.gap_mean_len_s;
+                    phase_end = t + rng.exponential(1.0 / mean_len);
+                }
+            }
+            break;
+        }
+        case ArrivalPattern::kDiurnal: {
+            // Thinning: draw from the peak rate and accept with rate(t)/peak.
+            const double peak = config.mean_rate_hz * (1.0 + config.diurnal_depth);
+            double t = 0.0;
+            while (true) {
+                t += rng.exponential(peak);
+                if (t >= config.duration_s) break;
+                if (rng.uniform() < expected_rate_at(config, t) / peak) emit(t, false);
+            }
+            break;
+        }
+    }
+
+    // Strictly increasing arrivals (exponential gaps can collide in theory).
+    std::sort(trace.begin(), trace.end(),
+              [](const TimedRequest& a, const TimedRequest& b) {
+                  return a.arrival_s < b.arrival_s;
+              });
+    double last = -1.0;
+    for (auto& r : trace) {
+        if (r.arrival_s <= last) r.arrival_s = std::nextafter(last, 1e300);
+        last = r.arrival_s;
+    }
+    return trace;
+}
+
+}  // namespace mw::workload

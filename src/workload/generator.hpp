@@ -1,0 +1,62 @@
+// Workload generation: the arrival patterns the paper's scheduler must
+// absorb — steady streams, Poisson traffic, data bursts, application
+// overloads and diurnal load (§I, §V-A).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sched/scheduler.hpp"
+
+namespace mw::workload {
+
+/// One timed classification request.
+struct TimedRequest {
+    double arrival_s = 0.0;
+    sched::ScheduleRequest request;
+};
+
+/// A generated request sequence, sorted by arrival time.
+using Trace = std::vector<TimedRequest>;
+
+/// Arrival process shapes.
+enum class ArrivalPattern {
+    kConstant,  ///< fixed inter-arrival gaps
+    kPoisson,   ///< exponential inter-arrivals at a fixed rate
+    kBursty,    ///< on/off: bursts of rapid arrivals separated by quiet gaps
+    kDiurnal,   ///< sinusoidally modulated Poisson rate (day/night pattern)
+};
+
+std::string pattern_name(ArrivalPattern pattern);
+
+/// Generator configuration.
+struct GeneratorConfig {
+    ArrivalPattern pattern = ArrivalPattern::kPoisson;
+    double duration_s = 60.0;
+    double mean_rate_hz = 10.0;       ///< long-run average arrival rate
+    // bursty knobs
+    double burst_rate_hz = 100.0;     ///< arrival rate inside a burst
+    double burst_mean_len_s = 0.5;
+    double gap_mean_len_s = 2.0;
+    // diurnal knobs
+    double diurnal_period_s = 60.0;   ///< one simulated "day"
+    double diurnal_depth = 0.9;       ///< rate swing: mean * (1 +- depth)
+    // request content
+    std::vector<std::string> model_names;
+    std::vector<std::size_t> batch_choices{8, 64, 512, 4096, 32768};
+    sched::Policy policy = sched::Policy::kMaxThroughput;
+    /// Bursts carry larger batches when true (data volume correlates with
+    /// arrival intensity, as in streaming analytics).
+    bool bursts_increase_batch = true;
+    std::uint64_t seed = 1;
+};
+
+/// Generate a trace; arrival times are strictly increasing.
+Trace generate_trace(const GeneratorConfig& config);
+
+/// Instantaneous arrival rate of the configured process at time t (useful
+/// for plotting/validating the diurnal shape).
+double expected_rate_at(const GeneratorConfig& config, double t);
+
+}  // namespace mw::workload

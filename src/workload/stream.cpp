@@ -1,0 +1,77 @@
+#include "workload/stream.hpp"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace mw::workload {
+namespace {
+
+/// Copy `batch` samples out of a pool tensor, wrapping around.
+Tensor copy_from_pool(const Tensor& pool, std::size_t& cursor, std::size_t batch,
+                      std::size_t sample_elems) {
+    MW_CHECK(pool.shape()[1] == sample_elems,
+             "source sample width mismatch: pool has " + std::to_string(pool.shape()[1]));
+    const std::size_t pool_n = pool.shape()[0];
+    Tensor out(Shape{batch, sample_elems});
+    for (std::size_t i = 0; i < batch; ++i) {
+        std::memcpy(out.data() + i * sample_elems, pool.data() + cursor * sample_elems,
+                    sample_elems * sizeof(float));
+        cursor = (cursor + 1) % pool_n;
+    }
+    return out;
+}
+
+}  // namespace
+
+MemorySource::MemorySource(std::size_t pool_samples, std::size_t sample_elems,
+                           std::uint64_t seed)
+    : pool_(Shape{pool_samples, sample_elems}) {
+    MW_CHECK(pool_samples > 0 && sample_elems > 0, "empty memory pool");
+    Rng rng(seed);
+    pool_.fill_uniform(rng, 0.0F, 1.0F);
+}
+
+Tensor MemorySource::next_batch(std::size_t batch, std::size_t sample_elems) {
+    return copy_from_pool(pool_, cursor_, batch, sample_elems);
+}
+
+std::string MemorySource::describe() const {
+    return format("memory({} samples x {})", pool_.shape()[0], pool_.shape()[1]);
+}
+
+FileSource::FileSource(std::string path, std::size_t sample_elems) : path_(std::move(path)) {
+    std::ifstream in(path_, std::ios::binary | std::ios::ate);
+    if (!in) throw IoError("cannot open payload file: " + path_);
+    const auto bytes = static_cast<std::size_t>(in.tellg());
+    const std::size_t sample_bytes = sample_elems * sizeof(float);
+    const std::size_t samples = bytes / sample_bytes;
+    MW_CHECK(samples > 0, "payload file smaller than one sample: " + path_);
+    pool_ = Tensor(Shape{samples, sample_elems});
+    in.seekg(0);
+    in.read(reinterpret_cast<char*>(pool_.data()),
+            static_cast<std::streamsize>(samples * sample_bytes));
+    if (!in) throw IoError("short read on payload file: " + path_);
+}
+
+Tensor FileSource::next_batch(std::size_t batch, std::size_t sample_elems) {
+    return copy_from_pool(pool_, cursor_, batch, sample_elems);
+}
+
+std::string FileSource::describe() const {
+    return format("file({}, {} samples)", path_, pool_.shape()[0]);
+}
+
+SyntheticSource::SyntheticSource(std::uint64_t seed) : rng_(seed) {}
+
+Tensor SyntheticSource::next_batch(std::size_t batch, std::size_t sample_elems) {
+    Tensor out(Shape{batch, sample_elems});
+    out.fill_uniform(rng_, 0.0F, 1.0F);
+    return out;
+}
+
+std::string SyntheticSource::describe() const { return "network(synthetic)"; }
+
+}  // namespace mw::workload

@@ -1,0 +1,62 @@
+// Input sources: where classification payloads come from (Fig. 5 reads
+// "from the input (e.g., network, file, or memory)").
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mw::workload {
+
+/// Abstract source of classification payloads for one model input width.
+class InputSource {
+public:
+    virtual ~InputSource() = default;
+
+    /// Produce the next batch of `batch` samples, each `sample_elems` wide.
+    virtual Tensor next_batch(std::size_t batch, std::size_t sample_elems) = 0;
+
+    [[nodiscard]] virtual std::string describe() const = 0;
+};
+
+/// Memory-backed source: cycles deterministically through a pre-generated
+/// pool of samples (the "memory" input of the paper).
+class MemorySource final : public InputSource {
+public:
+    MemorySource(std::size_t pool_samples, std::size_t sample_elems, std::uint64_t seed);
+    Tensor next_batch(std::size_t batch, std::size_t sample_elems) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    Tensor pool_;
+    std::size_t cursor_ = 0;
+};
+
+/// File-backed source: loops over raw float32 records in a binary file.
+class FileSource final : public InputSource {
+public:
+    FileSource(std::string path, std::size_t sample_elems);
+    Tensor next_batch(std::size_t batch, std::size_t sample_elems) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    std::string path_;
+    Tensor pool_;
+    std::size_t cursor_ = 0;
+};
+
+/// Synthetic "network" source: generates fresh pseudo-random payloads on
+/// demand, as if draining a socket.
+class SyntheticSource final : public InputSource {
+public:
+    explicit SyntheticSource(std::uint64_t seed);
+    Tensor next_batch(std::size_t batch, std::size_t sample_elems) override;
+    [[nodiscard]] std::string describe() const override;
+
+private:
+    Rng rng_;
+};
+
+}  // namespace mw::workload

@@ -1,0 +1,63 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/csv.hpp"
+#include "common/error.hpp"
+#include "common/format.hpp"
+
+namespace mw::workload {
+
+void save_trace(const Trace& trace, const std::string& path) {
+    CsvWriter csv(path);
+    csv.row({"arrival_s", "model", "batch", "policy"});
+    for (const auto& r : trace) {
+        csv.row({format("{:.12e}", r.arrival_s), r.request.model_name,
+                 std::to_string(r.request.batch), sched::policy_name(r.request.policy)});
+    }
+}
+
+Trace load_trace(const std::string& path) {
+    const auto rows = read_csv(path);
+    MW_CHECK(!rows.empty(), "empty trace file: " + path);
+    Trace trace;
+    for (std::size_t i = 1; i < rows.size(); ++i) {  // skip header
+        const auto& cells = rows[i];
+        if (cells.size() == 1 && cells[0].empty()) continue;  // trailing newline
+        if (cells.size() != 4) throw IoError("malformed trace row in " + path);
+        TimedRequest r;
+        try {
+            r.arrival_s = std::stod(cells[0]);
+            r.request.batch = static_cast<std::size_t>(std::stoull(cells[2]));
+        } catch (const std::exception&) {
+            throw IoError("non-numeric trace cell in " + path);
+        }
+        r.request.model_name = cells[1];
+        r.request.policy = sched::policy_from_name(cells[3]);
+        trace.push_back(std::move(r));
+    }
+    return trace;
+}
+
+TraceStats trace_stats(const Trace& trace) {
+    TraceStats stats;
+    stats.requests = trace.size();
+    if (trace.empty()) return stats;
+    stats.duration_s = trace.back().arrival_s;
+    stats.mean_rate_hz = stats.duration_s > 0.0
+                             ? static_cast<double>(trace.size()) / stats.duration_s
+                             : 0.0;
+    std::map<long, std::size_t> per_second;
+    for (const auto& r : trace) {
+        ++per_second[static_cast<long>(std::floor(r.arrival_s))];
+        stats.total_samples += r.request.batch;
+    }
+    for (const auto& [sec, count] : per_second) {
+        stats.peak_rate_hz = std::max(stats.peak_rate_hz, static_cast<double>(count));
+    }
+    return stats;
+}
+
+}  // namespace mw::workload

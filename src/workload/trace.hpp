@@ -1,0 +1,28 @@
+// Trace persistence: record/replay request sequences as CSV so experiments
+// are repeatable and sharable.
+#pragma once
+
+#include <string>
+
+#include "workload/generator.hpp"
+
+namespace mw::workload {
+
+/// Write a trace as CSV (arrival_s, model, batch, policy).
+void save_trace(const Trace& trace, const std::string& path);
+
+/// Load a trace written by save_trace; throws mw::IoError on malformed rows.
+Trace load_trace(const std::string& path);
+
+/// Aggregate statistics of a trace.
+struct TraceStats {
+    std::size_t requests = 0;
+    double duration_s = 0.0;
+    double mean_rate_hz = 0.0;
+    double peak_rate_hz = 0.0;  ///< max rate over 1-second windows
+    std::size_t total_samples = 0;
+};
+
+TraceStats trace_stats(const Trace& trace);
+
+}  // namespace mw::workload

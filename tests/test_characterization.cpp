@@ -1,0 +1,329 @@
+// Locks the calibration of the device models to the performance
+// characterization the paper reports in §IV-C (Figures 3 and 4). Each test
+// asserts one crossover/ordering the paper calls out in prose; windows are
+// one binary order wide where the paper gives an exact sample size.
+// Everything runs noise-free (deterministic world).
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "device/registry.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/measurement_harness.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::sched;
+
+constexpr const char* kCpu = "i7-8700";
+constexpr const char* kIgpu = "uhd630";
+constexpr const char* kGtx = "gtx1080ti";
+
+struct Sweep {
+    std::vector<SweepPoint> points;
+    std::vector<std::size_t> batches;
+
+    Sweep() {
+        auto registry = std::make_unique<device::DeviceRegistry>(
+            device::DeviceRegistry::standard_testbed({.noise_sigma = 0.0}));
+        std::vector<std::string> names;
+        for (const auto& spec : nn::zoo::paper_models()) {
+            registry->load_model_everywhere(
+                std::make_shared<nn::Model>(nn::build_model(spec, 7)));
+            names.push_back(spec.name);
+        }
+        MeasurementHarness harness(*registry);
+        batches = MeasurementHarness::paper_batch_sizes();
+        points = harness.sweep(names, batches);
+    }
+
+    const SweepPoint& at(const std::string& model, const std::string& dev, std::size_t batch,
+                         GpuState state) const {
+        for (const auto& p : points) {
+            if (p.model_name == model && p.device_name == dev && p.batch == batch &&
+                p.gpu_state == state) {
+                return p;
+            }
+        }
+        throw Error("missing point");
+    }
+    double tput(const std::string& m, const std::string& d, std::size_t b,
+                GpuState s = GpuState::kWarm) const {
+        return at(m, d, b, s).throughput_bps;
+    }
+    double lat(const std::string& m, const std::string& d, std::size_t b,
+               GpuState s = GpuState::kWarm) const {
+        return at(m, d, b, s).latency_s;
+    }
+    double energy(const std::string& m, const std::string& d, std::size_t b,
+                  GpuState s = GpuState::kWarm) const {
+        return at(m, d, b, s).energy_j;
+    }
+};
+
+const Sweep& sweep() {
+    static const Sweep s;
+    return s;
+}
+
+// ---- Fig. 3(a): Simple / Iris ----------------------------------------------
+
+TEST(Fig3Simple, CpuBestUpTo2048AgainstWarmGpu) {
+    for (std::size_t b = 2; b <= 2048; b *= 2) {
+        EXPECT_GE(sweep().tput("simple", kCpu, b), sweep().tput("simple", kGtx, b)) << b;
+    }
+    // And the warm GPU takes over within one binary order.
+    EXPECT_GT(sweep().tput("simple", kGtx, 8192), sweep().tput("simple", kCpu, 8192));
+}
+
+TEST(Fig3Simple, CpuBeatsIdleGpuAtEverySampleSize) {
+    for (const std::size_t b : sweep().batches) {
+        EXPECT_GT(sweep().tput("simple", kCpu, b),
+                  sweep().tput("simple", kGtx, b, GpuState::kIdle))
+            << b;
+    }
+}
+
+TEST(Fig3Simple, PeakThroughputMagnitudes) {
+    // Paper: CPU up to ~15 Gbit/s, GPU up to ~20 Gbit/s on its best model.
+    const double cpu_peak = sweep().tput("simple", kCpu, 256U << 10);
+    const double gtx_peak = sweep().tput("simple", kGtx, 256U << 10);
+    EXPECT_GT(cpu_peak, 10e9);
+    EXPECT_LT(cpu_peak, 20e9);
+    EXPECT_GT(gtx_peak, 15e9);
+    EXPECT_LT(gtx_peak, 30e9);
+}
+
+// ---- Fig. 3(b): Mnist-Small -------------------------------------------------
+
+TEST(Fig3MnistSmall, IdleGpuLatencyGrowsBetterThanLinearPast512) {
+    // Doubling the batch less than doubles the idle-start latency while the
+    // clock ramps (the effect the paper highlights for sizes > 512).
+    for (std::size_t b = 512; b <= 8192; b *= 2) {
+        const double l1 = sweep().lat("mnist-small", kGtx, b, GpuState::kIdle);
+        const double l2 = sweep().lat("mnist-small", kGtx, 2 * b, GpuState::kIdle);
+        EXPECT_LT(l2 / l1, 1.95) << b;
+    }
+}
+
+TEST(Fig3MnistSmall, StateIrrelevantFrom64K) {
+    for (std::size_t b = 64U << 10; b <= 256U << 10; b *= 2) {
+        const double warm = sweep().lat("mnist-small", kGtx, b, GpuState::kWarm);
+        const double idle = sweep().lat("mnist-small", kGtx, b, GpuState::kIdle);
+        EXPECT_LT(idle / warm, 1.35) << b;
+    }
+}
+
+TEST(Fig3MnistSmall, StateMattersAtSmallSizes) {
+    const double warm = sweep().lat("mnist-small", kGtx, 32, GpuState::kWarm);
+    const double idle = sweep().lat("mnist-small", kGtx, 32, GpuState::kIdle);
+    EXPECT_GT(idle / warm, 3.0);
+}
+
+TEST(Fig3MnistSmall, CpuWindowWiderAgainstIdleGpuThanWarm) {
+    // Latency: the batch range where the CPU leads is strictly larger when
+    // the GPU starts idle (paper: up to 32 idle vs up to 4 warm).
+    auto crossover = [&](GpuState state) {
+        for (const std::size_t b : sweep().batches) {
+            if (sweep().lat("mnist-small", kGtx, b, state) <
+                sweep().lat("mnist-small", kCpu, b, state)) {
+                return b;
+            }
+        }
+        return std::size_t{1} << 60;
+    };
+    const std::size_t warm_cross = crossover(GpuState::kWarm);
+    const std::size_t idle_cross = crossover(GpuState::kIdle);
+    EXPECT_LT(warm_cross, idle_cross);
+    EXPECT_LE(warm_cross, 64U);    // paper: 4 (we land within one order)
+    EXPECT_LE(idle_cross, 512U);   // paper: 32
+    EXPECT_GE(idle_cross, 32U);
+}
+
+// ---- Fig. 3(c): Mnist-Deep --------------------------------------------------
+
+TEST(Fig3MnistDeep, CpuBestUpTo8RegardlessOfGpuState) {
+    for (std::size_t b = 2; b <= 8; b *= 2) {
+        EXPECT_GT(sweep().tput("mnist-deep", kCpu, b),
+                  sweep().tput("mnist-deep", kGtx, b, GpuState::kWarm))
+            << b;
+        EXPECT_GT(sweep().tput("mnist-deep", kCpu, b),
+                  sweep().tput("mnist-deep", kGtx, b, GpuState::kIdle))
+            << b;
+    }
+    EXPECT_GT(sweep().tput("mnist-deep", kGtx, 16), sweep().tput("mnist-deep", kCpu, 16));
+}
+
+TEST(Fig3MnistDeep, WeightStreamingMutesStateEffect) {
+    // Mnist-Deep is memory-bound: the idle/warm gap is far smaller than on
+    // the compute-bound models at the same batch size.
+    const double deep_gap = sweep().lat("mnist-deep", kGtx, 8, GpuState::kIdle) /
+                            sweep().lat("mnist-deep", kGtx, 8, GpuState::kWarm);
+    const double small_gap = sweep().lat("mnist-small", kGtx, 8, GpuState::kIdle) /
+                             sweep().lat("mnist-small", kGtx, 8, GpuState::kWarm);
+    EXPECT_LT(deep_gap, small_gap * 0.75);
+}
+
+// ---- Fig. 3(d): Mnist-CNN ---------------------------------------------------
+
+TEST(Fig3MnistCnn, LatencyCrossoversWarmVsIdle) {
+    // Paper: CPU best up to 32 (warm GPU) and up to 256 (idle GPU).
+    EXPECT_LT(sweep().lat("mnist-cnn", kCpu, 8), sweep().lat("mnist-cnn", kGtx, 8));
+    EXPECT_GT(sweep().lat("mnist-cnn", kCpu, 64), sweep().lat("mnist-cnn", kGtx, 64));
+    EXPECT_LT(sweep().lat("mnist-cnn", kCpu, 32, GpuState::kIdle),
+              sweep().lat("mnist-cnn", kGtx, 32, GpuState::kIdle));
+    EXPECT_GT(sweep().lat("mnist-cnn", kCpu, 512, GpuState::kIdle),
+              sweep().lat("mnist-cnn", kGtx, 512, GpuState::kIdle));
+}
+
+// ---- Fig. 3(e): Cifar-10 ----------------------------------------------------
+
+TEST(Fig3Cifar, CpuBestUpTo8AgainstWarmGpu) {
+    for (std::size_t b = 2; b <= 8; b *= 2) {
+        EXPECT_GT(sweep().tput("cifar-10", kCpu, b), sweep().tput("cifar-10", kGtx, b)) << b;
+    }
+    EXPECT_GT(sweep().tput("cifar-10", kGtx, 16), sweep().tput("cifar-10", kCpu, 16));
+}
+
+TEST(Fig3Cifar, CpuWindowExtendsAgainstIdleGpu) {
+    // Paper: up to 128 against an idle-start GPU.
+    for (std::size_t b = 2; b <= 16; b *= 2) {
+        EXPECT_GT(sweep().tput("cifar-10", kCpu, b),
+                  sweep().tput("cifar-10", kGtx, b, GpuState::kIdle))
+            << b;
+    }
+    EXPECT_GT(sweep().tput("cifar-10", kGtx, 256, GpuState::kIdle),
+              sweep().tput("cifar-10", kCpu, 256, GpuState::kIdle));
+}
+
+// ---- cross-cutting observations --------------------------------------------
+
+TEST(Characterization, IgpuDrawsLowestPowerEverywhere) {
+    for (const auto& p : sweep().points) {
+        if (p.device_name != kIgpu) continue;
+        const auto& cpu = sweep().at(p.model_name, kCpu, p.batch, p.gpu_state);
+        const auto& gtx = sweep().at(p.model_name, kGtx, p.batch, p.gpu_state);
+        EXPECT_LT(p.avg_power_w, cpu.avg_power_w) << p.model_name << " " << p.batch;
+        EXPECT_LT(p.avg_power_w, gtx.avg_power_w) << p.model_name << " " << p.batch;
+    }
+}
+
+TEST(Characterization, IdleStartAlwaysCostsMoreEnergy) {
+    for (const auto& model : {"simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"}) {
+        for (const std::size_t b : sweep().batches) {
+            EXPECT_GT(sweep().energy(model, kGtx, b, GpuState::kIdle),
+                      sweep().energy(model, kGtx, b, GpuState::kWarm) * 0.999)
+                << model << " " << b;
+        }
+    }
+}
+
+TEST(Characterization, StateAffectsThroughputSeverely) {
+    // Paper: differences up to ~7x. Require at least 4x somewhere.
+    double worst = 1.0;
+    for (const auto& p : sweep().points) {
+        if (p.device_name != kGtx || p.gpu_state != GpuState::kWarm) continue;
+        const auto& idle = sweep().at(p.model_name, kGtx, p.batch, GpuState::kIdle);
+        worst = std::max(worst, p.throughput_bps / idle.throughput_bps);
+    }
+    EXPECT_GT(worst, 4.0);
+}
+
+TEST(Characterization, ThroughputMonotoneNondecreasingInBatch) {
+    // "Performance becomes better when the sample size increases."
+    for (const auto& model : {"simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"}) {
+        for (const auto& dev : {kCpu, kIgpu, kGtx}) {
+            double prev = 0.0;
+            for (const std::size_t b : sweep().batches) {
+                const double t = sweep().tput(model, dev, b);
+                EXPECT_GE(t, prev * 0.98) << model << " " << dev << " " << b;
+                prev = t;
+            }
+        }
+    }
+}
+
+TEST(Characterization, NoDeviceRulesThemAll) {
+    // The motivating observation: the best device varies across
+    // (model, batch, state) for every policy.
+    for (const Policy policy :
+         {Policy::kMaxThroughput, Policy::kMinLatency, Policy::kMinEnergy}) {
+        std::map<std::string, int> wins;
+        for (const auto& model :
+             {"simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"}) {
+            for (const std::size_t b : sweep().batches) {
+                for (const GpuState state : {GpuState::kIdle, GpuState::kWarm}) {
+                    std::vector<SweepPoint> rows;
+                    for (const auto& dev : {kCpu, kIgpu, kGtx}) {
+                        rows.push_back(sweep().at(model, dev, b, state));
+                    }
+                    ++wins[best_device(rows, policy)];
+                }
+            }
+        }
+        EXPECT_GE(wins.size(), 2U) << policy_name(policy);
+    }
+}
+
+TEST(Characterization, EnergyGridUsesAllThreeDevices) {
+    std::map<std::string, int> wins;
+    for (const auto& model : {"simple", "mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"}) {
+        for (const std::size_t b : sweep().batches) {
+            std::vector<SweepPoint> rows;
+            for (const auto& dev : {kCpu, kIgpu, kGtx}) {
+                rows.push_back(sweep().at(model, dev, b, GpuState::kWarm));
+            }
+            ++wins[best_device(rows, Policy::kMinEnergy)];
+        }
+    }
+    EXPECT_EQ(wins.size(), 3U);
+    EXPECT_GT(wins[kIgpu], 0);
+    EXPECT_GT(wins[kGtx], 0);
+    EXPECT_GT(wins[kCpu], 0);
+}
+
+TEST(Fig4MnistDeep, EnergyCrossoverIgpuToGtx) {
+    // Paper Fig. 4(c): iGPU most efficient at small sizes, dGPU from 16 up.
+    for (std::size_t b = 2; b <= 8; b *= 2) {
+        EXPECT_LT(sweep().energy("mnist-deep", kIgpu, b),
+                  sweep().energy("mnist-deep", kGtx, b))
+            << b;
+    }
+    for (std::size_t b = 512; b <= (256U << 10); b *= 4) {
+        EXPECT_LT(sweep().energy("mnist-deep", kGtx, b),
+                  sweep().energy("mnist-deep", kIgpu, b))
+            << b;
+    }
+}
+
+TEST(Fig4MnistSmall, WarmGpuWinsMidRangeIdleLoses) {
+    // Paper Fig. 4(b): in the mid range the warm GPU is the most efficient
+    // device while an idle-start GPU hands the win to the iGPU.
+    for (const std::size_t b : {2048U, 8192U}) {
+        EXPECT_LT(sweep().energy("mnist-small", kGtx, b, GpuState::kWarm),
+                  sweep().energy("mnist-small", kIgpu, b, GpuState::kWarm))
+            << b;
+        EXPECT_LT(sweep().energy("mnist-small", kIgpu, b, GpuState::kIdle),
+                  sweep().energy("mnist-small", kGtx, b, GpuState::kIdle))
+            << b;
+    }
+}
+
+TEST(Fig4, CpuIsOftenTheWorstEnergyChoice) {
+    int cpu_worst = 0;
+    int total = 0;
+    for (const auto& model : {"mnist-small", "mnist-deep", "mnist-cnn", "cifar-10"}) {
+        for (std::size_t b = 512; b <= (256U << 10); b *= 2) {
+            const double cpu = sweep().energy(model, kCpu, b);
+            const double igpu = sweep().energy(model, kIgpu, b);
+            const double gtx = sweep().energy(model, kGtx, b);
+            ++total;
+            if (cpu > igpu && cpu > gtx) ++cpu_worst;
+        }
+    }
+    EXPECT_GT(cpu_worst, total / 2);
+}
+
+}  // namespace

@@ -1,0 +1,102 @@
+// Tests for the synthetic dataset generators and split utilities.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "data/synth.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::data;
+
+TEST(Synth, IrisLikeShapeAndClasses) {
+    const Dataset d = make_iris_like(300, 1);
+    EXPECT_EQ(d.size(), 300U);
+    EXPECT_EQ(d.sample_elems(), 4U);
+    EXPECT_EQ(d.num_classes, 3U);
+    const auto hist = class_histogram(d);
+    for (const auto c : hist) EXPECT_GT(c, 50U);  // roughly balanced
+}
+
+TEST(Synth, MnistLikeShape) {
+    const Dataset d = make_mnist_like(50, 2);
+    EXPECT_EQ(d.sample_elems(), 784U);
+    EXPECT_EQ(d.num_classes, 10U);
+    // Pixels clamped to [0, 1.5].
+    for (const float v : d.x.span()) {
+        EXPECT_GE(v, 0.0F);
+        EXPECT_LE(v, 1.5F);
+    }
+}
+
+TEST(Synth, CifarLikeShape) {
+    const Dataset d = make_cifar_like(20, 3);
+    EXPECT_EQ(d.sample_elems(), 3U * 32 * 32);
+    EXPECT_EQ(d.num_classes, 10U);
+}
+
+TEST(Synth, Deterministic) {
+    const Dataset a = make_mnist_like(10, 42);
+    const Dataset b = make_mnist_like(10, 42);
+    EXPECT_EQ(a.x.max_abs_diff(b.x), 0.0F);
+    EXPECT_EQ(a.y, b.y);
+    const Dataset c = make_mnist_like(10, 43);
+    EXPECT_GT(a.x.max_abs_diff(c.x), 0.0F);
+}
+
+TEST(Synth, ClustersSeparatedByClass) {
+    const Dataset d = make_clusters(2000, 8, 4, 4.0, 7);
+    // Per-class feature means should differ across classes for some feature.
+    std::vector<std::vector<double>> means(4, std::vector<double>(8, 0.0));
+    std::vector<std::size_t> counts(4, 0);
+    for (std::size_t i = 0; i < d.size(); ++i) {
+        ++counts[d.y[i]];
+        for (std::size_t f = 0; f < 8; ++f) means[d.y[i]][f] += d.x.at(i, f);
+    }
+    for (std::size_t c = 0; c < 4; ++c) {
+        for (auto& m : means[c]) m /= static_cast<double>(counts[c]);
+    }
+    double max_gap = 0.0;
+    for (std::size_t f = 0; f < 8; ++f) {
+        max_gap = std::max(max_gap, std::abs(means[0][f] - means[1][f]));
+    }
+    EXPECT_GT(max_gap, 1.0);
+}
+
+TEST(Split, PreservesSamplesAndClasses) {
+    const Dataset d = make_iris_like(100, 5);
+    Rng rng(5);
+    const auto split = train_test_split(d, 0.2, rng);
+    EXPECT_EQ(split.train.size() + split.test.size(), 100U);
+    EXPECT_EQ(split.test.size(), 20U);
+    EXPECT_EQ(split.train.num_classes, 3U);
+    EXPECT_EQ(split.train.sample_elems(), 4U);
+}
+
+TEST(Split, RejectsBadFraction) {
+    const Dataset d = make_iris_like(10, 5);
+    Rng rng(5);
+    EXPECT_THROW(train_test_split(d, 0.0, rng), InvalidArgument);
+    EXPECT_THROW(train_test_split(d, 1.0, rng), InvalidArgument);
+}
+
+TEST(Batch, ExtractsRows) {
+    const Dataset d = make_iris_like(10, 6);
+    const Tensor b = batch_of(d, 2, 3);
+    EXPECT_EQ(b.shape(), Shape({3, 4}));
+    for (std::size_t i = 0; i < 3; ++i) {
+        for (std::size_t f = 0; f < 4; ++f) {
+            EXPECT_EQ(b.at(i, f), d.x.at(2 + i, f));
+        }
+    }
+    EXPECT_THROW(batch_of(d, 9, 5), InvalidArgument);
+}
+
+TEST(Payload, DeterministicAndShaped) {
+    const Tensor p = make_inference_payload(16, 784, 9);
+    EXPECT_EQ(p.shape(), Shape({16, 784}));
+    const Tensor q = make_inference_payload(16, 784, 9);
+    EXPECT_EQ(p.max_abs_diff(q), 0.0F);
+}
+
+}  // namespace

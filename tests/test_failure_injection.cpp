@@ -1,0 +1,168 @@
+// Failure-injection tests: every user-facing entry point must fail loudly
+// and precisely on bad input, never corrupt state, and keep working after a
+// rejected call.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "ml/random_forest.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/serialize.hpp"
+#include "nn/zoo.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_dataset.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mw;
+
+TEST(FailureInjection, BadModelSpecsRejectedAtBuild) {
+    nn::FfnnSpec no_input;
+    no_input.output_dim = 3;
+    EXPECT_THROW(nn::build_model({"bad", no_input, true}), InvalidArgument);
+
+    nn::CnnSpec no_blocks;
+    no_blocks.in_channels = 1;
+    no_blocks.in_h = 8;
+    no_blocks.in_w = 8;
+    no_blocks.output_dim = 2;
+    EXPECT_THROW(nn::build_model({"bad", no_blocks, true}), InvalidArgument);
+
+    nn::CnnSpec indivisible;
+    indivisible.in_channels = 1;
+    indivisible.in_h = 7;  // 7 not divisible by pool 2
+    indivisible.in_w = 7;
+    indivisible.blocks = {{.convs = 1, .filters = 4, .filter_size = 3, .pool_size = 2}};
+    indivisible.output_dim = 2;
+    EXPECT_THROW(nn::build_model({"bad", indivisible, true}), InvalidArgument);
+}
+
+TEST(FailureInjection, WrongInputShapeRejectedNotCrashed) {
+    const nn::Model model = nn::build_model(nn::zoo::simple(), 1);
+    Tensor wrong(Shape{4, 5});  // simple expects width 4
+    EXPECT_THROW((void)model.forward(wrong), InvalidArgument);
+    // The model remains usable afterwards.
+    Tensor right(model.input_shape(4));
+    EXPECT_NO_THROW((void)model.forward(right));
+}
+
+TEST(FailureInjection, DeviceRejectsBadSubmissions) {
+    device::Device dev(device::i7_8700_params());
+    EXPECT_THROW(dev.profile("ghost", 8, 0.0), StateError);
+    dev.load_model(std::make_shared<nn::Model>(nn::build_model(nn::zoo::simple(), 1)));
+    EXPECT_THROW(dev.profile("simple", 0, 0.0), InvalidArgument);  // zero batch
+    EXPECT_THROW(dev.set_throttle(0.5), InvalidArgument);          // speedup forbidden
+    EXPECT_THROW(dev.set_noise(-0.1, 1), InvalidArgument);
+    // Still serves good requests.
+    EXPECT_NO_THROW(dev.profile("simple", 8, 0.0));
+}
+
+TEST(FailureInjection, DeviceParamsValidated) {
+    device::DeviceParams p = device::i7_8700_params();
+    p.name.clear();
+    EXPECT_THROW(device::Device bad(p), InvalidArgument);
+    p = device::i7_8700_params();
+    p.idle_clock_ratio = 0.0;
+    EXPECT_THROW(device::Device bad(p), InvalidArgument);
+}
+
+TEST(FailureInjection, SchedulerRejectsUnknownModelAndZeroBatch) {
+    auto registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::simple(), 1);
+    dispatcher.deploy_all();
+    const auto dataset = sched::build_scheduler_dataset(registry, {nn::zoo::simple()},
+                                                        {.batches = {8, 1024}});
+    sched::DevicePredictor predictor(
+        std::make_unique<ml::RandomForest>(ml::ForestConfig{.n_estimators = 5}),
+        dataset.device_names);
+    predictor.fit(dataset);
+    sched::OnlineScheduler scheduler(dispatcher, std::move(predictor), dataset);
+
+    EXPECT_THROW(scheduler.decide({"ghost", 8, sched::Policy::kMinLatency}, 0.0),
+                 InvalidArgument);
+    EXPECT_THROW(scheduler.decide({"simple", 0, sched::Policy::kMinLatency}, 0.0),
+                 InvalidArgument);
+    // A rejected request does not count as a decision and serving continues.
+    EXPECT_EQ(scheduler.decisions(), 0U);
+    EXPECT_NO_THROW(scheduler.submit({"simple", 8, sched::Policy::kMinLatency}, 0.0));
+}
+
+TEST(FailureInjection, SchedulerConfigValidated) {
+    auto registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::simple(), 1);
+    dispatcher.deploy_all();
+    const auto dataset = sched::build_scheduler_dataset(registry, {nn::zoo::simple()},
+                                                        {.batches = {8}});
+    auto make = [&](double explore) {
+        sched::DevicePredictor predictor(
+            std::make_unique<ml::RandomForest>(ml::ForestConfig{.n_estimators = 3}),
+            dataset.device_names);
+        predictor.fit(dataset);
+        return sched::OnlineScheduler(dispatcher, std::move(predictor), dataset,
+                                      {.explore_probability = explore});
+    };
+    EXPECT_THROW(make(1.5), InvalidArgument);
+    EXPECT_THROW(make(-0.1), InvalidArgument);
+    EXPECT_NO_THROW(make(0.5));
+}
+
+TEST(FailureInjection, CorruptTraceFilesRejected) {
+    const std::string path = "/tmp/mw_bad_trace.csv";
+    {
+        std::ofstream out(path);
+        out << "arrival_s,model,batch,policy\n";
+        out << "0.5,simple,NOT_A_NUMBER,latency\n";
+    }
+    EXPECT_THROW(workload::load_trace(path), IoError);
+    {
+        std::ofstream out(path);
+        out << "arrival_s,model,batch\n";  // wrong arity
+        out << "0.5,simple,8\n";
+    }
+    EXPECT_THROW(workload::load_trace(path), IoError);
+    {
+        std::ofstream out(path);
+        out << "arrival_s,model,batch,policy\n";
+        out << "0.5,simple,8,warp-speed\n";  // unknown policy
+    }
+    EXPECT_THROW(workload::load_trace(path), InvalidArgument);
+    std::filesystem::remove(path);
+}
+
+TEST(FailureInjection, CorruptModelFilesRejected) {
+    const std::string path = "/tmp/mw_bad_model.mwmodel";
+    {
+        std::ofstream out(path);
+        out << "not a model at all\n";
+    }
+    EXPECT_THROW(nn::load_model(path), Error);
+    {
+        // Valid header but no separator / weights.
+        std::ofstream out(path);
+        out << nn::spec_to_text(nn::zoo::simple());
+    }
+    EXPECT_THROW(nn::load_model(path), Error);
+    std::filesystem::remove(path);
+}
+
+TEST(FailureInjection, EmptyDatasetBuildsRejected) {
+    auto registry = device::DeviceRegistry::standard_testbed();
+    EXPECT_THROW(sched::build_scheduler_dataset(registry, {}, {}), InvalidArgument);
+}
+
+TEST(FailureInjection, HarnessRejectsUnknownDevice) {
+    auto registry = device::DeviceRegistry::standard_testbed();
+    registry.load_model_everywhere(
+        std::make_shared<nn::Model>(nn::build_model(nn::zoo::simple(), 1)));
+    sched::MeasurementHarness harness(registry);
+    EXPECT_THROW(harness.measure("simple", "tpu-v9", 8, sched::GpuState::kWarm),
+                 InvalidArgument);
+    // And keeps working after the rejection.
+    EXPECT_NO_THROW(harness.measure("simple", "i7-8700", 8, sched::GpuState::kWarm));
+}
+
+}  // namespace

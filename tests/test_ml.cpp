@@ -1,0 +1,322 @@
+// Tests for the scheduler's classical-ML toolkit: trees, forests, baselines,
+// metrics and the (nested) cross-validation machinery.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/thread_pool.hpp"
+#include "ml/cross_validation.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/knn.hpp"
+#include "ml/linear.hpp"
+#include "ml/metrics.hpp"
+#include "ml/mlp.hpp"
+#include "ml/random_forest.hpp"
+#include "ml/svm.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::ml;
+
+/// Axis-aligned two-class problem a depth-2 tree solves exactly.
+MlDataset xor_like(std::size_t n, std::uint64_t seed) {
+    Rng rng(seed);
+    MlDataset d;
+    d.features = 2;
+    d.classes = 2;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double a = rng.uniform(-1.0, 1.0);
+        const double b = rng.uniform(-1.0, 1.0);
+        const int label = (a > 0.0) != (b > 0.0) ? 1 : 0;
+        d.add(std::vector<double>{a, b}, label);
+    }
+    return d;
+}
+
+/// Gaussian blobs, linearly separable-ish.
+MlDataset blobs(std::size_t n, std::size_t features, std::size_t classes, double sep,
+                std::uint64_t seed) {
+    Rng rng(seed);
+    MlDataset d;
+    d.features = features;
+    d.classes = classes;
+    std::vector<double> row(features);
+    for (std::size_t i = 0; i < n; ++i) {
+        const int cls = static_cast<int>(rng.below(classes));
+        for (std::size_t f = 0; f < features; ++f) {
+            row[f] = sep * std::sin(cls * 2.4 + f * 0.7) + rng.normal();
+        }
+        d.add(row, cls);
+    }
+    return d;
+}
+
+TEST(MlDataset, SubsetAndCounts) {
+    const MlDataset d = blobs(40, 3, 2, 3.0, 1);
+    const std::vector<std::size_t> idx{0, 5, 9};
+    const MlDataset s = d.subset(idx);
+    EXPECT_EQ(s.size(), 3U);
+    EXPECT_EQ(s.row(1)[0], d.row(5)[0]);
+    EXPECT_EQ(s.y[2], d.y[9]);
+    const auto counts = d.class_counts();
+    EXPECT_EQ(counts[0] + counts[1], 40U);
+}
+
+TEST(DecisionTree, SolvesXor) {
+    const MlDataset train = xor_like(400, 2);
+    const MlDataset test = xor_like(100, 3);
+    DecisionTree tree({.max_depth = 4});
+    tree.fit(train);
+    EXPECT_GT(accuracy(test.y, tree.predict_all(test)), 0.95);
+}
+
+TEST(DecisionTree, DepthLimitRespected) {
+    const MlDataset train = xor_like(400, 2);
+    DecisionTree stump({.max_depth = 1});
+    stump.fit(train);
+    EXPECT_LE(stump.depth(), 2U);
+    // A depth-1 stump cannot solve XOR.
+    EXPECT_LT(accuracy(train.y, stump.predict_all(train)), 0.7);
+}
+
+TEST(DecisionTree, MinSamplesLeafShrinksTree) {
+    const MlDataset train = blobs(300, 4, 3, 2.0, 4);
+    DecisionTree fine({.max_depth = 12, .min_samples_leaf = 1});
+    DecisionTree coarse({.max_depth = 12, .min_samples_leaf = 20});
+    fine.fit(train);
+    coarse.fit(train);
+    EXPECT_LT(coarse.node_count(), fine.node_count());
+}
+
+TEST(DecisionTree, EntropyCriterionWorksToo) {
+    const MlDataset train = xor_like(300, 5);
+    DecisionTree tree({.max_depth = 4, .criterion = SplitCriterion::kEntropy});
+    tree.fit(train);
+    EXPECT_GT(accuracy(train.y, tree.predict_all(train)), 0.95);
+}
+
+TEST(DecisionTree, PredictBeforeFitThrows) {
+    DecisionTree tree;
+    const std::vector<double> row{0.0, 0.0};
+    EXPECT_THROW((void)tree.predict(row), InvalidArgument);
+}
+
+TEST(RandomForest, BeatsSingleStumpOnNoisyData) {
+    MlDataset train = blobs(500, 6, 3, 1.5, 6);
+    const MlDataset test = blobs(300, 6, 3, 1.5, 7);
+    DecisionTree stump({.max_depth = 2});
+    stump.fit(train);
+    RandomForest forest({.n_estimators = 40, .max_depth = 8, .seed = 3});
+    forest.fit(train);
+    EXPECT_GT(accuracy(test.y, forest.predict_all(test)),
+              accuracy(test.y, stump.predict_all(test)));
+}
+
+TEST(RandomForest, DeterministicAcrossFits) {
+    const MlDataset train = blobs(200, 4, 3, 2.0, 8);
+    const MlDataset test = blobs(50, 4, 3, 2.0, 9);
+    RandomForest a({.n_estimators = 15, .seed = 5});
+    RandomForest b({.n_estimators = 15, .seed = 5});
+    a.fit(train);
+    b.fit(train);
+    EXPECT_EQ(a.predict_all(test), b.predict_all(test));
+}
+
+TEST(RandomForest, ParallelFitMatchesSerial) {
+    const MlDataset train = blobs(200, 4, 3, 2.0, 10);
+    const MlDataset test = blobs(60, 4, 3, 2.0, 11);
+    RandomForest serial({.n_estimators = 12, .seed = 7});
+    serial.fit(train);
+    ThreadPool pool(3);
+    RandomForest parallel({.n_estimators = 12, .seed = 7}, &pool);
+    parallel.fit(train);
+    EXPECT_EQ(serial.predict_all(test), parallel.predict_all(test));
+}
+
+TEST(RandomForest, ProbaSumsToOne) {
+    const MlDataset train = blobs(150, 4, 3, 2.0, 12);
+    RandomForest forest({.n_estimators = 9});
+    forest.fit(train);
+    const auto p = forest.predict_proba(train.row(0));
+    double sum = 0.0;
+    for (const double v : p) {
+        EXPECT_GE(v, 0.0);
+        sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(RandomForest, ConfigFromParams) {
+    const ForestConfig c = ForestConfig::from_params(
+        {{"n_estimators", 25}, {"max_depth", 5}, {"min_samples_leaf", 3}, {"criterion", 1}});
+    EXPECT_EQ(c.n_estimators, 25U);
+    EXPECT_EQ(c.max_depth, 5U);
+    EXPECT_EQ(c.min_samples_leaf, 3U);
+    EXPECT_EQ(c.criterion, SplitCriterion::kEntropy);
+}
+
+TEST(Knn, ClassifiesBlobs) {
+    const MlDataset train = blobs(400, 4, 3, 3.0, 13);
+    const MlDataset test = blobs(100, 4, 3, 3.0, 14);
+    KnnClassifier knn(5);
+    knn.fit(train);
+    EXPECT_GT(accuracy(test.y, knn.predict_all(test)), 0.9);
+}
+
+TEST(Knn, ScaleInvariantThanksToStandardisation) {
+    MlDataset train = blobs(300, 2, 2, 3.0, 15);
+    MlDataset scaled = train;
+    for (std::size_t i = 0; i < scaled.size(); ++i) scaled.x[i * 2] *= 1000.0;
+    const MlDataset test = blobs(80, 2, 2, 3.0, 16);
+    MlDataset test_scaled = test;
+    for (std::size_t i = 0; i < test_scaled.size(); ++i) test_scaled.x[i * 2] *= 1000.0;
+
+    KnnClassifier a(5);
+    KnnClassifier b(5);
+    a.fit(train);
+    b.fit(scaled);
+    EXPECT_EQ(a.predict_all(test), b.predict_all(test_scaled));
+}
+
+TEST(Linear, SeparatesLinearBlobs) {
+    const MlDataset train = blobs(400, 5, 3, 3.0, 17);
+    const MlDataset test = blobs(120, 5, 3, 3.0, 18);
+    LinearClassifier lin;
+    lin.fit(train);
+    EXPECT_GT(accuracy(test.y, lin.predict_all(test)), 0.9);
+}
+
+TEST(Linear, CannotSolveXor) {
+    const MlDataset train = xor_like(400, 19);
+    LinearClassifier lin;
+    lin.fit(train);
+    EXPECT_LT(accuracy(train.y, lin.predict_all(train)), 0.7);
+}
+
+TEST(Svm, RbfSolvesXor) {
+    const MlDataset train = xor_like(250, 20);
+    const MlDataset test = xor_like(80, 21);
+    SvmClassifier svm({.gamma = 1.0, .epochs = 30, .seed = 2});
+    svm.fit(train);
+    EXPECT_GT(accuracy(test.y, svm.predict_all(test)), 0.85);
+}
+
+TEST(Mlp, SolvesXor) {
+    const MlDataset train = xor_like(400, 22);
+    const MlDataset test = xor_like(100, 23);
+    MlpClassifier mlp({.hidden = {16}, .epochs = 200, .learning_rate = 0.1F, .seed = 3});
+    mlp.fit(train);
+    EXPECT_GT(accuracy(test.y, mlp.predict_all(test)), 0.9);
+}
+
+TEST(Metrics, PerfectAndWorst) {
+    const std::vector<int> truth{0, 1, 2, 0, 1, 2};
+    EXPECT_EQ(accuracy(truth, truth), 1.0);
+    const auto perfect = weighted_scores(truth, truth, 3);
+    EXPECT_NEAR(perfect.f1, 1.0, 1e-12);
+    EXPECT_NEAR(perfect.precision, 1.0, 1e-12);
+    EXPECT_NEAR(perfect.recall, 1.0, 1e-12);
+}
+
+TEST(Metrics, ConfusionMatrixLayout) {
+    const std::vector<int> truth{0, 0, 1, 1};
+    const std::vector<int> pred{0, 1, 1, 1};
+    const auto cm = confusion_matrix(truth, pred, 2);
+    EXPECT_EQ(cm[0 * 2 + 0], 1U);
+    EXPECT_EQ(cm[0 * 2 + 1], 1U);
+    EXPECT_EQ(cm[1 * 2 + 1], 2U);
+    EXPECT_EQ(cm[1 * 2 + 0], 0U);
+}
+
+TEST(Metrics, WeightedVsMacroOnImbalance) {
+    // 9 of class 0 (all right), 1 of class 1 (wrong): weighted > macro.
+    std::vector<int> truth(10, 0);
+    truth[9] = 1;
+    std::vector<int> pred(10, 0);
+    const auto macro = macro_scores(truth, pred, 2);
+    const auto weighted = weighted_scores(truth, pred, 2);
+    EXPECT_GT(weighted.f1, macro.f1);
+    EXPECT_NEAR(weighted.recall, 0.9, 1e-12);
+}
+
+TEST(Folds, KfoldPartitions) {
+    const auto folds = kfold(103, 5, 1);
+    ASSERT_EQ(folds.size(), 5U);
+    std::set<std::size_t> all_test;
+    for (const auto& f : folds) {
+        EXPECT_EQ(f.train.size() + f.test.size(), 103U);
+        for (const std::size_t i : f.test) all_test.insert(i);
+    }
+    EXPECT_EQ(all_test.size(), 103U);
+}
+
+TEST(Folds, StratifiedPreservesProportions) {
+    // 80/20 imbalance must survive in every fold.
+    std::vector<int> labels;
+    for (int i = 0; i < 200; ++i) labels.push_back(i < 160 ? 0 : 1);
+    const auto folds = stratified_kfold(labels, 2, 5, 2);
+    for (const auto& f : folds) {
+        std::size_t ones = 0;
+        for (const std::size_t i : f.test) ones += labels[i] == 1;
+        const double frac = static_cast<double>(ones) / static_cast<double>(f.test.size());
+        EXPECT_NEAR(frac, 0.2, 0.05);
+    }
+}
+
+TEST(Cv, CrossValidateScoresSensibly) {
+    const MlDataset data = blobs(300, 4, 3, 3.0, 24);
+    const auto folds = stratified_kfold(data.y, data.classes, 5, 3);
+    RandomForest proto({.n_estimators = 15, .seed = 4});
+    const CvResult r = cross_validate(proto, data, folds);
+    EXPECT_GT(r.accuracy, 0.85);
+    EXPECT_EQ(r.truth.size(), data.size());
+    EXPECT_NEAR(r.weighted.f1, r.accuracy, 0.1);
+}
+
+TEST(Cv, ParallelFoldsMatchSerial) {
+    const MlDataset data = blobs(200, 4, 3, 3.0, 25);
+    const auto folds = stratified_kfold(data.y, data.classes, 4, 5);
+    DecisionTree proto({.max_depth = 6, .seed = 9});
+    const CvResult serial = cross_validate(proto, data, folds);
+    ThreadPool pool(3);
+    const CvResult parallel = cross_validate(proto, data, folds, &pool);
+    EXPECT_EQ(serial.predicted, parallel.predicted);
+}
+
+TEST(Grid, CartesianProduct) {
+    const auto grid = make_grid({{"a", {1, 2, 3}}, {"b", {10, 20}}});
+    EXPECT_EQ(grid.size(), 6U);
+    std::set<std::pair<double, double>> combos;
+    for (const auto& p : grid) combos.insert({p.at("a"), p.at("b")});
+    EXPECT_EQ(combos.size(), 6U);
+}
+
+TEST(Grid, SearchPicksHelpfulDepth) {
+    // XOR needs depth >= 2: grid search must reject depth 1.
+    const MlDataset data = xor_like(300, 26);
+    const ClassifierFactory factory = [](const ParamSet& p) -> ClassifierPtr {
+        TreeConfig c;
+        c.max_depth = static_cast<std::size_t>(p.at("max_depth"));
+        return std::make_unique<DecisionTree>(c);
+    };
+    const auto result =
+        grid_search(factory, make_grid({{"max_depth", {1, 4}}}), data, 4, 7);
+    EXPECT_EQ(result.best_params.at("max_depth"), 4);
+    EXPECT_GT(result.best_accuracy, 0.85);
+    EXPECT_EQ(result.scores.size(), 2U);
+}
+
+TEST(NestedCv, OuterScoreIsHonest) {
+    const MlDataset data = blobs(240, 4, 3, 3.0, 27);
+    const ClassifierFactory factory = [](const ParamSet& p) -> ClassifierPtr {
+        return std::make_unique<RandomForest>(ForestConfig::from_params(p));
+    };
+    const auto grid = make_grid({{"n_estimators", {5, 15}}, {"max_depth", {3, 6}}});
+    const auto result = nested_cross_validate(factory, grid, data, 4, 3, 11);
+    EXPECT_GT(result.outer.accuracy, 0.8);
+    EXPECT_FALSE(result.chosen_params.empty());
+    EXPECT_EQ(result.outer.truth.size(), data.size());
+}
+
+}  // namespace

@@ -1,0 +1,105 @@
+// Tests for the power instrumentation layer (nvidia-smi / PCM equivalents).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "device/registry.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "power/energy_counter.hpp"
+#include "power/meter.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::device;
+using namespace mw::power;
+
+struct Fixture {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    std::shared_ptr<const nn::Model> model =
+        std::make_shared<nn::Model>(nn::build_model(nn::zoo::mnist_small(), 1));
+    Fixture() { registry.load_model_everywhere(model); }
+};
+
+TEST(NvmlLikeMeter, IdleDrawWhenQuiet) {
+    Fixture f;
+    const NvmlLikeMeter meter(f.registry.at("gtx1080ti"));
+    EXPECT_NEAR(meter.read_watts(0.0), gtx1080ti_params().idle_power_w, 0.01);
+    EXPECT_EQ(meter.domain(), "nvidia-smi:gtx1080ti");
+}
+
+TEST(NvmlLikeMeter, ElevatedDuringKernelPhase) {
+    Fixture f;
+    Device& gpu = f.registry.at("gtx1080ti");
+    gpu.force_warm();
+    const auto m = gpu.profile("mnist-small", 65536, 10.0);
+    const NvmlLikeMeter meter(gpu);
+    // Sample the middle of the kernel phase.
+    const double mid = m.start_time + m.breakdown.t_host + m.breakdown.t_xfer_in +
+                       0.5 * m.breakdown.t_kernels;
+    EXPECT_GT(meter.read_watts(mid), gtx1080ti_params().idle_power_w * 1.5);
+    // And after completion it is idle again.
+    EXPECT_NEAR(meter.read_watts(m.end_time + 1.0), gtx1080ti_params().idle_power_w, 0.01);
+}
+
+TEST(NvmlLikeMeter, RejectsNonDiscreteDevice) {
+    Fixture f;
+    EXPECT_THROW(NvmlLikeMeter(f.registry.at("i7-8700")), InvalidArgument);
+}
+
+TEST(PcmLikeMeter, AggregatesPackageDomains) {
+    Fixture f;
+    const Device& cpu = f.registry.at("i7-8700");
+    const Device& igpu = f.registry.at("uhd630");
+    const PcmLikeMeter pkg(cpu, &igpu);
+    const PcmLikeMeter cores_only(cpu, nullptr);
+    EXPECT_GT(pkg.read_watts(0.0), cores_only.read_watts(0.0));
+    EXPECT_NEAR(cores_only.read_watts(0.0), i7_8700_params().idle_power_w, 0.01);
+}
+
+TEST(PcmLikeMeter, WrongDomainKindsRejected) {
+    Fixture f;
+    EXPECT_THROW(PcmLikeMeter(f.registry.at("gtx1080ti"), nullptr), InvalidArgument);
+}
+
+TEST(PowerMeter, SampleWindowSpacing) {
+    Fixture f;
+    const NvmlLikeMeter meter(f.registry.at("gtx1080ti"));
+    const auto samples = meter.sample_window(5.0, 0.25, 8);
+    ASSERT_EQ(samples.size(), 8U);
+    EXPECT_NEAR(samples[1].time_s - samples[0].time_s, 0.25, 1e-12);
+    EXPECT_NEAR(samples.back().time_s, 5.0 + 7 * 0.25, 1e-9);
+}
+
+TEST(EnergyCounter, IdleIntegralMatchesBaseline) {
+    Fixture f;
+    const NvmlLikeMeter meter(f.registry.at("gtx1080ti"));
+    const EnergyCounter counter(meter, 0.01);
+    const double joules = counter.integrate(100.0, 101.0);
+    EXPECT_NEAR(joules, gtx1080ti_params().idle_power_w, 0.1);
+    EXPECT_NEAR(counter.integrate_above(100.0, 101.0, gtx1080ti_params().idle_power_w), 0.0,
+                0.1);
+}
+
+TEST(EnergyCounter, SampledEnergyTracksAnalyticEnergy) {
+    Fixture f;
+    Device& cpu = f.registry.at("i7-8700");
+    cpu.force_warm();
+    const auto m = cpu.profile("mnist-small", 16384, 50.0);
+    const PcmLikeMeter meter(cpu, nullptr);
+    // Fine-grained sampling across the exact run window.
+    const EnergyCounter counter(meter, m.latency_s() / 512.0);
+    const double sampled = counter.integrate(m.start_time, m.end_time);
+    EXPECT_NEAR(sampled, m.breakdown.energy_device_j, m.breakdown.energy_device_j * 0.15);
+}
+
+TEST(EnergyCounter, ZeroWindow) {
+    Fixture f;
+    const NvmlLikeMeter meter(f.registry.at("gtx1080ti"));
+    const EnergyCounter counter(meter, 0.1);
+    EXPECT_EQ(counter.integrate(3.0, 3.0), 0.0);
+    EXPECT_THROW((void)counter.integrate(3.0, 2.0), InvalidArgument);
+}
+
+}  // namespace

@@ -1,0 +1,172 @@
+// Tests for the workload module: arrival generators, trace persistence and
+// the input-stream sources.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "workload/generator.hpp"
+#include "workload/stream.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::workload;
+
+GeneratorConfig base_config(ArrivalPattern pattern) {
+    GeneratorConfig c;
+    c.pattern = pattern;
+    c.duration_s = 30.0;
+    c.mean_rate_hz = 20.0;
+    c.model_names = {"simple", "mnist-small"};
+    c.seed = 5;
+    return c;
+}
+
+TEST(Generator, ConstantHasRegularGaps) {
+    const auto trace = generate_trace(base_config(ArrivalPattern::kConstant));
+    ASSERT_GT(trace.size(), 100U);
+    const double gap = trace[1].arrival_s - trace[0].arrival_s;
+    for (std::size_t i = 2; i < trace.size(); ++i) {
+        EXPECT_NEAR(trace[i].arrival_s - trace[i - 1].arrival_s, gap, 1e-9);
+    }
+}
+
+TEST(Generator, PoissonMeanRateApproximatelyRight) {
+    auto config = base_config(ArrivalPattern::kPoisson);
+    config.duration_s = 100.0;
+    const auto trace = generate_trace(config);
+    const double rate = static_cast<double>(trace.size()) / config.duration_s;
+    EXPECT_NEAR(rate, config.mean_rate_hz, config.mean_rate_hz * 0.15);
+}
+
+TEST(Generator, ArrivalsStrictlyIncreasing) {
+    for (const auto pattern : {ArrivalPattern::kConstant, ArrivalPattern::kPoisson,
+                               ArrivalPattern::kBursty, ArrivalPattern::kDiurnal}) {
+        const auto trace = generate_trace(base_config(pattern));
+        ASSERT_FALSE(trace.empty()) << pattern_name(pattern);
+        for (std::size_t i = 1; i < trace.size(); ++i) {
+            EXPECT_GT(trace[i].arrival_s, trace[i - 1].arrival_s) << pattern_name(pattern);
+        }
+        EXPECT_LE(trace.back().arrival_s, base_config(pattern).duration_s * 1.01);
+    }
+}
+
+TEST(Generator, BurstyIsBurstierThanPoisson) {
+    auto bursty_cfg = base_config(ArrivalPattern::kBursty);
+    bursty_cfg.duration_s = 120.0;
+    auto poisson_cfg = base_config(ArrivalPattern::kPoisson);
+    poisson_cfg.duration_s = 120.0;
+    const auto bursty = generate_trace(bursty_cfg);
+    const auto poisson = generate_trace(poisson_cfg);
+    // Peak-to-mean rate ratio separates the shapes.
+    const auto bs = trace_stats(bursty);
+    const auto ps = trace_stats(poisson);
+    EXPECT_GT(bs.peak_rate_hz / bs.mean_rate_hz, ps.peak_rate_hz / ps.mean_rate_hz);
+}
+
+TEST(Generator, DiurnalRateVaries) {
+    auto config = base_config(ArrivalPattern::kDiurnal);
+    config.diurnal_period_s = 30.0;
+    config.diurnal_depth = 0.9;
+    EXPECT_GT(expected_rate_at(config, 7.5), config.mean_rate_hz * 1.5);   // peak
+    EXPECT_LT(expected_rate_at(config, 22.5), config.mean_rate_hz * 0.5);  // trough
+}
+
+TEST(Generator, DeterministicGivenSeed) {
+    const auto a = generate_trace(base_config(ArrivalPattern::kBursty));
+    const auto b = generate_trace(base_config(ArrivalPattern::kBursty));
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].arrival_s, b[i].arrival_s);
+        EXPECT_EQ(a[i].request.model_name, b[i].request.model_name);
+        EXPECT_EQ(a[i].request.batch, b[i].request.batch);
+    }
+}
+
+TEST(Generator, BurstsCarryLargerBatches) {
+    auto config = base_config(ArrivalPattern::kBursty);
+    config.duration_s = 200.0;
+    config.bursts_increase_batch = true;
+    const auto trace = generate_trace(config);
+    double mean_batch = 0.0;
+    for (const auto& r : trace) mean_batch += static_cast<double>(r.request.batch);
+    mean_batch /= static_cast<double>(trace.size());
+
+    config.bursts_increase_batch = false;
+    const auto flat = generate_trace(config);
+    double mean_flat = 0.0;
+    for (const auto& r : flat) mean_flat += static_cast<double>(r.request.batch);
+    mean_flat /= static_cast<double>(flat.size());
+    EXPECT_GT(mean_batch, mean_flat);
+}
+
+TEST(Trace, SaveLoadRoundTrip) {
+    const std::string path = "/tmp/mw_test_trace.csv";
+    const auto trace = generate_trace(base_config(ArrivalPattern::kPoisson));
+    save_trace(trace, path);
+    const auto loaded = load_trace(path);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        EXPECT_NEAR(loaded[i].arrival_s, trace[i].arrival_s, 1e-9);
+        EXPECT_EQ(loaded[i].request.model_name, trace[i].request.model_name);
+        EXPECT_EQ(loaded[i].request.batch, trace[i].request.batch);
+        EXPECT_EQ(loaded[i].request.policy, trace[i].request.policy);
+    }
+    std::filesystem::remove(path);
+}
+
+TEST(Trace, StatsAggregation) {
+    auto config = base_config(ArrivalPattern::kConstant);
+    config.batch_choices = {16};
+    const auto trace = generate_trace(config);
+    const auto stats = trace_stats(trace);
+    EXPECT_EQ(stats.requests, trace.size());
+    EXPECT_EQ(stats.total_samples, trace.size() * 16);
+    EXPECT_NEAR(stats.mean_rate_hz, 20.0, 2.0);
+}
+
+TEST(Stream, MemorySourceCyclesDeterministically) {
+    MemorySource source(10, 4, 3);
+    const Tensor first = source.next_batch(10, 4);
+    const Tensor second = source.next_batch(10, 4);
+    EXPECT_EQ(first.max_abs_diff(second), 0.0F);  // wrapped to the same pool
+    EXPECT_NE(source.describe().find("memory"), std::string::npos);
+}
+
+TEST(Stream, MemorySourceWidthMismatchThrows) {
+    MemorySource source(10, 4, 3);
+    EXPECT_THROW(source.next_batch(2, 5), InvalidArgument);
+}
+
+TEST(Stream, SyntheticSourceProducesFreshBatches) {
+    SyntheticSource source(1);
+    const Tensor a = source.next_batch(8, 16);
+    const Tensor b = source.next_batch(8, 16);
+    EXPECT_GT(a.max_abs_diff(b), 0.0F);
+    EXPECT_EQ(a.shape(), Shape({8, 16}));
+}
+
+TEST(Stream, FileSourceReadsRecords) {
+    const std::string path = "/tmp/mw_test_payload.bin";
+    {
+        std::ofstream out(path, std::ios::binary);
+        std::vector<float> values(12);
+        for (std::size_t i = 0; i < values.size(); ++i) values[i] = static_cast<float>(i);
+        out.write(reinterpret_cast<const char*>(values.data()),
+                  static_cast<std::streamsize>(values.size() * sizeof(float)));
+    }
+    FileSource source(path, 4);  // 3 samples of width 4
+    const Tensor batch = source.next_batch(2, 4);
+    EXPECT_EQ(batch.at(0, 0), 0.0F);
+    EXPECT_EQ(batch.at(1, 0), 4.0F);
+    const Tensor wrap = source.next_batch(2, 4);  // wraps to sample 2, then 0
+    EXPECT_EQ(wrap.at(0, 0), 8.0F);
+    EXPECT_EQ(wrap.at(1, 0), 0.0F);
+    std::filesystem::remove(path);
+    EXPECT_THROW(FileSource("/nonexistent/file.bin", 4), IoError);
+}
+
+}  // namespace
