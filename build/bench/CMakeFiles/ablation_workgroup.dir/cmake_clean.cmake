@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_workgroup.dir/ablation_workgroup.cpp.o"
+  "CMakeFiles/ablation_workgroup.dir/ablation_workgroup.cpp.o.d"
+  "ablation_workgroup"
+  "ablation_workgroup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_workgroup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

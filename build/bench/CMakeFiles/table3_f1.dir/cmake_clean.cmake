@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_f1.dir/table3_f1.cpp.o"
+  "CMakeFiles/table3_f1.dir/table3_f1.cpp.o.d"
+  "table3_f1"
+  "table3_f1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_f1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_burst.dir/streaming_burst.cpp.o"
+  "CMakeFiles/streaming_burst.dir/streaming_burst.cpp.o.d"
+  "streaming_burst"
+  "streaming_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_common.dir/csv.cpp.o"
+  "CMakeFiles/mw_common.dir/csv.cpp.o.d"
+  "CMakeFiles/mw_common.dir/logging.cpp.o"
+  "CMakeFiles/mw_common.dir/logging.cpp.o.d"
+  "CMakeFiles/mw_common.dir/stats.cpp.o"
+  "CMakeFiles/mw_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mw_common.dir/table.cpp.o"
+  "CMakeFiles/mw_common.dir/table.cpp.o.d"
+  "CMakeFiles/mw_common.dir/thread_pool.cpp.o"
+  "CMakeFiles/mw_common.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/mw_common.dir/units.cpp.o"
+  "CMakeFiles/mw_common.dir/units.cpp.o.d"
+  "libmw_common.a"
+  "libmw_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

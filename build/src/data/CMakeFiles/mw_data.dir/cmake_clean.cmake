@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_data.dir/dataset.cpp.o"
+  "CMakeFiles/mw_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mw_data.dir/synth.cpp.o"
+  "CMakeFiles/mw_data.dir/synth.cpp.o.d"
+  "libmw_data.a"
+  "libmw_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

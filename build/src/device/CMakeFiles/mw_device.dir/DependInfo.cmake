@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/device.cpp" "src/device/CMakeFiles/mw_device.dir/device.cpp.o" "gcc" "src/device/CMakeFiles/mw_device.dir/device.cpp.o.d"
+  "/root/repo/src/device/exec_model.cpp" "src/device/CMakeFiles/mw_device.dir/exec_model.cpp.o" "gcc" "src/device/CMakeFiles/mw_device.dir/exec_model.cpp.o.d"
+  "/root/repo/src/device/params.cpp" "src/device/CMakeFiles/mw_device.dir/params.cpp.o" "gcc" "src/device/CMakeFiles/mw_device.dir/params.cpp.o.d"
+  "/root/repo/src/device/registry.cpp" "src/device/CMakeFiles/mw_device.dir/registry.cpp.o" "gcc" "src/device/CMakeFiles/mw_device.dir/registry.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

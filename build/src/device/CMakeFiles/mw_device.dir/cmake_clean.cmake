@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_device.dir/device.cpp.o"
+  "CMakeFiles/mw_device.dir/device.cpp.o.d"
+  "CMakeFiles/mw_device.dir/exec_model.cpp.o"
+  "CMakeFiles/mw_device.dir/exec_model.cpp.o.d"
+  "CMakeFiles/mw_device.dir/params.cpp.o"
+  "CMakeFiles/mw_device.dir/params.cpp.o.d"
+  "CMakeFiles/mw_device.dir/registry.cpp.o"
+  "CMakeFiles/mw_device.dir/registry.cpp.o.d"
+  "libmw_device.a"
+  "libmw_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_ml.dir/cross_validation.cpp.o"
+  "CMakeFiles/mw_ml.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/mw_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/knn.cpp.o"
+  "CMakeFiles/mw_ml.dir/knn.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/linear.cpp.o"
+  "CMakeFiles/mw_ml.dir/linear.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/metrics.cpp.o"
+  "CMakeFiles/mw_ml.dir/metrics.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/mlp.cpp.o"
+  "CMakeFiles/mw_ml.dir/mlp.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/mw_ml.dir/random_forest.cpp.o.d"
+  "CMakeFiles/mw_ml.dir/svm.cpp.o"
+  "CMakeFiles/mw_ml.dir/svm.cpp.o.d"
+  "libmw_ml.a"
+  "libmw_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activation.cpp" "src/nn/CMakeFiles/mw_nn.dir/activation.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/activation.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/nn/CMakeFiles/mw_nn.dir/conv2d.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/mw_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/flatten.cpp" "src/nn/CMakeFiles/mw_nn.dir/flatten.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/flatten.cpp.o.d"
+  "/root/repo/src/nn/im2col.cpp" "src/nn/CMakeFiles/mw_nn.dir/im2col.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/im2col.cpp.o.d"
+  "/root/repo/src/nn/model.cpp" "src/nn/CMakeFiles/mw_nn.dir/model.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/model.cpp.o.d"
+  "/root/repo/src/nn/model_builder.cpp" "src/nn/CMakeFiles/mw_nn.dir/model_builder.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/model_builder.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/nn/CMakeFiles/mw_nn.dir/pooling.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/pooling.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mw_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/nn/CMakeFiles/mw_nn.dir/trainer.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/trainer.cpp.o.d"
+  "/root/repo/src/nn/weights.cpp" "src/nn/CMakeFiles/mw_nn.dir/weights.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/weights.cpp.o.d"
+  "/root/repo/src/nn/zoo.cpp" "src/nn/CMakeFiles/mw_nn.dir/zoo.cpp.o" "gcc" "src/nn/CMakeFiles/mw_nn.dir/zoo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_nn.dir/activation.cpp.o"
+  "CMakeFiles/mw_nn.dir/activation.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/mw_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/dense.cpp.o"
+  "CMakeFiles/mw_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/flatten.cpp.o"
+  "CMakeFiles/mw_nn.dir/flatten.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/im2col.cpp.o"
+  "CMakeFiles/mw_nn.dir/im2col.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/model.cpp.o"
+  "CMakeFiles/mw_nn.dir/model.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/model_builder.cpp.o"
+  "CMakeFiles/mw_nn.dir/model_builder.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/pooling.cpp.o"
+  "CMakeFiles/mw_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mw_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/trainer.cpp.o"
+  "CMakeFiles/mw_nn.dir/trainer.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/weights.cpp.o"
+  "CMakeFiles/mw_nn.dir/weights.cpp.o.d"
+  "CMakeFiles/mw_nn.dir/zoo.cpp.o"
+  "CMakeFiles/mw_nn.dir/zoo.cpp.o.d"
+  "libmw_nn.a"
+  "libmw_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

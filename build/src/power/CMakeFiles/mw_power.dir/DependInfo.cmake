@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/energy_counter.cpp" "src/power/CMakeFiles/mw_power.dir/energy_counter.cpp.o" "gcc" "src/power/CMakeFiles/mw_power.dir/energy_counter.cpp.o.d"
+  "/root/repo/src/power/meter.cpp" "src/power/CMakeFiles/mw_power.dir/meter.cpp.o" "gcc" "src/power/CMakeFiles/mw_power.dir/meter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/mw_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mw_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

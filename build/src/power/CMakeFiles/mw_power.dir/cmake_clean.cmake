@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_power.dir/energy_counter.cpp.o"
+  "CMakeFiles/mw_power.dir/energy_counter.cpp.o.d"
+  "CMakeFiles/mw_power.dir/meter.cpp.o"
+  "CMakeFiles/mw_power.dir/meter.cpp.o.d"
+  "libmw_power.a"
+  "libmw_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

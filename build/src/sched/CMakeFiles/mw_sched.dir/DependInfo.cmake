@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dispatcher.cpp" "src/sched/CMakeFiles/mw_sched.dir/dispatcher.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/dispatcher.cpp.o.d"
+  "/root/repo/src/sched/features.cpp" "src/sched/CMakeFiles/mw_sched.dir/features.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/features.cpp.o.d"
+  "/root/repo/src/sched/measurement_harness.cpp" "src/sched/CMakeFiles/mw_sched.dir/measurement_harness.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/measurement_harness.cpp.o.d"
+  "/root/repo/src/sched/oracle.cpp" "src/sched/CMakeFiles/mw_sched.dir/oracle.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/oracle.cpp.o.d"
+  "/root/repo/src/sched/policy.cpp" "src/sched/CMakeFiles/mw_sched.dir/policy.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/policy.cpp.o.d"
+  "/root/repo/src/sched/predictor.cpp" "src/sched/CMakeFiles/mw_sched.dir/predictor.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/predictor.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/mw_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/scheduler_dataset.cpp" "src/sched/CMakeFiles/mw_sched.dir/scheduler_dataset.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/scheduler_dataset.cpp.o.d"
+  "/root/repo/src/sched/scheduler_trainer.cpp" "src/sched/CMakeFiles/mw_sched.dir/scheduler_trainer.cpp.o" "gcc" "src/sched/CMakeFiles/mw_sched.dir/scheduler_trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/mw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mw_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mw_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mw_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

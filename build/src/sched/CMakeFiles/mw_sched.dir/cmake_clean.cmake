@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_sched.dir/dispatcher.cpp.o"
+  "CMakeFiles/mw_sched.dir/dispatcher.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/features.cpp.o"
+  "CMakeFiles/mw_sched.dir/features.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/measurement_harness.cpp.o"
+  "CMakeFiles/mw_sched.dir/measurement_harness.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/oracle.cpp.o"
+  "CMakeFiles/mw_sched.dir/oracle.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/policy.cpp.o"
+  "CMakeFiles/mw_sched.dir/policy.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/predictor.cpp.o"
+  "CMakeFiles/mw_sched.dir/predictor.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/mw_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/scheduler_dataset.cpp.o"
+  "CMakeFiles/mw_sched.dir/scheduler_dataset.cpp.o.d"
+  "CMakeFiles/mw_sched.dir/scheduler_trainer.cpp.o"
+  "CMakeFiles/mw_sched.dir/scheduler_trainer.cpp.o.d"
+  "libmw_sched.a"
+  "libmw_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

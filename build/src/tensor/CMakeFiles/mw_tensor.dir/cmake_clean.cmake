@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_tensor.dir/shape.cpp.o"
+  "CMakeFiles/mw_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/mw_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/mw_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/mw_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/mw_tensor.dir/tensor_ops.cpp.o.d"
+  "libmw_tensor.a"
+  "libmw_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

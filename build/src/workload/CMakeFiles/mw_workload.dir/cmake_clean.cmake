@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mw_workload.dir/generator.cpp.o"
+  "CMakeFiles/mw_workload.dir/generator.cpp.o.d"
+  "CMakeFiles/mw_workload.dir/stream.cpp.o"
+  "CMakeFiles/mw_workload.dir/stream.cpp.o.d"
+  "CMakeFiles/mw_workload.dir/trace.cpp.o"
+  "CMakeFiles/mw_workload.dir/trace.cpp.o.d"
+  "libmw_workload.a"
+  "libmw_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mw_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_nn.cpp" "tests/CMakeFiles/test_nn.dir/test_nn.cpp.o" "gcc" "tests/CMakeFiles/test_nn.dir/test_nn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/mw_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/mw_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/mw_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/mw_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/mw_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mw_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mw_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mw_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mw_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

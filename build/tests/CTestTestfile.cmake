@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test([=[test_common]=] "/root/repo/build/tests/test_common")
+set_tests_properties([=[test_common]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;11;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_ml]=] "/root/repo/build/tests/test_ml")
+set_tests_properties([=[test_ml]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;12;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_sched]=] "/root/repo/build/tests/test_sched")
+set_tests_properties([=[test_sched]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;13;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_workload]=] "/root/repo/build/tests/test_workload")
+set_tests_properties([=[test_workload]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;14;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_properties]=] "/root/repo/build/tests/test_properties")
+set_tests_properties([=[test_properties]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;15;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_serialization]=] "/root/repo/build/tests/test_serialization")
+set_tests_properties([=[test_serialization]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;16;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_failure_injection]=] "/root/repo/build/tests/test_failure_injection")
+set_tests_properties([=[test_failure_injection]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;17;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_tensor]=] "/root/repo/build/tests/test_tensor")
+set_tests_properties([=[test_tensor]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;18;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_nn]=] "/root/repo/build/tests/test_nn")
+set_tests_properties([=[test_nn]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;19;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_data]=] "/root/repo/build/tests/test_data")
+set_tests_properties([=[test_data]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;20;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_device]=] "/root/repo/build/tests/test_device")
+set_tests_properties([=[test_device]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;21;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_power]=] "/root/repo/build/tests/test_power")
+set_tests_properties([=[test_power]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;22;mw_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[test_characterization]=] "/root/repo/build/tests/test_characterization")
+set_tests_properties([=[test_characterization]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;8;add_test;/root/repo/tests/CMakeLists.txt;23;mw_test;/root/repo/tests/CMakeLists.txt;0;")
