@@ -46,6 +46,12 @@ namespace detail {
     what.append(expr).append("` failed: ").append(msg);
     throw InvalidArgument(what);
 }
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const std::string& msg) noexcept {
+    std::fprintf(stderr, "%s:%d: assertion `%s` failed: %s\n", file, line, expr, msg.c_str());
+    std::abort();
+}
 }  // namespace detail
 
 }  // namespace mw
@@ -56,11 +62,21 @@ namespace detail {
         if (!(expr)) ::mw::detail::throw_invalid(#expr, __FILE__, __LINE__, (msg)); \
     } while (0)
 
-/// Validate an internal invariant; aborts on failure (never disabled).
-#define MW_ASSERT(expr)                                                             \
-    do {                                                                            \
-        if (!(expr)) {                                                              \
-            ::std::fprintf(stderr, "%s:%d: assertion `%s` failed\n", __FILE__, __LINE__, #expr); \
-            ::std::abort();                                                         \
-        }                                                                           \
+/// Validate an internal invariant with a diagnostic message; aborts on
+/// failure (never disabled).
+#define MW_ASSERT_MSG(expr, msg)                                              \
+    do {                                                                      \
+        if (!(expr)) ::mw::detail::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
     } while (0)
+
+/// Validate an internal invariant; aborts on failure (never disabled).
+#define MW_ASSERT(expr) MW_ASSERT_MSG(expr, "internal invariant violated")
+
+/// Debug-build-only invariant for hot paths (bounds checks in element
+/// accessors and kernels). Compiled out under NDEBUG; the sanitizer presets
+/// build Debug, so ASan/UBSan/TSan runs get the checks for free.
+#ifdef NDEBUG
+#define MW_DCHECK(expr, msg) static_cast<void>(0)
+#else
+#define MW_DCHECK(expr, msg) MW_ASSERT_MSG(expr, msg)
+#endif

@@ -27,14 +27,61 @@ ThreadPool::~ThreadPool() {
 std::future<void> ThreadPool::submit(std::function<void()> task) {
     auto packaged = std::make_shared<std::packaged_task<void()>>(std::move(task));
     std::future<void> future = packaged->get_future();
+    enqueue([packaged] { (*packaged)(); });
+    return future;
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
     {
         const std::lock_guard<std::mutex> lock(mutex_);
         MW_CHECK(!stopping_, "submit on a stopping ThreadPool");
-        queue_.emplace_back([packaged] { (*packaged)(); });
+        queue_.push_back(std::move(task));
     }
     cv_.notify_one();
-    return future;
 }
+
+namespace {
+
+/// Shared state of one parallel_for invocation. Chunks are claimed with an
+/// atomic counter by pool workers *and* by the calling thread, so the loop
+/// always makes progress even when every worker is occupied (the nested
+/// parallel_for case) — the caller simply runs the remaining chunks itself.
+struct LoopState {
+    std::function<void(std::size_t)> fn;  // owned copy: helper tasks may start
+                                          // after the caller already returned
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t grain = 1;
+    std::size_t nchunks = 0;
+    std::atomic<std::size_t> next_chunk{0};
+    std::atomic<std::size_t> chunks_done{0};
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr first_error;
+};
+
+/// Claim and run chunks until none remain. Returns after the last claimable
+/// chunk; completion is tracked by `chunks_done`, not by who ran what.
+void run_chunks(const std::shared_ptr<LoopState>& state) {
+    for (;;) {
+        const std::size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+        if (c >= state->nchunks) return;
+        const std::size_t lo = state->begin + c * state->grain;
+        const std::size_t hi = std::min(lo + state->grain, state->end);
+        try {
+            for (std::size_t i = lo; i < hi; ++i) state->fn(i);
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            if (!state->first_error) state->first_error = std::current_exception();
+        }
+        if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->nchunks) {
+            const std::lock_guard<std::mutex> lock(state->mutex);
+            state->done_cv.notify_all();
+        }
+    }
+}
+
+}  // namespace
 
 void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
                               const std::function<void(std::size_t)>& fn, std::size_t grain) {
@@ -49,23 +96,26 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
         for (std::size_t i = begin; i < end; ++i) fn(i);
         return;
     }
-    std::vector<std::future<void>> futures;
-    futures.reserve(total / grain + 1);
-    for (std::size_t chunk = begin; chunk < end; chunk += grain) {
-        const std::size_t chunk_end = std::min(chunk + grain, end);
-        futures.push_back(submit([&fn, chunk, chunk_end] {
-            for (std::size_t i = chunk; i < chunk_end; ++i) fn(i);
-        }));
+    auto state = std::make_shared<LoopState>();
+    state->fn = fn;
+    state->begin = begin;
+    state->end = end;
+    state->grain = grain;
+    state->nchunks = (total + grain - 1) / grain;
+
+    // The caller claims chunks too, so at most nchunks - 1 helpers can ever
+    // find work; late-starting helpers see no chunks left and return at once.
+    const std::size_t helpers = std::min(size(), state->nchunks - 1);
+    for (std::size_t i = 0; i < helpers; ++i) {
+        enqueue([state] { run_chunks(state); });
     }
-    std::exception_ptr first_error;
-    for (auto& f : futures) {
-        try {
-            f.get();
-        } catch (...) {
-            if (!first_error) first_error = std::current_exception();
-        }
-    }
-    if (first_error) std::rethrow_exception(first_error);
+    run_chunks(state);
+
+    std::unique_lock<std::mutex> lock(state->mutex);
+    state->done_cv.wait(lock, [&] {
+        return state->chunks_done.load(std::memory_order_acquire) == state->nchunks;
+    });
+    if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -36,7 +36,10 @@ public:
 
     /// Run fn(i) for i in [begin, end) across the pool, in chunks of
     /// `grain` iterations (grain == 0 picks ~4 chunks per worker). Blocks
-    /// until every iteration completed; rethrows the first task exception.
+    /// until every iteration completed; rethrows the first exception captured
+    /// (the others are swallowed). Safe to call from inside a pool task:
+    /// the caller claims and executes chunks itself, so nested parallel_for
+    /// cannot deadlock even when every worker is busy.
     void parallel_for(std::size_t begin, std::size_t end,
                       const std::function<void(std::size_t)>& fn, std::size_t grain = 0);
 
@@ -45,6 +48,7 @@ public:
 
 private:
     void worker_loop();
+    void enqueue(std::function<void()> task);
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

@@ -22,6 +22,7 @@ Device::Device(DeviceParams params, ThreadPool* pool)
 
 void Device::set_noise(double sigma, std::uint64_t seed) {
     MW_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
+    const std::lock_guard<std::mutex> lock(mutex_);
     noise_sigma_ = sigma;
     noise_rng_.reseed(seed);
 }
@@ -32,40 +33,72 @@ void Device::add_memory_peer(const Device* peer) {
 }
 
 void Device::reset_timeline() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     clock_ratio_ = params_.idle_clock_ratio;
     last_active_end_ = 0.0;
-    busy_until_ = 0.0;
+    busy_until_.store(0.0, std::memory_order_release);
     power_timeline_.clear();
 }
 
 void Device::set_throttle(double slowdown) {
     MW_CHECK(slowdown >= 1.0, "throttle factor must be >= 1");
+    const std::lock_guard<std::mutex> lock(mutex_);
     throttle_ = slowdown;
+}
+
+double Device::throttle() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return throttle_;
 }
 
 void Device::load_model(std::shared_ptr<const nn::Model> model) {
     MW_CHECK(model != nullptr, "null model");
+    const std::lock_guard<std::mutex> lock(mutex_);
     models_[model->name()] = std::move(model);
 }
 
-void Device::unload_model(const std::string& model_name) { models_.erase(model_name); }
+void Device::unload_model(const std::string& model_name) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    models_.erase(model_name);
+}
 
 bool Device::has_model(const std::string& model_name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return models_.count(model_name) > 0;
 }
 
-const nn::Model& Device::model(const std::string& model_name) const {
+std::shared_ptr<const nn::Model> Device::find_model(const std::string& model_name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     const auto it = models_.find(model_name);
     if (it == models_.end()) {
         throw StateError("model `" + model_name + "` is not loaded on device " + name());
     }
-    return *it->second;
+    return it->second;
 }
 
-double Device::clock_ratio_at(double sim_time) const {
+const nn::Model& Device::model(const std::string& model_name) const {
+    // The returned reference stays valid while the model remains loaded; the
+    // shared_ptr in models_ keeps the object alive across the unlock.
+    return *find_model(model_name);
+}
+
+std::vector<std::string> Device::loaded_models() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> names;
+    names.reserve(models_.size());
+    for (const auto& [name, model] : models_) names.push_back(name);
+    return names;
+}
+
+double Device::clock_ratio_at_locked(double sim_time) const {
     const double gap = std::max(0.0, sim_time - last_active_end_);
     return clock_after_idle(clock_ratio_, params_.idle_clock_ratio, params_.clock_decay_tau_s,
                             gap);
+}
+
+double Device::clock_ratio_at(double sim_time) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return clock_ratio_at_locked(sim_time);
 }
 
 bool Device::is_warm(double sim_time) const {
@@ -74,6 +107,7 @@ bool Device::is_warm(double sim_time) const {
 }
 
 void Device::force_warm() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     clock_ratio_ = 1.0;
     // Pin the state until the next execution: pretend the device was active
     // "just now" forever, so the idle decay cannot erase the forced state.
@@ -81,6 +115,7 @@ void Device::force_warm() {
 }
 
 void Device::force_idle() {
+    const std::lock_guard<std::mutex> lock(mutex_);
     clock_ratio_ = params_.idle_clock_ratio;
     last_active_end_ = std::numeric_limits<double>::max();
 }
@@ -88,10 +123,12 @@ void Device::force_idle() {
 Measurement Device::execute(const nn::Model& model, std::size_t batch, double sim_time) {
     MW_CHECK(batch > 0, "batch must be positive");
 
+    const std::lock_guard<std::mutex> lock(mutex_);
+
     // Serialise on the device queue: a submission cannot start before the
     // previous one finished.
-    const double start = std::max(sim_time, busy_until_);
-    const double clock_start = clock_ratio_at(start);
+    const double start = std::max(sim_time, busy_until_.load(std::memory_order_relaxed));
+    const double clock_start = clock_ratio_at_locked(start);
 
     const nn::ModelCost cost = model.cost(batch);
     const double bytes_in = static_cast<double>(batch) *
@@ -101,7 +138,9 @@ Measurement Device::execute(const nn::Model& model, std::size_t batch, double si
 
     DeviceParams effective = params_;
     // Memory-domain contention: every peer currently mid-execution takes a
-    // slice of the shared controller's bandwidth.
+    // slice of the shared controller's bandwidth. Peers are read via their
+    // atomic busy_until — never via their mutex — so two peer devices
+    // executing concurrently cannot deadlock on each other.
     if (params_.contention_slowdown > 0.0) {
         std::size_t busy_peers = 0;
         for (const Device* peer : memory_peers_) {
@@ -145,7 +184,7 @@ Measurement Device::execute(const nn::Model& model, std::size_t batch, double si
     // Advance device state.
     clock_ratio_ = breakdown.clock_end;
     last_active_end_ = m.end_time;
-    busy_until_ = m.end_time;
+    busy_until_.store(m.end_time, std::memory_order_release);
     total_energy_j_ += m.energy_j;
     ++total_batches_;
 
@@ -173,32 +212,45 @@ Measurement Device::execute(const nn::Model& model, std::size_t batch, double si
 
 InferenceResult Device::run(const std::string& model_name, const Tensor& input, double sim_time,
                             const SubmitOptions& options) {
-    const nn::Model& m = model(model_name);
+    const std::shared_ptr<const nn::Model> m = find_model(model_name);
     const std::size_t batch = input.shape()[0];
     InferenceResult result;
-    result.measurement = execute(m, batch, sim_time);
+    result.measurement = execute(*m, batch, sim_time);
     if (options.compute_outputs) {
         // Real kernels: the outputs are the model's true predictions,
         // identical across devices (the paper's OpenCL kernels are portable).
-        Tensor shaped(m.input_shape(batch));
+        // Runs outside the device mutex — the forward pass touches no device
+        // state, so concurrent submissions overlap on the host pool.
+        Tensor shaped(m->input_shape(batch));
         MW_CHECK(shaped.numel() == input.numel(), "input payload size mismatch");
         std::copy_n(input.data(), input.numel(), shaped.data());
-        result.outputs = m.forward(shaped, pool_);
+        result.outputs = m->forward(shaped, pool_);
     }
     return result;
 }
 
 Measurement Device::profile(const std::string& model_name, std::size_t batch, double sim_time) {
-    return execute(model(model_name), batch, sim_time);
+    return execute(*find_model(model_name), batch, sim_time);
 }
 
 double Device::power_at(double sim_time) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
     // Walk the bounded timeline backwards (recent segments last).
     for (auto it = power_timeline_.rbegin(); it != power_timeline_.rend(); ++it) {
         if (sim_time >= it->t0 && sim_time < it->t1) return it->watts;
         if (it->t1 < sim_time && it == power_timeline_.rbegin()) break;
     }
     return params_.idle_power_w;
+}
+
+double Device::total_energy_j() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_energy_j_;
+}
+
+std::size_t Device::total_batches() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_batches_;
 }
 
 void Device::record_power_segment(double t0, double t1, double watts) {

@@ -9,8 +9,10 @@
 // (see DESIGN.md §1).
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -37,6 +39,14 @@ struct InferenceResult {
 /// presets in params.hpp, or any custom DeviceParams (the runtime is
 /// device-agnostic: an FPGA/NPU/DSP is just another parameter set — see
 /// examples/custom_device.cpp).
+///
+/// Thread safety: all public members may be called concurrently. A single
+/// internal mutex serialises state mutation (DVFS clock, queue, power
+/// timeline, counters); `busy_until_` is additionally atomic so that memory
+/// peers can read it lock-free from inside their own execute() — taking the
+/// peer's mutex there would create an AB-BA deadlock between two devices of
+/// one memory domain. Topology mutation (add_memory_peer) must still be
+/// quiesced: it is wiring done by DeviceRegistry::add before serving starts.
 class Device {
 public:
     explicit Device(DeviceParams params, ThreadPool* pool = nullptr);
@@ -57,7 +67,7 @@ public:
     /// adaptive scheduler is expected to discover the change via its
     /// exploration probes (see bench/adaptation).
     void set_throttle(double slowdown);
-    [[nodiscard]] double throttle() const { return throttle_; }
+    [[nodiscard]] double throttle() const;
 
     // --- model management (used by the Dispatcher) ---
     void load_model(std::shared_ptr<const nn::Model> model);
@@ -83,7 +93,9 @@ public:
     void force_idle();
 
     /// Simulated time at which the device finishes its queued work.
-    [[nodiscard]] double busy_until() const { return busy_until_; }
+    [[nodiscard]] double busy_until() const {
+        return busy_until_.load(std::memory_order_acquire);
+    }
 
     /// Reset the simulated timeline (queue, clock state, power history) to
     /// t = 0. Called after offline profiling campaigns so serving starts on
@@ -101,22 +113,30 @@ public:
     [[nodiscard]] double power_at(double sim_time) const;
 
     /// Cumulative energy across all submissions so far.
-    [[nodiscard]] double total_energy_j() const { return total_energy_j_; }
-    [[nodiscard]] std::size_t total_batches() const { return total_batches_; }
+    [[nodiscard]] double total_energy_j() const;
+    [[nodiscard]] std::size_t total_batches() const;
 
 private:
     Measurement execute(const nn::Model& model, std::size_t batch, double sim_time);
     void record_power_segment(double t0, double t1, double watts);
+    [[nodiscard]] std::shared_ptr<const nn::Model> find_model(
+        const std::string& model_name) const;
+    [[nodiscard]] double clock_ratio_at_locked(double sim_time) const;
 
     DeviceParams params_;
     ThreadPool* pool_;
     std::vector<const Device*> memory_peers_;
+
+    /// Guards every mutable field below; mutable so const observers
+    /// (clock_ratio_at, power_at, ...) can be called concurrently too.
+    mutable std::mutex mutex_;
+
     std::map<std::string, std::shared_ptr<const nn::Model>> models_;
 
     // DVFS state.
     double clock_ratio_;
     double last_active_end_ = 0.0;
-    double busy_until_ = 0.0;
+    std::atomic<double> busy_until_{0.0};
 
     // Measurement noise.
     double noise_sigma_ = 0.0;

@@ -123,7 +123,8 @@ int DecisionTree::build(const MlDataset& data, std::vector<std::size_t>& indices
     for (const std::size_t i : indices) {
         (data.row(i)[best_feature] <= best_threshold ? left : right).push_back(i);
     }
-    MW_ASSERT(!left.empty() && !right.empty());
+    MW_ASSERT_MSG(!left.empty() && !right.empty(),
+                  "best split must leave both children non-empty");
 
     nodes_[node_id].feature = best_feature;
     nodes_[node_id].threshold = best_threshold;

@@ -1,5 +1,7 @@
 #include "sched/dispatcher.hpp"
 
+#include <mutex>
+
 #include "common/error.hpp"
 #include "nn/model_builder.hpp"
 #include "nn/serialize.hpp"
@@ -12,15 +14,18 @@ Dispatcher::Dispatcher(device::DeviceRegistry& registry) : registry_(&registry) 
 nn::Model& Dispatcher::register_model(nn::ModelSpec spec, std::uint64_t weight_seed) {
     auto model = std::make_shared<nn::Model>(nn::build_model(std::move(spec), weight_seed));
     const std::string name = model->name();
-    MW_CHECK(!has_model(name), "model already registered: " + name);
+    const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    MW_CHECK(models_.count(name) == 0, "model already registered: " + name);
     models_[name] = model;
     return *models_[name];
 }
 
 void Dispatcher::register_model(std::shared_ptr<nn::Model> model) {
     MW_CHECK(model != nullptr, "null model");
-    MW_CHECK(!has_model(model->name()), "model already registered: " + model->name());
-    models_[model->name()] = std::move(model);
+    const std::string name = model->name();
+    const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    MW_CHECK(models_.count(name) == 0, "model already registered: " + name);
+    models_[name] = std::move(model);
 }
 
 std::string Dispatcher::register_from_file(const std::string& path) {
@@ -31,29 +36,39 @@ std::string Dispatcher::register_from_file(const std::string& path) {
 }
 
 void Dispatcher::load_weights_from(const std::string& model_name, const std::string& path) {
-    auto it = models_.find(model_name);
-    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
-    nn::load_weights(*it->second, path);
+    nn::load_weights(*find_model(model_name), path);
 }
 
 void Dispatcher::deploy(const std::string& model_name) {
-    auto it = models_.find(model_name);
-    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
-    registry_->load_model_everywhere(it->second);
+    registry_->load_model_everywhere(find_model(model_name));
 }
 
 void Dispatcher::deploy_all() {
-    for (const auto& [name, model] : models_) registry_->load_model_everywhere(model);
+    std::vector<std::shared_ptr<nn::Model>> snapshot;
+    {
+        const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+        snapshot.reserve(models_.size());
+        for (const auto& [name, model] : models_) snapshot.push_back(model);
+    }
+    // Device locks are taken outside our own lock to keep the lock graph flat.
+    for (const auto& model : snapshot) registry_->load_model_everywhere(model);
+}
+
+std::shared_ptr<nn::Model> Dispatcher::find_model(const std::string& model_name) const {
+    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    const auto it = models_.find(model_name);
+    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
+    return it->second;
 }
 
 bool Dispatcher::has_model(const std::string& model_name) const {
+    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
     return models_.count(model_name) > 0;
 }
 
 const nn::Model& Dispatcher::model(const std::string& model_name) const {
-    const auto it = models_.find(model_name);
-    MW_CHECK(it != models_.end(), "unknown model: " + model_name);
-    return *it->second;
+    // Valid for the Dispatcher's lifetime: models are never unregistered.
+    return *find_model(model_name);
 }
 
 const nn::ModelDesc& Dispatcher::desc(const std::string& model_name) const {
@@ -61,6 +76,7 @@ const nn::ModelDesc& Dispatcher::desc(const std::string& model_name) const {
 }
 
 std::vector<std::string> Dispatcher::model_names() const {
+    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
     std::vector<std::string> names;
     names.reserve(models_.size());
     for (const auto& [name, model] : models_) names.push_back(name);

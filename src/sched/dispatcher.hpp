@@ -6,6 +6,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "device/registry.hpp"
@@ -14,6 +15,12 @@
 namespace mw::sched {
 
 /// Owns the deployed models and routes execution to chosen devices.
+///
+/// Thread safety: the model table is guarded by a reader-writer lock, so
+/// run_on()/lookups from many serving threads proceed concurrently while
+/// register_*/deploy remain safe to call at any time. Mutating a model's
+/// weights (load_weights_from) while that model is serving is still a logic
+/// race the caller must sequence.
 class Dispatcher {
 public:
     explicit Dispatcher(device::DeviceRegistry& registry);
@@ -51,7 +58,10 @@ public:
     [[nodiscard]] device::DeviceRegistry& registry() { return *registry_; }
 
 private:
+    [[nodiscard]] std::shared_ptr<nn::Model> find_model(const std::string& model_name) const;
+
     device::DeviceRegistry* registry_;
+    mutable std::shared_mutex models_mutex_;
     std::map<std::string, std::shared_ptr<nn::Model>> models_;
 };
 

@@ -64,13 +64,13 @@ void Tensor::fill(float value) { std::fill_n(data_.get(), numel(), value); }
 
 void Tensor::fill_normal(Rng& rng, float mean, float stddev) {
     for (std::size_t i = 0; i < numel(); ++i) {
-        data_[i] = static_cast<float>(rng.normal(mean, stddev));
+        (*this)[i] = static_cast<float>(rng.normal(mean, stddev));
     }
 }
 
 void Tensor::fill_uniform(Rng& rng, float lo, float hi) {
     for (std::size_t i = 0; i < numel(); ++i) {
-        data_[i] = static_cast<float>(rng.uniform(lo, hi));
+        (*this)[i] = static_cast<float>(rng.uniform(lo, hi));
     }
 }
 
@@ -78,7 +78,7 @@ float Tensor::max_abs_diff(const Tensor& other) const {
     MW_CHECK(shape_ == other.shape_, "max_abs_diff shape mismatch");
     float worst = 0.0F;
     for (std::size_t i = 0; i < numel(); ++i) {
-        worst = std::max(worst, std::abs(data_[i] - other.data_[i]));
+        worst = std::max(worst, std::abs((*this)[i] - other[i]));
     }
     return worst;
 }

@@ -4,6 +4,7 @@
 #include <span>
 
 #include "common/aligned.hpp"
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "tensor/shape.hpp"
 
@@ -34,6 +35,17 @@ public:
     /// Flat element access with bounds checking in debug paths.
     float& at(std::size_t i);
     [[nodiscard]] float at(std::size_t i) const;
+
+    /// Hot-path flat element access: bounds-checked in debug builds
+    /// (MW_DCHECK, active under the sanitizer presets), unchecked in release.
+    float& operator[](std::size_t i) {
+        MW_DCHECK(i < numel(), "Tensor flat index out of range");
+        return data_[i];
+    }
+    [[nodiscard]] float operator[](std::size_t i) const {
+        MW_DCHECK(i < numel(), "Tensor flat index out of range");
+        return data_[i];
+    }
 
     /// 2-D access (rank-2 tensors): row-major (row, col).
     float& at(std::size_t row, std::size_t col);

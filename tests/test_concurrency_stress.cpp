@@ -1,0 +1,383 @@
+// Concurrency stress suite. Designed to run under ThreadSanitizer (the
+// `tsan` preset): every test hammers a shared component from many threads so
+// that races in ThreadPool, Device, DeviceRegistry, or Dispatcher surface as
+// sanitizer reports instead of silently corrupted measurements.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "device/registry.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/dispatcher.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::device;
+
+std::shared_ptr<const nn::Model> shared_model(const nn::ModelSpec& spec, std::uint64_t seed) {
+    return std::make_shared<nn::Model>(nn::build_model(spec, seed));
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::submit
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStress, ConcurrentSubmitFromManyThreads) {
+    ThreadPool pool(4);
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kTasksPerThread = 200;
+    std::atomic<std::size_t> executed{0};
+
+    std::vector<std::thread> submitters;
+    std::vector<std::vector<std::future<void>>> futures(kThreads);
+    submitters.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        submitters.emplace_back([&, t] {
+            futures[t].reserve(kTasksPerThread);
+            for (std::size_t i = 0; i < kTasksPerThread; ++i) {
+                futures[t].push_back(pool.submit([&executed] {
+                    executed.fetch_add(1, std::memory_order_relaxed);
+                }));
+            }
+        });
+    }
+    for (auto& s : submitters) s.join();
+    for (auto& per_thread : futures) {
+        for (auto& f : per_thread) f.get();
+    }
+    EXPECT_EQ(executed.load(), kThreads * kTasksPerThread);
+}
+
+TEST(ThreadPoolStress, SubmitExceptionsPropagateThroughFutures) {
+    ThreadPool pool(3);
+    std::vector<std::future<void>> futures;
+    futures.reserve(100);
+    for (int i = 0; i < 100; ++i) {
+        futures.push_back(pool.submit([i] {
+            if (i % 7 == 0) throw std::runtime_error("task " + std::to_string(i));
+        }));
+    }
+    int failures = 0;
+    for (auto& f : futures) {
+        try {
+            f.get();
+        } catch (const std::runtime_error&) {
+            ++failures;
+        }
+    }
+    EXPECT_EQ(failures, 15);  // ceil(100 / 7)
+}
+
+TEST(ThreadPoolStress, DestructionDrainsQueuedWork) {
+    std::atomic<std::size_t> executed{0};
+    std::vector<std::future<void>> futures;
+    constexpr std::size_t kTasks = 256;
+    {
+        ThreadPool pool(2);
+        futures.reserve(kTasks);
+        for (std::size_t i = 0; i < kTasks; ++i) {
+            futures.push_back(pool.submit([&executed] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+            }));
+        }
+        // Destructor runs with most of the queue still pending.
+    }
+    EXPECT_EQ(executed.load(), kTasks);
+    for (auto& f : futures) EXPECT_NO_THROW(f.get());
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool::parallel_for
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolStress, ParallelForCoversEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    constexpr std::size_t kRange = 10000;
+    std::vector<std::atomic<int>> hits(kRange);
+    pool.parallel_for(0, kRange, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kRange; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+    }
+}
+
+TEST(ThreadPoolStress, ConcurrentParallelForCallers) {
+    ThreadPool pool(4);
+    constexpr std::size_t kCallers = 6;
+    constexpr std::size_t kRange = 2000;
+    std::vector<std::atomic<std::size_t>> totals(kCallers);
+    std::vector<std::thread> callers;
+    callers.reserve(kCallers);
+    for (std::size_t c = 0; c < kCallers; ++c) {
+        callers.emplace_back([&, c] {
+            pool.parallel_for(0, kRange, [&, c](std::size_t) {
+                totals[c].fetch_add(1, std::memory_order_relaxed);
+            }, 16);
+        });
+    }
+    for (auto& t : callers) t.join();
+    for (std::size_t c = 0; c < kCallers; ++c) EXPECT_EQ(totals[c].load(), kRange);
+}
+
+TEST(ThreadPoolStress, NestedParallelForDoesNotDeadlock) {
+    // A 2-worker pool saturates instantly, so the nested calls only finish
+    // because the nesting caller claims and runs chunks itself.
+    ThreadPool pool(2);
+    constexpr std::size_t kOuter = 32;
+    constexpr std::size_t kInner = 64;
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(0, kOuter, [&](std::size_t) {
+        pool.parallel_for(0, kInner, [&](std::size_t) {
+            count.fetch_add(1, std::memory_order_relaxed);
+        }, 4);
+    }, 1);
+    EXPECT_EQ(count.load(), kOuter * kInner);
+}
+
+TEST(ThreadPoolStress, TriplyNestedParallelFor) {
+    ThreadPool pool(3);
+    std::atomic<std::size_t> count{0};
+    pool.parallel_for(0, 8, [&](std::size_t) {
+        pool.parallel_for(0, 8, [&](std::size_t) {
+            pool.parallel_for(0, 8, [&](std::size_t) {
+                count.fetch_add(1, std::memory_order_relaxed);
+            }, 1);
+        }, 1);
+    }, 1);
+    EXPECT_EQ(count.load(), 8U * 8U * 8U);
+}
+
+TEST(ThreadPoolStress, ParallelForExceptionUnderContention) {
+    ThreadPool pool(4);
+    for (int round = 0; round < 20; ++round) {
+        std::atomic<std::size_t> ran{0};
+        EXPECT_THROW(
+            pool.parallel_for(0, 500, [&](std::size_t i) {
+                ran.fetch_add(1, std::memory_order_relaxed);
+                if (i % 37 == 0) throw std::runtime_error("boom " + std::to_string(i));
+            }, 8),
+            std::runtime_error);
+        // Every claimed chunk still completes; no task leaks past the call.
+        EXPECT_LE(ran.load(), 500U);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ThreadPool edge cases surfaced by the stress suite
+// ---------------------------------------------------------------------------
+
+TEST(ThreadPoolEdge, ParallelForEmptyRange) {
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallel_for(5, 5, [&](std::size_t) { touched = true; });
+    pool.parallel_for(9, 3, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolEdge, GrainLargerThanRangeRunsInline) {
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::vector<std::thread::id> seen(10);
+    pool.parallel_for(0, 10, [&](std::size_t i) { seen[i] = std::this_thread::get_id(); },
+                      1000);
+    for (const auto& id : seen) EXPECT_EQ(id, caller);
+}
+
+TEST(ThreadPoolEdge, FirstExceptionWinsSingleWorker) {
+    // With one worker parallel_for degrades to an inline loop, so "first" is
+    // deterministic: the lowest throwing index aborts the loop.
+    ThreadPool pool(1);
+    std::size_t last_ran = 0;
+    try {
+        pool.parallel_for(0, 100, [&](std::size_t i) {
+            last_ran = i;
+            if (i >= 13) throw std::runtime_error(std::to_string(i));
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "13");
+        EXPECT_EQ(last_ran, 13U);
+    }
+}
+
+TEST(ThreadPoolEdge, ExactlyOneOfManyExceptionsPropagates) {
+    ThreadPool pool(4);
+    try {
+        pool.parallel_for(0, 64, [](std::size_t i) {
+            throw std::runtime_error(std::to_string(i));
+        }, 1);
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+        const int idx = std::stoi(e.what());
+        EXPECT_GE(idx, 0);
+        EXPECT_LT(idx, 64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DeviceRegistry: concurrent submission across devices
+// ---------------------------------------------------------------------------
+
+TEST(DeviceStress, ConcurrentProfileAcrossRegistryDevices) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    registry.load_model_everywhere(shared_model(nn::zoo::simple(), 7));
+    const std::vector<Device*> devices = registry.devices();
+    ASSERT_GE(devices.size(), 3U);
+
+    constexpr std::size_t kThreads = 9;
+    constexpr std::size_t kSubmitsPerThread = 64;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            // Each thread round-robins over all devices, so peer devices of
+            // one memory domain execute concurrently (the contention-probe
+            // path reads the peer's busy_until while both are mid-execute).
+            for (std::size_t i = 0; i < kSubmitsPerThread; ++i) {
+                Device* dev = devices[(t + i) % devices.size()];
+                const Measurement m =
+                    dev->profile("simple", 1 + (i % 16), static_cast<double>(i) * 1e-3);
+                EXPECT_GE(m.end_time, m.start_time);
+                EXPECT_GE(m.energy_j, 0.0);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+
+    std::size_t total = 0;
+    for (const Device* dev : devices) total += dev->total_batches();
+    EXPECT_EQ(total, kThreads * kSubmitsPerThread);
+}
+
+TEST(DeviceStress, ObserversRaceWithSubmissions) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    registry.load_model_everywhere(shared_model(nn::zoo::simple(), 7));
+    Device& dev = registry.at("i7-8700");
+
+    std::atomic<bool> stop{false};
+    std::thread submitter([&] {
+        for (std::size_t i = 0; i < 300; ++i) {
+            dev.profile("simple", 8, static_cast<double>(i) * 1e-3);
+        }
+        stop.store(true, std::memory_order_release);
+    });
+    std::vector<std::thread> observers;
+    observers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        observers.emplace_back([&] {
+            double sink = 0.0;
+            while (!stop.load(std::memory_order_acquire)) {
+                sink += dev.power_at(0.05);
+                sink += dev.clock_ratio_at(0.05);
+                sink += dev.busy_until();
+                sink += dev.total_energy_j();
+                sink += dev.is_warm(0.05) ? 1.0 : 0.0;
+                sink += static_cast<double>(dev.total_batches());
+            }
+            EXPECT_GE(sink, 0.0);
+        });
+    }
+    submitter.join();
+    for (auto& o : observers) o.join();
+    EXPECT_EQ(dev.total_batches(), 300U);
+}
+
+TEST(DeviceStress, ConcurrentLoadUnloadAndRun) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    registry.load_model_everywhere(shared_model(nn::zoo::simple(), 7));
+    Device& dev = registry.at("uhd630");
+
+    std::thread loader([&] {
+        for (int i = 0; i < 50; ++i) {
+            dev.load_model(shared_model(nn::zoo::simple(), 100 + i));
+            EXPECT_TRUE(dev.has_model("simple"));
+            (void)dev.loaded_models();
+        }
+    });
+    std::thread runner([&] {
+        for (int i = 0; i < 50; ++i) {
+            const Measurement m = dev.profile("simple", 4, 0.0);
+            EXPECT_GT(m.end_time, 0.0);
+        }
+    });
+    loader.join();
+    runner.join();
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher::run_on from many threads
+// ---------------------------------------------------------------------------
+
+TEST(DispatcherStress, RunOnFromManyThreadsMatchesSerialOutputs) {
+    ThreadPool pool(4);
+    DeviceRegistry registry = DeviceRegistry::standard_testbed({}, &pool);
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::simple(), 11);
+    dispatcher.deploy_all();
+
+    Tensor input(dispatcher.model("simple").input_shape(4));
+    Rng rng(5);
+    input.fill_uniform(rng, -1.0F, 1.0F);
+
+    // Reference outputs computed serially; the kernels are deterministic and
+    // identical across devices, so every concurrent run must match exactly.
+    const InferenceResult reference = dispatcher.run_on("i7-8700", "simple", input, 0.0);
+
+    const std::vector<std::string> device_names = registry.names();
+    constexpr std::size_t kThreads = 8;
+    constexpr std::size_t kRunsPerThread = 25;
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kRunsPerThread; ++i) {
+                const std::string& device = device_names[(t + i) % device_names.size()];
+                const InferenceResult result =
+                    dispatcher.run_on(device, "simple", input, static_cast<double>(i));
+                EXPECT_EQ(result.outputs.max_abs_diff(reference.outputs), 0.0F);
+            }
+        });
+    }
+    for (auto& w : workers) w.join();
+}
+
+TEST(DispatcherStress, RegisterAndDeployWhileServing) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::simple(), 11);
+    dispatcher.deploy("simple");
+
+    Tensor input(dispatcher.model("simple").input_shape(2));
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> servers;
+    servers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        servers.emplace_back([&] {
+            std::size_t i = 0;
+            while (!stop.load(std::memory_order_acquire)) {
+                (void)dispatcher.run_on("gtx1080ti", "simple", input,
+                                        static_cast<double>(i++));
+                (void)dispatcher.has_model("simple");
+                (void)dispatcher.model_names();
+            }
+        });
+    }
+    // Register and deploy a second model while the first is serving.
+    dispatcher.register_model(nn::zoo::mnist_small(), 13);
+    dispatcher.deploy_all();
+    EXPECT_TRUE(dispatcher.has_model("mnist-small"));
+    stop.store(true, std::memory_order_release);
+    for (auto& s : servers) s.join();
+}
+
+}  // namespace

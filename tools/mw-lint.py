@@ -1,0 +1,233 @@
+#!/usr/bin/env python3
+"""mw-lint: project-invariant checks that clang-tidy cannot express.
+
+Rules enforced over src/ (suppress a single line with
+`// mw-lint: allow(<rule>)` plus a justification):
+
+  naked-thread          std::thread may only be constructed/owned inside
+                        src/common/thread_pool.* — everything else goes
+                        through ThreadPool so shutdown, exception routing,
+                        and sanitizer coverage stay centralised.
+                        (std::this_thread, thread::id and
+                        hardware_concurrency() queries are fine.)
+  manual-lock           no mutex_.lock()/.unlock() calls: locking is RAII
+                        (lock_guard / unique_lock / shared_lock) so an early
+                        return or exception cannot leak a held lock.
+  raw-assert            no assert()/<cassert> in src/: preconditions use
+                        MW_CHECK (throws, caller-visible), invariants use
+                        MW_ASSERT / MW_ASSERT_MSG / MW_DCHECK (never
+                        silently compiled out the way NDEBUG eats assert).
+  raw-abort             no direct std::abort()/exit() outside
+                        src/common/error.hpp — fatal paths go through the MW
+                        macros so they print where and why.
+  time-arith-confined   no raw std::chrono / clock reads outside
+                        src/common/timer.hpp: all wall-clock measurement goes
+                        through Stopwatch so the double-seconds convention
+                        (see units.hpp) has a single conversion point.
+  header-self-contained IWYU-lite: every header in src/ must compile on its
+                        own (checked with `$CXX -fsyntax-only`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+ALLOW_RE = re.compile(r"//\s*mw-lint:\s*allow\(([a-z-]+)\)")
+
+
+def strip_noncode(text: str) -> str:
+    """Blank out comments and string/char literals, preserving line structure."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i : j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c in "\"'":
+            quote = c
+            j = i + 1
+            while j < n:
+                if text[j] == "\\":
+                    j += 2
+                    continue
+                if text[j] == quote or text[j] == "\n":
+                    break
+                j += 1
+            out.append(quote + " " * (j - i - 1) + (text[j] if j < n else ""))
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+class Finding:
+    def __init__(self, path: str, line: int, rule: str, message: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = os.path.relpath(self.path, REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+# (rule, pattern, message, excluded file suffixes)
+LINE_RULES = [
+    (
+        "naked-thread",
+        re.compile(r"\bstd::thread\b(?!\s*::)"),
+        "naked std::thread — route work through mw::ThreadPool",
+        ("src/common/thread_pool.hpp", "src/common/thread_pool.cpp"),
+    ),
+    (
+        "manual-lock",
+        re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)"),
+        "manual lock()/unlock() — use a RAII guard (std::lock_guard / unique_lock)",
+        (),
+    ),
+    (
+        "raw-assert",
+        re.compile(r"(?:\bassert\s*\(|#\s*include\s*<cassert>)"),
+        "raw assert — use MW_CHECK (precondition) or MW_ASSERT/MW_DCHECK (invariant)",
+        (),
+    ),
+    (
+        "raw-abort",
+        re.compile(r"\bstd::abort\s*\(|(?<![\w:])abort\s*\(|\bstd::exit\s*\(|(?<![\w:])exit\s*\("),
+        "raw abort()/exit() — fatal paths go through the MW_* macros in common/error.hpp",
+        ("src/common/error.hpp",),
+    ),
+    (
+        "time-arith-confined",
+        re.compile(
+            r"\bstd::chrono\b|\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b"
+            r"|\bclock_gettime\b|\bgettimeofday\b"
+        ),
+        "raw clock access — wall-clock time goes through mw::Stopwatch (common/timer.hpp)",
+        ("src/common/timer.hpp",),
+    ),
+]
+
+
+def relpath(path: str) -> str:
+    return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
+
+
+def check_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    code_lines = strip_noncode(raw).splitlines()
+    rel = relpath(path)
+
+    findings: list[Finding] = []
+    for rule, pattern, message, excluded in LINE_RULES:
+        if any(rel.endswith(suffix) for suffix in excluded):
+            continue
+        for lineno, code in enumerate(code_lines, start=1):
+            if not pattern.search(code):
+                continue
+            allow = ALLOW_RE.search(raw_lines[lineno - 1]) if lineno <= len(raw_lines) else None
+            if allow and allow.group(1) == rule:
+                continue
+            findings.append(Finding(path, lineno, rule, message))
+    return findings
+
+
+def find_compiler() -> str | None:
+    if os.environ.get("CXX") and shutil.which(os.environ["CXX"]):
+        return os.environ["CXX"]
+    for cand in ("c++", "g++", "clang++"):
+        if shutil.which(cand):
+            return cand
+    return None
+
+
+def check_header_self_contained(header: str, cxx: str, include_dir: str) -> Finding | None:
+    with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tu:
+        tu.write(f'#include "{relpath(header)[len("src/"):]}"\n')
+        tu_path = tu.name
+    try:
+        proc = subprocess.run(
+            [cxx, "-std=c++20", "-fsyntax-only", "-I", include_dir, "-x", "c++", tu_path],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            first = proc.stderr.strip().splitlines()
+            detail = first[0] if first else "compile failed"
+            return Finding(header, 1, "header-self-contained", f"header does not compile alone: {detail}")
+    finally:
+        os.unlink(tu_path)
+    return None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("paths", nargs="*", default=None, help="files or directories (default: src/)")
+    parser.add_argument("--no-header-check", action="store_true", help="skip the self-containment compile check")
+    args = parser.parse_args()
+
+    roots = args.paths or [os.path.join(REPO_ROOT, "src")]
+    files: list[str] = []
+    for root in roots:
+        if os.path.isfile(root):
+            files.append(os.path.abspath(root))
+            continue
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if name.endswith((".hpp", ".cpp", ".h", ".cc")):
+                    files.append(os.path.join(dirpath, name))
+    files.sort()
+
+    findings: list[Finding] = []
+    for path in files:
+        findings.extend(check_file(path))
+
+    headers = [f for f in files if f.endswith((".hpp", ".h"))]
+    if not args.no_header_check and headers:
+        cxx = find_compiler()
+        if cxx is None:
+            print("mw-lint: no C++ compiler found; skipping header-self-contained check", file=sys.stderr)
+        else:
+            include_dir = os.path.join(REPO_ROOT, "src")
+            with concurrent.futures.ThreadPoolExecutor(max_workers=os.cpu_count()) as pool:
+                for result in pool.map(
+                    lambda h: check_header_self_contained(h, cxx, include_dir), headers
+                ):
+                    if result is not None:
+                        findings.append(result)
+
+    findings.sort(key=lambda f: (f.path, f.line, f.rule))
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"mw-lint: {len(findings)} finding(s) in {len(files)} file(s)", file=sys.stderr)
+        return 1
+    print(f"mw-lint: OK ({len(files)} files, {len(headers)} headers checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
