@@ -1,7 +1,14 @@
-// Monotonic wall-clock stopwatch used by the measurement harness and benches.
+// Monotonic wall-clock stopwatch plus the time plumbing shared by the
+// measurement harness, benches, and the serving layer. All raw std::chrono
+// access in src/ is confined to this header (mw-lint: time-arith-confined);
+// everything else deals in double seconds.
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 namespace mw {
 
@@ -29,5 +36,59 @@ private:
     using Clock = std::chrono::steady_clock;
     Clock::time_point start_;
 };
+
+/// Abstract time source: seconds since an arbitrary epoch, monotone
+/// non-decreasing. Components that must run on both a real and a simulated
+/// timeline (the mw::serve layer in particular) take time ONLY through this
+/// interface — benches inject a WallClock, deterministic tests a ManualClock.
+/// mw-lint's `wall-clock-in-serve` rule enforces the discipline.
+class Clock {
+public:
+    virtual ~Clock() = default;
+
+    [[nodiscard]] virtual double now() const = 0;
+};
+
+/// Real time: seconds elapsed since construction.
+class WallClock final : public Clock {
+public:
+    [[nodiscard]] double now() const override { return watch_.elapsed(); }
+
+private:
+    Stopwatch watch_;
+};
+
+/// Manually driven time for deterministic tests: now() only moves when the
+/// test calls set()/advance(). Safe to advance while other threads read.
+class ManualClock final : public Clock {
+public:
+    explicit ManualClock(double start_s = 0.0) : now_(start_s) {}
+
+    [[nodiscard]] double now() const override {
+        return now_.load(std::memory_order_acquire);
+    }
+
+    void set(double t) { now_.store(t, std::memory_order_release); }
+    void advance(double dt) { now_.fetch_add(dt, std::memory_order_acq_rel); }
+
+private:
+    std::atomic<double> now_;
+};
+
+/// Sleep the calling thread for `seconds` (no-op when <= 0).
+inline void sleep_for_seconds(double seconds) {
+    if (seconds <= 0.0) return;
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Wait on `cv` (holding `lock`) until `pred()` holds or `seconds` elapsed;
+/// returns pred()'s final value. The double-seconds counterpart of
+/// condition_variable::wait_for, so callers never touch std::chrono.
+template <typename Predicate>
+bool wait_for_seconds(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
+                      double seconds, Predicate pred) {
+    if (seconds <= 0.0) return pred();
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds), std::move(pred));
+}
 
 }  // namespace mw

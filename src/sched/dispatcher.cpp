@@ -54,6 +54,17 @@ void Dispatcher::deploy_all() {
     for (const auto& model : snapshot) registry_->load_model_everywhere(model);
 }
 
+bool Dispatcher::unregister_model(const std::string& model_name) {
+    {
+        const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+        if (models_.erase(model_name) == 0) return false;
+    }
+    // Device locks are taken outside our own lock (flat lock graph, as in
+    // deploy_all). A device mid-run keeps its instance alive via shared_ptr.
+    for (device::Device* dev : registry_->devices()) dev->unload_model(model_name);
+    return true;
+}
+
 std::shared_ptr<nn::Model> Dispatcher::find_model(const std::string& model_name) const {
     const std::shared_lock<std::shared_mutex> lock(models_mutex_);
     const auto it = models_.find(model_name);
@@ -67,7 +78,8 @@ bool Dispatcher::has_model(const std::string& model_name) const {
 }
 
 const nn::Model& Dispatcher::model(const std::string& model_name) const {
-    // Valid for the Dispatcher's lifetime: models are never unregistered.
+    // Valid while the model stays registered; unregister_model() invalidates
+    // references handed out here, so callers must not cache them across it.
     return *find_model(model_name);
 }
 

@@ -18,7 +18,7 @@ namespace mw::sched {
 ///
 /// Thread safety: the model table is guarded by a reader-writer lock, so
 /// run_on()/lookups from many serving threads proceed concurrently while
-/// register_*/deploy remain safe to call at any time. Mutating a model's
+/// register_*/deploy/unregister_model remain safe to call at any time. Mutating a model's
 /// weights (load_weights_from) while that model is serving is still a logic
 /// race the caller must sequence.
 class Dispatcher {
@@ -43,6 +43,13 @@ public:
     /// Fig. 2 step 5: load the named model onto every device.
     void deploy(const std::string& model_name);
     void deploy_all();
+
+    /// Retire a model: remove it from the table and unload it from every
+    /// device, freeing the name for hot-swap re-registration. In-flight
+    /// run_on() calls finish safely — each device pins its model instance
+    /// with a shared_ptr for the duration of the run; later lookups throw.
+    /// Returns false when the name was not registered.
+    bool unregister_model(const std::string& model_name);
 
     [[nodiscard]] bool has_model(const std::string& model_name) const;
     [[nodiscard]] const nn::Model& model(const std::string& model_name) const;

@@ -1,0 +1,90 @@
+#include "serve/admission.hpp"
+
+#include "common/error.hpp"
+
+namespace mw::serve {
+
+AdmissionController::AdmissionController(AdmissionConfig config, RequestQueue& queue,
+                                         ServerStats& stats)
+    : config_(config), queue_(&queue), stats_(&stats) {
+    MW_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
+             "ewma_alpha must be in (0,1]");
+    MW_CHECK(config_.default_slo_s >= 0.0, "default_slo_s must be non-negative");
+}
+
+bool AdmissionController::admit(Request&& request, double now) {
+    if (request.slo_s <= 0.0) request.slo_s = config_.default_slo_s;
+    request.arrival_s = now;
+    stats_->on_submitted(request.policy);
+
+    if (config_.policy == BackpressurePolicy::kDeadlineShed &&
+        deadline_unmeetable(request, now)) {
+        // Hopeless on arrival: the execute estimate alone exceeds the SLO.
+        stats_->on_shed(request.policy);
+        request.complete(make_status_response(RequestStatus::kShedDeadline));
+        return false;
+    }
+
+    if (queue_->try_push(request)) {
+        stats_->on_admitted(request.policy);
+        return true;
+    }
+
+    switch (config_.policy) {
+        case BackpressurePolicy::kRejectNewest:
+            break;  // fall through to rejecting the newcomer
+
+        case BackpressurePolicy::kRejectOldest: {
+            if (std::optional<Request> victim = queue_->evict_oldest()) {
+                stats_->on_evicted(victim->policy);
+                victim->complete(make_status_response(RequestStatus::kEvicted));
+            }
+            if (queue_->try_push(request)) {
+                stats_->on_admitted(request.policy);
+                return true;
+            }
+            break;  // closed, or lost the race for the freed slot
+        }
+
+        case BackpressurePolicy::kDeadlineShed: {
+            auto doomed = queue_->remove_if(
+                [&](const Request& r) { return deadline_unmeetable(r, now); });
+            for (Request& r : doomed) {
+                stats_->on_shed(r.policy);
+                r.complete(make_status_response(RequestStatus::kShedDeadline));
+            }
+            if (queue_->try_push(request)) {
+                stats_->on_admitted(request.policy);
+                return true;
+            }
+            break;  // nothing sheddable: every queued request is still viable
+        }
+    }
+
+    stats_->on_rejected_full(request.policy);
+    request.complete(make_status_response(RequestStatus::kRejectedFull));
+    return false;
+}
+
+void AdmissionController::observe_execute(const std::string& model_name,
+                                          double execute_s) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto [it, inserted] = execute_ewma_.try_emplace(model_name, config_.ewma_alpha);
+    it->second.add(execute_s);
+}
+
+double AdmissionController::estimated_execute_s(const std::string& model_name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = execute_ewma_.find(model_name);
+    return it == execute_ewma_.end() || it->second.empty() ? 0.0 : it->second.value();
+}
+
+bool AdmissionController::deadline_unmeetable(const Request& request, double now) const {
+    if (request.slo_s <= 0.0) return false;
+    const double waited = now - request.arrival_s;
+    const double remaining = request.slo_s - waited;
+    if (remaining <= 0.0) return true;
+    return estimated_execute_s(request.model_name) > remaining;
+}
+
+}  // namespace mw::serve

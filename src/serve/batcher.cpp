@@ -1,0 +1,66 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mw::serve {
+namespace {
+
+/// Real-time sleep between follower re-scans while the queue is empty.
+/// Deliberately a plain timed sleep, not a wake-per-push wait: waking the
+/// aggregator on every push preempts the producing thread after a single
+/// request (ruinous on few-core hosts — each batch collapses to one or two
+/// requests), whereas a short sleep lets arrivals accumulate and be grabbed
+/// in one scan. Also bounds how stale an injected ManualClock can get and
+/// how long shutdown can lag behind close().
+constexpr double kMaxWaitSliceS = 0.0005;
+
+}  // namespace
+
+BatchAggregator::BatchAggregator(BatchConfig config, RequestQueue& queue,
+                                 const Clock& clock)
+    : config_(config), queue_(&queue), clock_(&clock) {
+    MW_CHECK(config_.max_requests > 0, "max_requests must be positive");
+    MW_CHECK(config_.max_samples > 0, "max_samples must be positive");
+    MW_CHECK(config_.max_wait_s >= 0.0, "max_wait_s must be non-negative");
+}
+
+std::optional<PendingBatch> BatchAggregator::next(double pop_timeout_s) {
+    std::optional<Request> leader = queue_->pop(pop_timeout_s);
+    if (!leader) return std::nullopt;
+
+    PendingBatch batch;
+    batch.total_samples = leader->samples;
+    batch.requests.push_back(std::move(*leader));
+    if (!config_.enabled || config_.max_requests <= 1) return batch;
+
+    const double deadline = clock_->now() + config_.max_wait_s;
+    while (batch.requests.size() < config_.max_requests &&
+           batch.total_samples < config_.max_samples) {
+        std::vector<Request> mates = queue_->pop_matching(
+            batch.model_name(), batch.policy(),
+            config_.max_requests - batch.requests.size(),
+            config_.max_samples - batch.total_samples);
+        for (Request& mate : mates) {
+            batch.total_samples += mate.samples;
+            batch.requests.push_back(std::move(mate));
+        }
+        if (!mates.empty()) continue;  // maybe more already queued
+
+        const double remaining = deadline - clock_->now();
+        if (remaining <= 0.0 || queue_->closed()) break;
+        // Wait for followers only when the server would otherwise go idle.
+        // If anything is still queued (another lane, another model), dispatch
+        // what we have and come back for it: holding a worker hostage to the
+        // max_wait timer while work is queued throttles the whole pipeline —
+        // and when the queue is full it deadlocks batching against admission,
+        // which cannot even push the followers we would be waiting for.
+        if (!queue_->empty()) break;
+        sleep_for_seconds(std::min(remaining, kMaxWaitSliceS));
+    }
+    return batch;
+}
+
+}  // namespace mw::serve

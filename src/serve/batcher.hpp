@@ -1,0 +1,56 @@
+// BatchAggregator: dynamic batching. A worker pops a leader request, then
+// coalesces same-model/same-policy followers until the batch is full or a
+// max-wait deadline passes. The paper treats batch size as a scheduling
+// *input*; the aggregator makes it a server *output* — large coalesced
+// batches are exactly where the iGPU/dGPU crossovers of Fig. 3 pay off.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "serve/request_queue.hpp"
+
+namespace mw::serve {
+
+struct BatchConfig {
+    bool enabled = true;
+    std::size_t max_requests = 16;    ///< coalesce at most this many requests
+    std::size_t max_samples = 16384;  ///< cap on total samples per batch
+    double max_wait_s = 0.002;        ///< extra time a leader waits for mates
+};
+
+/// Requests destined for one model run: same model, same policy, FIFO order.
+struct PendingBatch {
+    std::vector<Request> requests;
+    std::size_t total_samples = 0;
+
+    [[nodiscard]] const std::string& model_name() const {
+        return requests.front().model_name;
+    }
+    [[nodiscard]] sched::Policy policy() const { return requests.front().policy; }
+};
+
+/// Thread safety: next() may be called from many workers concurrently; each
+/// call assembles an independent batch.
+class BatchAggregator {
+public:
+    BatchAggregator(BatchConfig config, RequestQueue& queue, const Clock& clock);
+
+    /// Wait up to `pop_timeout_s` (real time) for a leader, then coalesce
+    /// followers until full or `max_wait_s` has passed on the injected
+    /// clock. Returns nullopt on timeout or when the queue is closed and
+    /// drained. With batching disabled, returns single-request batches.
+    std::optional<PendingBatch> next(double pop_timeout_s);
+
+    [[nodiscard]] const BatchConfig& config() const { return config_; }
+
+private:
+    BatchConfig config_;
+    RequestQueue* queue_;
+    const Clock* clock_;
+};
+
+}  // namespace mw::serve

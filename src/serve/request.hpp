@@ -1,0 +1,97 @@
+// mw::serve request/response vocabulary: what clients hand to the Server,
+// what they get back, and the internal queued form that carries the client's
+// promise through admission, batching, and execution.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <utility>
+
+#include "device/measurement.hpp"
+#include "sched/policy.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mw::serve {
+
+/// Number of scheduling policies, i.e. of queue lanes / stat groups.
+inline constexpr std::size_t kPolicyLanes = 3;
+
+/// Lane index of a policy (stable: enum order).
+[[nodiscard]] constexpr std::size_t lane_of(sched::Policy policy) {
+    return static_cast<std::size_t>(policy);
+}
+
+/// Terminal state of a submitted request.
+enum class RequestStatus {
+    kCompleted,     ///< executed; outputs/measurement are valid
+    kRejectedFull,  ///< refused at admission: queue at capacity
+    kEvicted,       ///< admitted, then displaced by reject-oldest backpressure
+    kShedDeadline,  ///< dropped: its latency SLO was already unmeetable
+    kShutdown,      ///< the server stopped before the request could run
+    kFailed,        ///< execution threw; see Response::error
+};
+
+[[nodiscard]] inline std::string status_name(RequestStatus status) {
+    switch (status) {
+        case RequestStatus::kCompleted: return "completed";
+        case RequestStatus::kRejectedFull: return "rejected-full";
+        case RequestStatus::kEvicted: return "evicted";
+        case RequestStatus::kShedDeadline: return "shed-deadline";
+        case RequestStatus::kShutdown: return "shutdown";
+        case RequestStatus::kFailed: return "failed";
+    }
+    return "unknown";
+}
+
+/// What a client's future resolves to.
+struct Response {
+    RequestStatus status = RequestStatus::kFailed;
+    std::string device_name;          ///< the scheduler's pick (kCompleted only)
+    Tensor outputs;                   ///< this request's rows of the batch output
+    device::Measurement measurement;  ///< of the executed (possibly coalesced) batch
+    std::size_t coalesced = 1;        ///< requests sharing the executed batch
+    double queue_s = 0.0;             ///< admission -> dispatch (server clock)
+    double execute_s = 0.0;           ///< batch execution latency (device timeline)
+    std::string error;                ///< diagnostics when kFailed
+
+    [[nodiscard]] bool ok() const { return status == RequestStatus::kCompleted; }
+};
+
+/// Response carrying only a terminal status (rejection, shed, shutdown,
+/// failure) — no outputs or measurement.
+[[nodiscard]] inline Response make_status_response(RequestStatus status,
+                                                   std::string error = {}) {
+    Response response;
+    response.status = status;
+    response.error = std::move(error);
+    return response;
+}
+
+/// What clients hand to Server::submit.
+struct InferenceRequest {
+    std::string model_name;
+    Tensor payload;  ///< rank-2 (samples, sample_elems), as InputSource produces
+    sched::Policy policy = sched::Policy::kMaxThroughput;
+    double slo_s = 0.0;  ///< end-to-end latency SLO in seconds; 0 = none
+};
+
+/// Internal queued form: payload plus bookkeeping plus the client's promise.
+/// Move-only; whoever removes it from the queue must complete() it.
+struct Request {
+    std::uint64_t id = 0;
+    std::string model_name;
+    std::size_t samples = 0;  ///< payload rows (the paper's "sample size")
+    sched::Policy policy = sched::Policy::kMaxThroughput;
+    Tensor payload;
+    double slo_s = 0.0;      ///< effective SLO after admission defaults
+    double arrival_s = 0.0;  ///< server-clock time at admission
+    std::promise<Response> promise;
+
+    /// Fulfil the client's future. Each request is completed exactly once by
+    /// whichever stage terminates it (admission, shedding, worker, shutdown).
+    void complete(Response&& response) { promise.set_value(std::move(response)); }
+};
+
+}  // namespace mw::serve

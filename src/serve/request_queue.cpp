@@ -1,0 +1,134 @@
+#include "serve/request_queue.hpp"
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+
+namespace mw::serve {
+
+RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    MW_CHECK(capacity > 0, "queue capacity must be positive");
+}
+
+bool RequestQueue::try_push(Request& request) {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        if (closed_ || total_ >= capacity_) return false;
+        lanes_[lane_of(request.policy)].push_back(std::move(request));
+        ++total_;
+    }
+    activity_.notify_all();
+    return true;
+}
+
+std::optional<Request> RequestQueue::pop(double timeout_s) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wait_for_seconds(activity_, lock, timeout_s,
+                     [this] { return total_ > 0 || closed_; });
+    if (total_ == 0) return std::nullopt;  // timeout, or closed and drained
+    for (std::size_t probe = 0; probe < kPolicyLanes; ++probe) {
+        auto& lane = lanes_[next_lane_];
+        next_lane_ = (next_lane_ + 1) % kPolicyLanes;
+        if (lane.empty()) continue;
+        Request request = std::move(lane.front());
+        lane.pop_front();
+        --total_;
+        return request;
+    }
+    MW_ASSERT_MSG(false, "total_ > 0 but every lane is empty");
+    return std::nullopt;
+}
+
+std::vector<Request> RequestQueue::pop_matching(const std::string& model_name,
+                                                sched::Policy policy,
+                                                std::size_t max_requests,
+                                                std::size_t max_samples) {
+    std::vector<Request> matched;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& lane = lanes_[lane_of(policy)];
+    for (auto it = lane.begin();
+         it != lane.end() && matched.size() < max_requests;) {
+        if (it->model_name == model_name && it->samples <= max_samples) {
+            max_samples -= it->samples;
+            matched.push_back(std::move(*it));
+            it = lane.erase(it);
+            --total_;
+        } else {
+            ++it;
+        }
+    }
+    return matched;
+}
+
+std::optional<Request> RequestQueue::evict_oldest() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::deque<Request>* oldest_lane = nullptr;
+    for (auto& lane : lanes_) {
+        if (lane.empty()) continue;
+        // Lanes are FIFO, so each lane's front is its oldest entry.
+        if (oldest_lane == nullptr ||
+            lane.front().arrival_s < oldest_lane->front().arrival_s) {
+            oldest_lane = &lane;
+        }
+    }
+    if (oldest_lane == nullptr) return std::nullopt;
+    Request victim = std::move(oldest_lane->front());
+    oldest_lane->pop_front();
+    --total_;
+    return victim;
+}
+
+std::vector<Request> RequestQueue::remove_if(
+    const std::function<bool(const Request&)>& pred) {
+    std::vector<Request> removed;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& lane : lanes_) {
+        for (auto it = lane.begin(); it != lane.end();) {
+            if (pred(*it)) {
+                removed.push_back(std::move(*it));
+                it = lane.erase(it);
+                --total_;
+            } else {
+                ++it;
+            }
+        }
+    }
+    return removed;
+}
+
+void RequestQueue::close() {
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        closed_ = true;
+    }
+    activity_.notify_all();
+}
+
+std::vector<Request> RequestQueue::drain() {
+    std::vector<Request> out;
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& lane : lanes_) {
+        while (!lane.empty()) {
+            out.push_back(std::move(lane.front()));
+            lane.pop_front();
+            --total_;
+        }
+    }
+    return out;
+}
+
+bool RequestQueue::closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+}
+
+std::size_t RequestQueue::size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+}
+
+std::size_t RequestQueue::lane_size(sched::Policy policy) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return lanes_[lane_of(policy)].size();
+}
+
+}  // namespace mw::serve

@@ -1,0 +1,79 @@
+// Bounded MPMC request queue with one FIFO lane per scheduling policy.
+//
+// The queue never blocks producers: when full, try_push fails and the
+// AdmissionController decides what to shed (explicit backpressure, "shed,
+// don't block"). Consumers block in pop() with a timeout; close() wakes
+// every waiter. Lanes keep the three policy classes from starving each
+// other — pop() round-robins across non-empty lanes.
+#pragma once
+
+#include <array>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace mw::serve {
+
+/// Thread safety: every member may be called concurrently; one internal
+/// mutex guards the lanes, one condition variable signals pushes and close.
+class RequestQueue {
+public:
+    explicit RequestQueue(std::size_t capacity);
+
+    /// Move `request` in if there is room. Returns false — leaving `request`
+    /// untouched — when the queue is full or closed. Never blocks.
+    bool try_push(Request& request);
+
+    /// Blocking pop: waits up to `timeout_s` for a request, round-robining
+    /// across non-empty lanes. Returns nullopt on timeout, or when the queue
+    /// is closed and fully drained (closed queues still drain).
+    std::optional<Request> pop(double timeout_s);
+
+    /// Non-blocking: pop up to `max_requests` requests of the same model and
+    /// policy whose sample counts fit within `max_samples` (dynamic-batching
+    /// followers). Scans the lane in FIFO order, skipping other models.
+    std::vector<Request> pop_matching(const std::string& model_name, sched::Policy policy,
+                                      std::size_t max_requests, std::size_t max_samples);
+
+    /// Remove and return the globally oldest queued request (smallest
+    /// arrival_s across lane fronts) — reject-oldest backpressure.
+    std::optional<Request> evict_oldest();
+
+    /// Remove and return every queued request for which `pred` holds
+    /// (deadline shedding).
+    std::vector<Request> remove_if(const std::function<bool(const Request&)>& pred);
+
+    /// Close the queue: subsequent try_push fails, blocked consumers wake.
+    /// Already-queued requests remain poppable/drainable. Idempotent and
+    /// safe to call from several threads at once.
+    void close();
+
+    /// Remove and return everything still queued (shutdown completion).
+    std::vector<Request> drain();
+
+    [[nodiscard]] bool closed() const;
+    [[nodiscard]] std::size_t size() const;
+    [[nodiscard]] std::size_t lane_size(sched::Policy policy) const;
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+private:
+    const std::size_t capacity_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable activity_;  ///< signalled on push and close
+    std::array<std::deque<Request>, kPolicyLanes> lanes_;
+    std::size_t total_ = 0;
+    std::size_t next_lane_ = 0;  ///< round-robin cursor for pop()
+    bool closed_ = false;
+};
+
+}  // namespace mw::serve

@@ -1,0 +1,212 @@
+#include "serve/server.hpp"
+
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mw::serve {
+namespace {
+
+/// Concatenate the batch members' payload rows into one (total, elems)
+/// tensor. Widths must agree — they do for one model's traffic; a malformed
+/// payload surfaces as MW_CHECK -> the batch fails with kFailed responses.
+Tensor coalesce_payloads(const PendingBatch& batch) {
+    const Request& first = batch.requests.front();
+    const std::size_t elems = first.payload.numel() / first.samples;
+    Tensor out(Shape{batch.total_samples, elems});
+    std::size_t row = 0;
+    for (const Request& r : batch.requests) {
+        MW_CHECK(r.payload.numel() == r.samples * elems,
+                 "payload width mismatch inside batch for model " + r.model_name);
+        std::memcpy(out.data() + row * elems, r.payload.data(),
+                    r.payload.numel() * sizeof(float));
+        row += r.samples;
+    }
+    return out;
+}
+
+/// Copy one request's rows back out of the batch output tensor.
+Tensor slice_rows(const Tensor& outputs, std::size_t row_offset, std::size_t rows,
+                  std::size_t elems_per_sample) {
+    Tensor out(Shape{rows, elems_per_sample});
+    std::memcpy(out.data(), outputs.data() + row_offset * elems_per_sample,
+                rows * elems_per_sample * sizeof(float));
+    return out;
+}
+
+}  // namespace
+
+Server::Server(sched::OnlineScheduler& scheduler, sched::Dispatcher& dispatcher,
+               const Clock& clock, ServerConfig config)
+    : config_(config),
+      clock_(&clock),
+      scheduler_(&scheduler),
+      dispatcher_(&dispatcher),
+      queue_(config.queue_capacity),
+      admission_(config.admission, queue_, stats_),
+      batcher_(config.batching, queue_, clock),
+      pool_(std::make_unique<ThreadPool>(config.workers)) {
+    MW_CHECK(config_.workers > 0, "server needs at least one worker");
+    MW_CHECK(config_.worker_poll_s > 0.0, "worker_poll_s must be positive");
+    if (config_.start_on_construction) start();
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+    MW_CHECK(!stopped_.load(std::memory_order_acquire),
+             "a stopped server cannot be restarted");
+    if (running_.exchange(true, std::memory_order_acq_rel)) return;
+    workers_.reserve(config_.workers);
+    for (std::size_t i = 0; i < config_.workers; ++i) {
+        workers_.push_back(pool_->submit([this] { worker_loop(); }));
+    }
+}
+
+void Server::stop() {
+    if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+    const bool was_running = running_.exchange(false, std::memory_order_acq_rel);
+    if (was_running && config_.drain_on_stop) {
+        // Workers are still draining; wait for queue + in-flight to empty.
+        while (queue_.size() > 0 || inflight_.load(std::memory_order_acquire) > 0) {
+            sleep_for_seconds(0.0005);
+        }
+    }
+    queue_.close();
+    for (auto& worker : workers_) worker.get();
+    workers_.clear();
+    // Anything still queued (stop without drain, or never started).
+    for (Request& r : queue_.drain()) {
+        stats_.on_shutdown(r.policy);
+        r.complete(make_status_response(RequestStatus::kShutdown));
+    }
+    pool_.reset();
+}
+
+std::future<Response> Server::submit(InferenceRequest request) {
+    MW_CHECK(!request.model_name.empty(), "request needs a model name");
+    MW_CHECK(request.payload.shape().rank() == 2 && request.payload.numel() > 0,
+             "payload must be a non-empty rank-2 (samples, sample_elems) tensor");
+    MW_CHECK(request.slo_s >= 0.0, "slo_s must be non-negative");
+
+    Request r;
+    r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    r.model_name = std::move(request.model_name);
+    r.samples = request.payload.shape()[0];
+    r.policy = request.policy;
+    r.payload = std::move(request.payload);
+    r.slo_s = request.slo_s;
+    std::future<Response> future = r.promise.get_future();
+
+    // A constructed-but-not-started server still admits (tests stage the
+    // queue this way); only a stopped server refuses outright.
+    if (stopped_.load(std::memory_order_acquire)) {
+        stats_.on_submitted(r.policy);
+        stats_.on_shutdown(r.policy);
+        r.complete(make_status_response(RequestStatus::kShutdown));
+        return future;
+    }
+    admission_.admit(std::move(r), clock_->now());
+    return future;
+}
+
+ServerSnapshot Server::stats() const {
+    ServerSnapshot snap = stats_.snapshot();
+    for (std::size_t lane = 0; lane < kPolicyLanes; ++lane) {
+        snap.policy[lane].queue_depth = queue_.lane_size(static_cast<sched::Policy>(lane));
+        snap.queue_depth_total += snap.policy[lane].queue_depth;
+    }
+    return snap;
+}
+
+void Server::worker_loop() {
+    while (true) {
+        std::optional<PendingBatch> batch = batcher_.next(config_.worker_poll_s);
+        if (batch) {
+            inflight_.fetch_add(1, std::memory_order_acq_rel);
+            execute_batch(std::move(*batch));
+            inflight_.fetch_sub(1, std::memory_order_acq_rel);
+            continue;
+        }
+        if (queue_.closed()) return;  // closed and fully drained
+    }
+}
+
+void Server::execute_batch(PendingBatch batch) {
+    const double dispatch_now = clock_->now();
+
+    // SLO-aware shedding at dispatch: under deadline-shed backpressure, a
+    // request whose budget has evaporated while queued is dropped here too —
+    // executing it would only delay requests that can still make it.
+    std::vector<Request> live;
+    live.reserve(batch.requests.size());
+    std::size_t total_samples = 0;
+    for (Request& r : batch.requests) {
+        if (admission_.config().policy == BackpressurePolicy::kDeadlineShed &&
+            admission_.deadline_unmeetable(r, dispatch_now)) {
+            stats_.on_shed(r.policy);
+            r.complete(make_status_response(RequestStatus::kShedDeadline));
+        } else {
+            total_samples += r.samples;
+            live.push_back(std::move(r));
+        }
+    }
+    if (live.empty()) return;
+    batch.requests = std::move(live);
+    batch.total_samples = total_samples;
+
+    const sched::ScheduleRequest schedule_request{batch.model_name(),
+                                                 batch.total_samples, batch.policy()};
+    device::InferenceResult result;
+    sched::ScheduleDecision decision;
+    try {
+        {
+            const std::lock_guard<std::mutex> lock(scheduler_mutex_);
+            decision = scheduler_->decide(schedule_request, dispatch_now);
+        }
+        const Tensor input = batch.requests.size() == 1
+                                 ? std::move(batch.requests.front().payload)
+                                 : coalesce_payloads(batch);
+        result = dispatcher_->run_on(decision.device_name, batch.model_name(), input,
+                                     dispatch_now);
+    } catch (const std::exception& e) {
+        for (Request& r : batch.requests) {
+            stats_.on_failed(r.policy);
+            r.complete(make_status_response(RequestStatus::kFailed, e.what()));
+        }
+        return;
+    }
+
+    const double execute_s = result.measurement.latency_s();
+    admission_.observe_execute(batch.model_name(), execute_s);
+    stats_.on_batch_executed(batch.policy(), batch.requests.size());
+
+    const std::size_t coalesced = batch.requests.size();
+    const std::size_t out_elems_per_sample =
+        result.outputs.numel() / batch.total_samples;
+    std::size_t row = 0;
+    for (Request& r : batch.requests) {
+        const double share =
+            static_cast<double>(r.samples) / static_cast<double>(batch.total_samples);
+        Response response;
+        response.status = RequestStatus::kCompleted;
+        response.device_name = decision.device_name;
+        response.outputs = coalesced == 1
+                               ? std::move(result.outputs)
+                               : slice_rows(result.outputs, row, r.samples,
+                                            out_elems_per_sample);
+        response.measurement = result.measurement;
+        response.coalesced = coalesced;
+        response.queue_s = dispatch_now - r.arrival_s;
+        response.execute_s = execute_s;
+        stats_.on_completed(r.policy, response.queue_s, execute_s, r.samples,
+                            result.measurement.bytes_in * share,
+                            result.measurement.energy_j * share, coalesced);
+        row += r.samples;
+        r.complete(std::move(response));
+    }
+}
+
+}  // namespace mw::serve

@@ -1,0 +1,108 @@
+// Server: the concurrent serving front-end. Clients submit() payload-carrying
+// requests and receive futures; N worker threads (on an owned ThreadPool)
+// drain the bounded queue through the BatchAggregator, consult the paper's
+// OnlineScheduler for a device, execute via Dispatcher::run_on, and complete
+// the futures. Admission control sheds load explicitly when the queue fills,
+// so offered load beyond saturation degrades into rejections instead of
+// unbounded latency.
+//
+// Time is injected (mw::Clock): benches and demos pass a WallClock, tests a
+// ManualClock — serve code itself never reads a wall clock (enforced by
+// mw-lint's `wall-clock-in-serve` rule). The clock's "now" doubles as the
+// simulated timestamp handed to the scheduler and the device layer.
+//
+// Thread safety: submit(), stats(), queue_depth() may be called from any
+// thread while the server runs. The OnlineScheduler is not internally
+// synchronised, so the server serialises decide() behind a mutex — callers
+// must not drive the same scheduler (submit/run/retrain) concurrently from
+// outside while the server is running.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "sched/scheduler.hpp"
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+#include "serve/request_queue.hpp"
+#include "serve/stats.hpp"
+
+namespace mw::serve {
+
+struct ServerConfig {
+    std::size_t workers = 2;         ///< draining threads (owned pool size)
+    std::size_t queue_capacity = 256;
+    AdmissionConfig admission{};
+    BatchConfig batching{};
+    /// Finish everything queued before stop() returns; false completes
+    /// still-queued requests with RequestStatus::kShutdown instead.
+    bool drain_on_stop = true;
+    /// Idle worker re-check period, real time (queue-pop timeout slice).
+    double worker_poll_s = 0.01;
+    /// Start workers in the constructor. Tests set this false to stage a
+    /// queue deterministically before any worker runs, then call start().
+    bool start_on_construction = true;
+};
+
+/// One-shot lifecycle: construct (optionally start()), serve, stop(); a
+/// stopped server cannot be restarted.
+class Server {
+public:
+    Server(sched::OnlineScheduler& scheduler, sched::Dispatcher& dispatcher,
+           const Clock& clock, ServerConfig config = {});
+    ~Server();
+
+    Server(const Server&) = delete;
+    Server& operator=(const Server&) = delete;
+
+    /// Hand a request to the server; the future resolves with the outcome
+    /// (kCompleted with outputs, or a rejection/shed/shutdown status).
+    /// Payload must be rank-2 (samples, sample_elems); the model must be
+    /// registered with the Dispatcher and deployed.
+    std::future<Response> submit(InferenceRequest request);
+
+    void start();  ///< idempotent; throws after stop()
+    void stop();   ///< idempotent; drains or fails-over queued requests
+
+    [[nodiscard]] bool running() const {
+        return running_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] double now() const { return clock_->now(); }
+    [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+    [[nodiscard]] const ServerConfig& config() const { return config_; }
+
+    /// Counters + percentiles + queue gauges, readable while serving.
+    [[nodiscard]] ServerSnapshot stats() const;
+
+private:
+    void worker_loop();
+    void execute_batch(PendingBatch batch);
+
+    ServerConfig config_;
+    const Clock* clock_;
+    sched::OnlineScheduler* scheduler_;
+    sched::Dispatcher* dispatcher_;
+
+    ServerStats stats_;
+    RequestQueue queue_;
+    AdmissionController admission_;
+    BatchAggregator batcher_;
+
+    std::mutex scheduler_mutex_;  ///< OnlineScheduler is not thread-safe
+    std::atomic<std::uint64_t> next_id_{1};
+    std::atomic<std::size_t> inflight_{0};
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopped_{false};
+
+    std::unique_ptr<ThreadPool> pool_;
+    std::vector<std::future<void>> workers_;
+};
+
+}  // namespace mw::serve

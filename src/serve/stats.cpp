@@ -1,0 +1,132 @@
+#include "serve/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mw::serve {
+
+void LatencyHistogram::add(double seconds) {
+    const double clamped = std::max(seconds, kMinS);
+    const double decades = std::log10(clamped / kMinS);
+    const auto raw = static_cast<std::size_t>(decades * kBucketsPerDecade);
+    ++buckets_[std::min(raw, kBuckets - 1)];
+    ++count_;
+}
+
+double LatencyHistogram::percentile(double p) const {
+    if (count_ == 0) return 0.0;
+    const double clamped_p = std::clamp(p, 0.0, 100.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(clamped_p / 100.0 * static_cast<double>(count_)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += buckets_[i];
+        if (cumulative >= target) {
+            // Geometric midpoint of the bucket.
+            const double exponent =
+                (static_cast<double>(i) + 0.5) / kBucketsPerDecade;
+            return kMinS * std::pow(10.0, exponent);
+        }
+    }
+    return kMinS * std::pow(10.0, static_cast<double>(kDecades));
+}
+
+PolicyCounters ServerSnapshot::totals() const {
+    PolicyCounters t;
+    for (const auto& p : policy) {
+        const PolicyCounters& c = p.counters;
+        t.submitted += c.submitted;
+        t.admitted += c.admitted;
+        t.rejected_full += c.rejected_full;
+        t.evicted += c.evicted;
+        t.shed += c.shed;
+        t.completed += c.completed;
+        t.failed += c.failed;
+        t.shutdown += c.shutdown;
+        t.batches_executed += c.batches_executed;
+        t.coalesced_requests += c.coalesced_requests;
+        t.samples += c.samples;
+        t.bytes_in += c.bytes_in;
+        t.energy_j += c.energy_j;
+    }
+    return t;
+}
+
+void ServerStats::on_submitted(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.submitted;
+}
+
+void ServerStats::on_admitted(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.admitted;
+}
+
+void ServerStats::on_rejected_full(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.rejected_full;
+}
+
+void ServerStats::on_evicted(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.evicted;
+}
+
+void ServerStats::on_shed(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.shed;
+}
+
+void ServerStats::on_shutdown(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.shutdown;
+}
+
+void ServerStats::on_failed(sched::Policy policy) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ++per_policy_[lane_of(policy)].counters.failed;
+}
+
+void ServerStats::on_batch_executed(sched::Policy policy,
+                                    std::size_t coalesced_requests) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& c = per_policy_[lane_of(policy)].counters;
+    ++c.batches_executed;
+    c.coalesced_requests += coalesced_requests;
+}
+
+void ServerStats::on_completed(sched::Policy policy, double queue_s, double execute_s,
+                               std::size_t samples, double bytes_in, double energy_j,
+                               std::size_t coalesced) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    auto& pp = per_policy_[lane_of(policy)];
+    ++pp.counters.completed;
+    pp.counters.samples += static_cast<double>(samples);
+    pp.counters.bytes_in += bytes_in;
+    pp.counters.energy_j += energy_j;
+    pp.queue_hist.add(queue_s);
+    // One histogram entry per request, so tail percentiles reflect what
+    // clients saw (a slow coalesced batch hurts every member).
+    pp.execute_hist.add(execute_s);
+    (void)coalesced;
+}
+
+ServerSnapshot ServerStats::snapshot() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    ServerSnapshot snap;
+    for (std::size_t i = 0; i < kPolicyLanes; ++i) {
+        const PerPolicy& pp = per_policy_[i];
+        PolicySnapshot& out = snap.policy[i];
+        out.counters = pp.counters;
+        out.queue_p50_s = pp.queue_hist.percentile(50.0);
+        out.queue_p95_s = pp.queue_hist.percentile(95.0);
+        out.queue_p99_s = pp.queue_hist.percentile(99.0);
+        out.execute_p50_s = pp.execute_hist.percentile(50.0);
+        out.execute_p95_s = pp.execute_hist.percentile(95.0);
+        out.execute_p99_s = pp.execute_hist.percentile(99.0);
+    }
+    return snap;
+}
+
+}  // namespace mw::serve

@@ -1,0 +1,110 @@
+// ServerStats: the serving layer's observability surface. Per-policy latency
+// histograms (queue wait and execute), admitted/rejected/shed/completed
+// counters, and queue-depth gauges, all snapshotable while the server runs —
+// benches and the demo read sustained QPS and tail latency from here.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "sched/policy.hpp"
+#include "serve/request.hpp"
+
+namespace mw::serve {
+
+/// Fixed log-spaced latency histogram: 1 us .. 1000 s, 20 buckets/decade.
+/// Cheap enough to update on every completion; percentiles interpolate
+/// inside the winning bucket (max relative error ~12%, one bucket width).
+class LatencyHistogram {
+public:
+    void add(double seconds);
+
+    [[nodiscard]] std::size_t count() const { return count_; }
+
+    /// p in [0, 100]; 0 when empty.
+    [[nodiscard]] double percentile(double p) const;
+
+private:
+    static constexpr double kMinS = 1e-6;
+    static constexpr std::size_t kBucketsPerDecade = 20;
+    static constexpr std::size_t kDecades = 9;
+    static constexpr std::size_t kBuckets = kBucketsPerDecade * kDecades;
+
+    std::array<std::uint64_t, kBuckets> buckets_{};
+    std::size_t count_ = 0;
+};
+
+/// Monotonic per-policy counters. Invariant once the server has stopped:
+/// submitted == admitted + rejected_full + shed (at admission), and
+/// admitted == completed + failed + evicted + shed + shutdown.
+struct PolicyCounters {
+    std::size_t submitted = 0;
+    std::size_t admitted = 0;
+    std::size_t rejected_full = 0;
+    std::size_t evicted = 0;
+    std::size_t shed = 0;  ///< deadline-based drops (admission or dispatch)
+    std::size_t completed = 0;
+    std::size_t failed = 0;
+    std::size_t shutdown = 0;
+    std::size_t batches_executed = 0;
+    std::size_t coalesced_requests = 0;  ///< requests executed across those batches
+                                         ///< (ratio = mean requests per batch)
+    double samples = 0.0;                ///< classified samples (completed)
+    double bytes_in = 0.0;               ///< classified payload bytes (completed)
+    double energy_j = 0.0;               ///< attributed device energy (completed)
+};
+
+/// One policy's counters plus histogram percentiles and queue gauge.
+struct PolicySnapshot {
+    PolicyCounters counters;
+    double queue_p50_s = 0.0, queue_p95_s = 0.0, queue_p99_s = 0.0;
+    double execute_p50_s = 0.0, execute_p95_s = 0.0, execute_p99_s = 0.0;
+    std::size_t queue_depth = 0;
+};
+
+/// Point-in-time view of the whole server.
+struct ServerSnapshot {
+    std::array<PolicySnapshot, kPolicyLanes> policy;
+    std::size_t queue_depth_total = 0;
+
+    [[nodiscard]] const PolicySnapshot& of(sched::Policy p) const {
+        return policy[lane_of(p)];
+    }
+    [[nodiscard]] PolicyCounters totals() const;
+};
+
+/// Thread safety: all members may be called concurrently (one mutex; every
+/// operation is a handful of integer updates).
+class ServerStats {
+public:
+    void on_submitted(sched::Policy policy);
+    void on_admitted(sched::Policy policy);
+    void on_rejected_full(sched::Policy policy);
+    void on_evicted(sched::Policy policy);
+    void on_shed(sched::Policy policy);
+    void on_shutdown(sched::Policy policy);
+    void on_failed(sched::Policy policy);
+    void on_batch_executed(sched::Policy policy, std::size_t coalesced_requests);
+    void on_completed(sched::Policy policy, double queue_s, double execute_s,
+                      std::size_t samples, double bytes_in, double energy_j,
+                      std::size_t coalesced);
+
+    /// Consistent snapshot of counters + percentiles. Queue-depth gauges are
+    /// filled in by the Server, which owns the queue.
+    [[nodiscard]] ServerSnapshot snapshot() const;
+
+private:
+    struct PerPolicy {
+        PolicyCounters counters;
+        LatencyHistogram queue_hist;
+        LatencyHistogram execute_hist;
+    };
+
+    mutable std::mutex mutex_;
+    std::array<PerPolicy, kPolicyLanes> per_policy_;
+};
+
+}  // namespace mw::serve

@@ -35,6 +35,7 @@ MemorySource::MemorySource(std::size_t pool_samples, std::size_t sample_elems,
 }
 
 Tensor MemorySource::next_batch(std::size_t batch, std::size_t sample_elems) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return copy_from_pool(pool_, cursor_, batch, sample_elems);
 }
 
@@ -57,6 +58,7 @@ FileSource::FileSource(std::string path, std::size_t sample_elems) : path_(std::
 }
 
 Tensor FileSource::next_batch(std::size_t batch, std::size_t sample_elems) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     return copy_from_pool(pool_, cursor_, batch, sample_elems);
 }
 
@@ -68,6 +70,7 @@ SyntheticSource::SyntheticSource(std::uint64_t seed) : rng_(seed) {}
 
 Tensor SyntheticSource::next_batch(std::size_t batch, std::size_t sample_elems) {
     Tensor out(Shape{batch, sample_elems});
+    const std::lock_guard<std::mutex> lock(mutex_);
     out.fill_uniform(rng_, 0.0F, 1.0F);
     return out;
 }

@@ -1,8 +1,15 @@
 // Input sources: where classification payloads come from (Fig. 5 reads
 // "from the input (e.g., network, file, or memory)").
+//
+// Thread safety: next_batch() is internally synchronised on every
+// implementation, so the serving layer's workers and client threads can
+// draw payloads from one shared source concurrently (each caller gets a
+// disjoint slice of the deterministic stream; the interleaving order is
+// whatever the thread schedule produced).
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.hpp"
@@ -16,6 +23,7 @@ public:
     virtual ~InputSource() = default;
 
     /// Produce the next batch of `batch` samples, each `sample_elems` wide.
+    /// Safe to call from many threads concurrently.
     virtual Tensor next_batch(std::size_t batch, std::size_t sample_elems) = 0;
 
     [[nodiscard]] virtual std::string describe() const = 0;
@@ -30,7 +38,8 @@ public:
     [[nodiscard]] std::string describe() const override;
 
 private:
-    Tensor pool_;
+    Tensor pool_;  ///< immutable after construction
+    std::mutex mutex_;
     std::size_t cursor_ = 0;
 };
 
@@ -43,7 +52,8 @@ public:
 
 private:
     std::string path_;
-    Tensor pool_;
+    Tensor pool_;  ///< immutable after construction
+    std::mutex mutex_;
     std::size_t cursor_ = 0;
 };
 
@@ -56,6 +66,7 @@ public:
     [[nodiscard]] std::string describe() const override;
 
 private:
+    std::mutex mutex_;
     Rng rng_;
 };
 

@@ -5,6 +5,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <fstream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -13,10 +15,13 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "common/timer.hpp"
 #include "device/registry.hpp"
 #include "nn/model_builder.hpp"
 #include "nn/zoo.hpp"
 #include "sched/dispatcher.hpp"
+#include "serve/request_queue.hpp"
+#include "workload/stream.hpp"
 
 namespace {
 
@@ -378,6 +383,224 @@ TEST(DispatcherStress, RegisterAndDeployWhileServing) {
     EXPECT_TRUE(dispatcher.has_model("mnist-small"));
     stop.store(true, std::memory_order_release);
     for (auto& s : servers) s.join();
+}
+
+TEST(DispatcherStress, UnregisterWhileServing) {
+    // Hot-swap: the main thread repeatedly retires and re-deploys "simple"
+    // while four server threads keep dispatching to it. In-flight run_on
+    // calls must finish cleanly (each device pins its model instance with a
+    // shared_ptr); lookups in the unregistered window throw mw::Error, which
+    // a serving layer treats as a routable failure, never a crash or race.
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher(registry);
+    dispatcher.register_model(nn::zoo::simple(), 11);
+    dispatcher.deploy("simple");
+
+    Tensor input(dispatcher.model("simple").input_shape(2));
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> served{0};
+    std::atomic<std::size_t> misses{0};
+    std::vector<std::thread> servers;
+    servers.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        servers.emplace_back([&, t] {
+            std::size_t i = 0;
+            const char* device = (t % 2 == 0) ? "i7-8700" : "gtx1080ti";
+            while (!stop.load(std::memory_order_acquire)) {
+                try {
+                    (void)dispatcher.run_on(device, "simple", input,
+                                            static_cast<double>(i++));
+                    served.fetch_add(1, std::memory_order_relaxed);
+                } catch (const mw::Error&) {
+                    misses.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    // Let every server thread complete at least one successful dispatch
+    // before the hot-swap cycles begin (otherwise 25 fast cycles can finish
+    // before the threads are even scheduled).
+    while (served.load(std::memory_order_relaxed) < 4) sleep_for_seconds(0.001);
+    for (int cycle = 0; cycle < 25; ++cycle) {
+        EXPECT_TRUE(dispatcher.unregister_model("simple"));
+        EXPECT_FALSE(dispatcher.has_model("simple"));
+        EXPECT_FALSE(dispatcher.unregister_model("simple")) << "second retire is a no-op";
+        dispatcher.register_model(nn::zoo::simple(), 11);
+        dispatcher.deploy("simple");
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& s : servers) s.join();
+    EXPECT_GT(served.load(), 0U);
+    EXPECT_TRUE(dispatcher.has_model("simple"));
+}
+
+// ---------------------------------------------------------------------------
+// InputSource: concurrent next_batch on one shared source
+// ---------------------------------------------------------------------------
+
+namespace {
+void hammer_source(workload::InputSource& source, std::size_t sample_elems) {
+    constexpr std::size_t kThreads = 6;
+    constexpr std::size_t kBatchesPerThread = 150;
+    std::vector<std::thread> readers;
+    readers.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        readers.emplace_back([&, t] {
+            for (std::size_t i = 0; i < kBatchesPerThread; ++i) {
+                const std::size_t batch = 1 + ((t + i) % 7);
+                const Tensor out = source.next_batch(batch, sample_elems);
+                ASSERT_EQ(out.shape()[0], batch);
+                ASSERT_EQ(out.shape()[1], sample_elems);
+            }
+        });
+    }
+    for (auto& r : readers) r.join();
+}
+}  // namespace
+
+TEST(InputSourceStress, MemorySourceConcurrentReaders) {
+    workload::MemorySource source(64, 16, 42);
+    hammer_source(source, 16);
+}
+
+TEST(InputSourceStress, SyntheticSourceConcurrentReaders) {
+    workload::SyntheticSource source(42);
+    hammer_source(source, 16);
+}
+
+TEST(InputSourceStress, FileSourceConcurrentReaders) {
+    const std::string path = testing::TempDir() + "mw_stress_source.f32";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good());
+        for (int i = 0; i < 64 * 16; ++i) {
+            const float v = static_cast<float>(i) * 0.5F;
+            out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+        }
+    }
+    workload::FileSource source(path, 16);
+    hammer_source(source, 16);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// serve::RequestQueue under producer/consumer fire
+// ---------------------------------------------------------------------------
+
+namespace {
+serve::Request stress_request(std::uint64_t id) {
+    serve::Request r;
+    r.id = id;
+    r.model_name = "simple";
+    r.samples = 1;
+    r.policy = static_cast<sched::Policy>(id % serve::kPolicyLanes);
+    r.arrival_s = static_cast<double>(id);
+    return r;
+}
+}  // namespace
+
+TEST(RequestQueueStress, ProducerConsumerHammerAccountsEveryRequest) {
+    serve::RequestQueue queue(32);
+    constexpr std::size_t kProducers = 4;
+    constexpr std::size_t kConsumers = 4;
+    constexpr std::size_t kPerProducer = 600;
+
+    std::atomic<std::size_t> pushed{0};
+    std::atomic<std::size_t> rejected{0};
+    std::atomic<std::size_t> popped{0};
+    std::atomic<std::size_t> producers_done{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(kProducers + kConsumers);
+    for (std::size_t p = 0; p < kProducers; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::size_t i = 0; i < kPerProducer; ++i) {
+                serve::Request r = stress_request(p * kPerProducer + i);
+                if (queue.try_push(r)) {
+                    pushed.fetch_add(1, std::memory_order_relaxed);
+                } else {
+                    // Full-queue rejection is the expected overload outcome;
+                    // the request must come back intact to be completed.
+                    ASSERT_EQ(r.id, p * kPerProducer + i);
+                    rejected.fetch_add(1, std::memory_order_relaxed);
+                }
+            }
+            producers_done.fetch_add(1, std::memory_order_release);
+        });
+    }
+    for (std::size_t c = 0; c < kConsumers; ++c) {
+        threads.emplace_back([&] {
+            while (true) {
+                if (auto r = queue.pop(0.002)) {
+                    popped.fetch_add(1, std::memory_order_relaxed);
+                } else if (producers_done.load(std::memory_order_acquire) == kProducers &&
+                           queue.empty()) {
+                    break;
+                }
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+
+    EXPECT_EQ(pushed.load() + rejected.load(), kProducers * kPerProducer);
+    EXPECT_EQ(popped.load(), pushed.load());
+    EXPECT_GT(rejected.load(), 0U) << "a 32-slot queue under 2400 pushes must overflow";
+    EXPECT_TRUE(queue.empty());
+}
+
+TEST(RequestQueueStress, CloseWakesBlockedConsumers) {
+    serve::RequestQueue queue(8);
+    constexpr std::size_t kWaiters = 4;
+    std::atomic<std::size_t> woke_empty{0};
+    std::vector<std::thread> waiters;
+    waiters.reserve(kWaiters);
+    for (std::size_t t = 0; t < kWaiters; ++t) {
+        waiters.emplace_back([&] {
+            // Generous timeout: only close() can end this wait promptly.
+            if (!queue.pop(30.0).has_value()) {
+                woke_empty.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    sleep_for_seconds(0.05);  // let the waiters block
+    queue.close();
+    for (auto& w : waiters) w.join();
+    EXPECT_EQ(woke_empty.load(), kWaiters);
+    EXPECT_TRUE(queue.closed());
+}
+
+TEST(RequestQueueStress, ConcurrentCloseWithTraffic) {
+    serve::RequestQueue queue(16);
+    std::atomic<std::size_t> handled{0};
+    std::vector<std::thread> threads;
+    threads.reserve(7);
+    for (int p = 0; p < 2; ++p) {
+        threads.emplace_back([&, p] {
+            for (std::uint64_t i = 0; i < 400; ++i) {
+                serve::Request r = stress_request(static_cast<std::uint64_t>(p) * 400 + i);
+                if (queue.try_push(r)) handled.fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    for (int c = 0; c < 2; ++c) {
+        threads.emplace_back([&] {
+            while (true) {
+                if (auto r = queue.pop(0.001)) continue;
+                if (queue.closed() && queue.empty()) break;
+            }
+        });
+    }
+    for (int k = 0; k < 3; ++k) {
+        threads.emplace_back([&] {
+            sleep_for_seconds(0.01);
+            queue.close();  // racing closers must be idempotent
+        });
+    }
+    for (auto& t : threads) t.join();
+    EXPECT_TRUE(queue.closed());
+    EXPECT_TRUE(queue.empty());
+    serve::Request late = stress_request(9999);
+    EXPECT_FALSE(queue.try_push(late));
 }
 
 }  // namespace

@@ -26,6 +26,11 @@ Rules enforced over src/ (suppress a single line with
                         (see units.hpp) has a single conversion point.
   header-self-contained IWYU-lite: every header in src/ must compile on its
                         own (checked with `$CXX -fsyntax-only`).
+  wall-clock-in-serve   src/serve/ only: no Stopwatch / WallClock references.
+                        The serving layer reads time exclusively through its
+                        injected mw::Clock so tests can drive batching windows
+                        and SLO deadlines with a ManualClock and the scheduler
+                        sees one coherent sim-time.
 """
 
 from __future__ import annotations
@@ -129,6 +134,17 @@ LINE_RULES = [
     ),
 ]
 
+# (rule, path prefix the rule applies to, pattern, message)
+PREFIX_RULES = [
+    (
+        "wall-clock-in-serve",
+        "src/serve/",
+        re.compile(r"\bStopwatch\b|\bWallClock\b"),
+        "serve code reads time through its injected mw::Clock only — "
+        "construct the server with a WallClock at the composition root instead",
+    ),
+]
+
 
 def relpath(path: str) -> str:
     return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
@@ -142,9 +158,17 @@ def check_file(path: str) -> list[Finding]:
     rel = relpath(path)
 
     findings: list[Finding] = []
-    for rule, pattern, message, excluded in LINE_RULES:
-        if any(rel.endswith(suffix) for suffix in excluded):
-            continue
+    active = [
+        (rule, pattern, message)
+        for rule, pattern, message, excluded in LINE_RULES
+        if not any(rel.endswith(suffix) for suffix in excluded)
+    ]
+    active += [
+        (rule, pattern, message)
+        for rule, prefix, pattern, message in PREFIX_RULES
+        if rel.startswith(prefix)
+    ]
+    for rule, pattern, message in active:
         for lineno, code in enumerate(code_lines, start=1):
             if not pattern.search(code):
                 continue
