@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 #include <string>
+
+#include "common/sync.hpp"
 
 namespace mw::log {
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
-std::mutex g_sink_mutex;
+Mutex g_sink_mutex{LockRank::kLogger};
 
 const char* level_tag(Level level) {
     switch (level) {
@@ -30,7 +31,7 @@ Level level() { return g_level.load(std::memory_order_relaxed); }
 
 void emit(Level lvl, std::string_view msg) {
     if (lvl < level()) return;
-    const std::lock_guard<std::mutex> lock(g_sink_mutex);
+    const MutexLock lock(g_sink_mutex);
     std::fprintf(stderr, "[mw %s] %.*s\n", level_tag(lvl), static_cast<int>(msg.size()),
                  msg.data());
 }

@@ -17,7 +17,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -33,7 +33,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::enqueue(std::function<void()> task) {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         MW_CHECK(!stopping_, "submit on a stopping ThreadPool");
         queue_.push_back(std::move(task));
     }
@@ -55,9 +55,9 @@ struct LoopState {
     std::size_t nchunks = 0;
     std::atomic<std::size_t> next_chunk{0};
     std::atomic<std::size_t> chunks_done{0};
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    std::exception_ptr first_error;
+    Mutex mutex{LockRank::kPoolLoop};
+    CondVar done_cv;
+    std::exception_ptr first_error MW_GUARDED_BY(mutex);
 };
 
 /// Claim and run chunks until none remain. Returns after the last claimable
@@ -71,11 +71,11 @@ void run_chunks(const std::shared_ptr<LoopState>& state) {
         try {
             for (std::size_t i = lo; i < hi; ++i) state->fn(i);
         } catch (...) {
-            const std::lock_guard<std::mutex> lock(state->mutex);
+            const MutexLock lock(state->mutex);
             if (!state->first_error) state->first_error = std::current_exception();
         }
         if (state->chunks_done.fetch_add(1, std::memory_order_acq_rel) + 1 == state->nchunks) {
-            const std::lock_guard<std::mutex> lock(state->mutex);
+            const MutexLock lock(state->mutex);
             state->done_cv.notify_all();
         }
     }
@@ -111,7 +111,7 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
     run_chunks(state);
 
-    std::unique_lock<std::mutex> lock(state->mutex);
+    MutexLock lock(state->mutex);
     state->done_cv.wait(lock, [&] {
         return state->chunks_done.load(std::memory_order_acquire) == state->nchunks;
     });
@@ -127,8 +127,11 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            cv_.wait(lock, [this] {
+                mutex_.assert_held();
+                return stopping_ || !queue_.empty();
+            });
             if (stopping_ && queue_.empty()) return;
             task = std::move(queue_.front());
             queue_.pop_front();

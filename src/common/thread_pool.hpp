@@ -6,15 +6,14 @@
 // CPU OpenCL runtime coalesces work-items onto hardware threads).
 #pragma once
 
-#include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/sync.hpp"
 
 namespace mw {
 
@@ -51,10 +50,10 @@ private:
     void enqueue(std::function<void()> task);
 
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stopping_ = false;
+    mutable Mutex mutex_{LockRank::kPool};
+    std::deque<std::function<void()>> queue_ MW_GUARDED_BY(mutex_);
+    CondVar cv_;
+    bool stopping_ MW_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mw

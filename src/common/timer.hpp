@@ -1,13 +1,13 @@
 // Monotonic wall-clock stopwatch plus the time plumbing shared by the
 // measurement harness, benches, and the serving layer. All raw std::chrono
-// access in src/ is confined to this header (mw-lint: time-arith-confined);
-// everything else deals in double seconds.
+// access in src/ is confined to this header and common/sync.hpp (mw-lint:
+// time-arith-confined); everything else deals in double seconds. Timed
+// condition waits live on mw::CondVar (common/sync.hpp), which keeps the
+// same double-seconds convention.
 #pragma once
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 namespace mw {
@@ -79,16 +79,6 @@ private:
 inline void sleep_for_seconds(double seconds) {
     if (seconds <= 0.0) return;
     std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
-}
-
-/// Wait on `cv` (holding `lock`) until `pred()` holds or `seconds` elapsed;
-/// returns pred()'s final value. The double-seconds counterpart of
-/// condition_variable::wait_for, so callers never touch std::chrono.
-template <typename Predicate>
-bool wait_for_seconds(std::condition_variable& cv, std::unique_lock<std::mutex>& lock,
-                      double seconds, Predicate pred) {
-    if (seconds <= 0.0) return pred();
-    return cv.wait_for(lock, std::chrono::duration<double>(seconds), std::move(pred));
 }
 
 }  // namespace mw

@@ -22,18 +22,24 @@ Device::Device(DeviceParams params, ThreadPool* pool)
 
 void Device::set_noise(double sigma, std::uint64_t seed) {
     MW_CHECK(sigma >= 0.0, "noise sigma must be non-negative");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     noise_sigma_ = sigma;
     noise_rng_.reseed(seed);
 }
 
 void Device::add_memory_peer(const Device* peer) {
     MW_CHECK(peer != nullptr && peer != this, "invalid memory peer");
+    const MutexLock lock(mutex_);
     memory_peers_.push_back(peer);
 }
 
+std::size_t Device::memory_peer_count() const {
+    const MutexLock lock(mutex_);
+    return memory_peers_.size();
+}
+
 void Device::reset_timeline() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     clock_ratio_ = params_.idle_clock_ratio;
     last_active_end_ = 0.0;
     busy_until_.store(0.0, std::memory_order_release);
@@ -42,33 +48,33 @@ void Device::reset_timeline() {
 
 void Device::set_throttle(double slowdown) {
     MW_CHECK(slowdown >= 1.0, "throttle factor must be >= 1");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     throttle_ = slowdown;
 }
 
 double Device::throttle() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return throttle_;
 }
 
 void Device::load_model(std::shared_ptr<const nn::Model> model) {
     MW_CHECK(model != nullptr, "null model");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     models_[model->name()] = std::move(model);
 }
 
 void Device::unload_model(const std::string& model_name) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     models_.erase(model_name);
 }
 
 bool Device::has_model(const std::string& model_name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return models_.count(model_name) > 0;
 }
 
 std::shared_ptr<const nn::Model> Device::find_model(const std::string& model_name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = models_.find(model_name);
     if (it == models_.end()) {
         throw StateError("model `" + model_name + "` is not loaded on device " + name());
@@ -83,7 +89,7 @@ const nn::Model& Device::model(const std::string& model_name) const {
 }
 
 std::vector<std::string> Device::loaded_models() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::vector<std::string> names;
     names.reserve(models_.size());
     for (const auto& [name, model] : models_) names.push_back(name);
@@ -97,7 +103,7 @@ double Device::clock_ratio_at_locked(double sim_time) const {
 }
 
 double Device::clock_ratio_at(double sim_time) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return clock_ratio_at_locked(sim_time);
 }
 
@@ -107,7 +113,7 @@ bool Device::is_warm(double sim_time) const {
 }
 
 void Device::force_warm() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     clock_ratio_ = 1.0;
     // Pin the state until the next execution: pretend the device was active
     // "just now" forever, so the idle decay cannot erase the forced state.
@@ -115,7 +121,7 @@ void Device::force_warm() {
 }
 
 void Device::force_idle() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     clock_ratio_ = params_.idle_clock_ratio;
     last_active_end_ = std::numeric_limits<double>::max();
 }
@@ -123,7 +129,7 @@ void Device::force_idle() {
 Measurement Device::execute(const nn::Model& model, std::size_t batch, double sim_time) {
     MW_CHECK(batch > 0, "batch must be positive");
 
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
 
     // Serialise on the device queue: a submission cannot start before the
     // previous one finished.
@@ -234,7 +240,7 @@ Measurement Device::profile(const std::string& model_name, std::size_t batch, do
 }
 
 double Device::power_at(double sim_time) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     // Walk the bounded timeline backwards (recent segments last).
     for (auto it = power_timeline_.rbegin(); it != power_timeline_.rend(); ++it) {
         if (sim_time >= it->t0 && sim_time < it->t1) return it->watts;
@@ -244,12 +250,12 @@ double Device::power_at(double sim_time) const {
 }
 
 double Device::total_energy_j() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return total_energy_j_;
 }
 
 std::size_t Device::total_batches() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return total_batches_;
 }
 

@@ -12,12 +12,12 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "device/measurement.hpp"
 #include "nn/model.hpp"
@@ -41,12 +41,12 @@ struct InferenceResult {
 /// examples/custom_device.cpp).
 ///
 /// Thread safety: all public members may be called concurrently. A single
-/// internal mutex serialises state mutation (DVFS clock, queue, power
-/// timeline, counters); `busy_until_` is additionally atomic so that memory
-/// peers can read it lock-free from inside their own execute() — taking the
-/// peer's mutex there would create an AB-BA deadlock between two devices of
-/// one memory domain. Topology mutation (add_memory_peer) must still be
-/// quiesced: it is wiring done by DeviceRegistry::add before serving starts.
+/// internal mutex (rank kDevice) serialises state mutation (DVFS clock,
+/// queue, power timeline, counters, peer topology); `busy_until_` is
+/// additionally atomic so that memory peers can read it lock-free from
+/// inside their own execute() — taking the peer's mutex there would be an
+/// AB-BA inversion between two same-rank devices of one memory domain,
+/// which the lock-rank validator rejects by construction.
 class Device {
 public:
     explicit Device(DeviceParams params, ThreadPool* pool = nullptr);
@@ -107,7 +107,7 @@ public:
     /// peer is busy, this device's effective memory bandwidth drops by
     /// params().contention_slowdown. Wired up by DeviceRegistry.
     void add_memory_peer(const Device* peer);
-    [[nodiscard]] std::size_t memory_peer_count() const { return memory_peers_.size(); }
+    [[nodiscard]] std::size_t memory_peer_count() const;
 
     /// Instantaneous power draw at `sim_time` (for the sampling meters).
     [[nodiscard]] double power_at(double sim_time) const;
@@ -118,39 +118,40 @@ public:
 
 private:
     Measurement execute(const nn::Model& model, std::size_t batch, double sim_time);
-    void record_power_segment(double t0, double t1, double watts);
+    void record_power_segment(double t0, double t1, double watts) MW_REQUIRES(mutex_);
     [[nodiscard]] std::shared_ptr<const nn::Model> find_model(
         const std::string& model_name) const;
-    [[nodiscard]] double clock_ratio_at_locked(double sim_time) const;
+    [[nodiscard]] double clock_ratio_at_locked(double sim_time) const MW_REQUIRES(mutex_);
 
     DeviceParams params_;
     ThreadPool* pool_;
-    std::vector<const Device*> memory_peers_;
 
-    /// Guards every mutable field below; mutable so const observers
+    /// Guards every annotated field below; mutable so const observers
     /// (clock_ratio_at, power_at, ...) can be called concurrently too.
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_{LockRank::kDevice};
 
-    std::map<std::string, std::shared_ptr<const nn::Model>> models_;
+    std::vector<const Device*> memory_peers_ MW_GUARDED_BY(mutex_);
+
+    std::map<std::string, std::shared_ptr<const nn::Model>> models_ MW_GUARDED_BY(mutex_);
 
     // DVFS state.
-    double clock_ratio_;
-    double last_active_end_ = 0.0;
+    double clock_ratio_ MW_GUARDED_BY(mutex_);
+    double last_active_end_ MW_GUARDED_BY(mutex_) = 0.0;
     std::atomic<double> busy_until_{0.0};
 
     // Measurement noise.
-    double noise_sigma_ = 0.0;
-    Rng noise_rng_{0};
-    double throttle_ = 1.0;
+    double noise_sigma_ MW_GUARDED_BY(mutex_) = 0.0;
+    Rng noise_rng_ MW_GUARDED_BY(mutex_){0};
+    double throttle_ MW_GUARDED_BY(mutex_) = 1.0;
 
     // Power timeline (bounded history for the sampling meters).
     struct PowerSegment {
         double t0, t1, watts;
     };
-    std::vector<PowerSegment> power_timeline_;
+    std::vector<PowerSegment> power_timeline_ MW_GUARDED_BY(mutex_);
 
-    double total_energy_j_ = 0.0;
-    std::size_t total_batches_ = 0;
+    double total_energy_j_ MW_GUARDED_BY(mutex_) = 0.0;
+    std::size_t total_batches_ MW_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mw::device

@@ -4,12 +4,40 @@
 
 namespace mw::device {
 
+DeviceRegistry::DeviceRegistry(DeviceRegistry&& other) noexcept {
+    // Constructor bodies are exempt from the static analysis (no thread can
+    // alias an object mid-construction); the lock on `other` still guards
+    // against a concurrent add and is rank-checked at runtime.
+    const MutexLock lock(other.mutex_);
+    devices_ = std::move(other.devices_);
+}
+
+DeviceRegistry& DeviceRegistry::operator=(DeviceRegistry&& other) noexcept {
+    if (this == &other) return *this;
+    // Sequential (never nested) locking: both locks are rank kRegistry, and
+    // the validator forbids holding two locks of one rank at once.
+    std::vector<std::unique_ptr<Device>> grabbed;
+    {
+        const MutexLock lock(other.mutex_);
+        grabbed = std::move(other.devices_);
+    }
+    const MutexLock lock(mutex_);
+    devices_ = std::move(grabbed);
+    return *this;
+}
+
 Device& DeviceRegistry::add(std::unique_ptr<Device> device) {
     MW_CHECK(device != nullptr, "null device");
-    MW_CHECK(!contains(device->name()), "duplicate device name: " + device->name());
+    const MutexLock lock(mutex_);
+    for (const auto& d : devices_) {
+        MW_CHECK(d->name() != device->name(), "duplicate device name: " + device->name());
+    }
     devices_.push_back(std::move(device));
     Device& added = *devices_.back();
-    // Wire shared-memory domains both ways (§II: CPU and iGPU contend).
+    // Wire shared-memory domains both ways (§II: CPU and iGPU contend). The
+    // registry lock is held across the wiring (rank kRegistry -> kDevice is
+    // monotone), so a concurrent at()/devices() cannot observe a device with
+    // half its peers.
     if (added.params().memory_domain >= 0) {
         for (const auto& other : devices_) {
             if (other.get() == &added) continue;
@@ -26,7 +54,13 @@ Device& DeviceRegistry::emplace(DeviceParams params, ThreadPool* pool) {
     return add(std::make_unique<Device>(std::move(params), pool));
 }
 
+std::size_t DeviceRegistry::size() const {
+    const MutexLock lock(mutex_);
+    return devices_.size();
+}
+
 Device& DeviceRegistry::at(const std::string& name) const {
+    const MutexLock lock(mutex_);
     for (const auto& d : devices_) {
         if (d->name() == name) return *d;
     }
@@ -34,6 +68,7 @@ Device& DeviceRegistry::at(const std::string& name) const {
 }
 
 bool DeviceRegistry::contains(const std::string& name) const {
+    const MutexLock lock(mutex_);
     for (const auto& d : devices_) {
         if (d->name() == name) return true;
     }
@@ -41,6 +76,7 @@ bool DeviceRegistry::contains(const std::string& name) const {
 }
 
 std::vector<Device*> DeviceRegistry::devices() const {
+    const MutexLock lock(mutex_);
     std::vector<Device*> out;
     out.reserve(devices_.size());
     for (const auto& d : devices_) out.push_back(d.get());
@@ -48,6 +84,7 @@ std::vector<Device*> DeviceRegistry::devices() const {
 }
 
 std::vector<std::string> DeviceRegistry::names() const {
+    const MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(devices_.size());
     for (const auto& d : devices_) out.push_back(d->name());
@@ -55,6 +92,8 @@ std::vector<std::string> DeviceRegistry::names() const {
 }
 
 void DeviceRegistry::load_model_everywhere(const std::shared_ptr<const nn::Model>& model) {
+    // Held across the loads: kRegistry -> kDevice is the documented order.
+    const MutexLock lock(mutex_);
     for (const auto& d : devices_) d->load_model(model);
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "device/device.hpp"
 
 namespace mw::device {
@@ -20,12 +21,18 @@ struct RegistryConfig {
 };
 
 /// Owns the devices of a platform.
+///
+/// Thread safety: the device table is guarded (rank kRegistry); devices are
+/// only ever added, never removed, so Device& references returned by
+/// at()/devices() stay valid for the registry's lifetime. Moving a registry
+/// while other threads use it is not supported (moves exist so factories
+/// like standard_testbed can return by value).
 class DeviceRegistry {
 public:
     DeviceRegistry() = default;
 
-    DeviceRegistry(DeviceRegistry&&) noexcept = default;
-    DeviceRegistry& operator=(DeviceRegistry&&) noexcept = default;
+    DeviceRegistry(DeviceRegistry&& other) noexcept;
+    DeviceRegistry& operator=(DeviceRegistry&& other) noexcept;
 
     /// Register a device; names must be unique.
     Device& add(std::unique_ptr<Device> device);
@@ -33,7 +40,7 @@ public:
     /// Convenience: construct a Device from params and register it.
     Device& emplace(DeviceParams params, ThreadPool* pool = nullptr);
 
-    [[nodiscard]] std::size_t size() const { return devices_.size(); }
+    [[nodiscard]] std::size_t size() const;
     [[nodiscard]] Device& at(const std::string& name) const;
     [[nodiscard]] bool contains(const std::string& name) const;
     [[nodiscard]] std::vector<Device*> devices() const;
@@ -48,7 +55,8 @@ public:
                                            ThreadPool* pool = nullptr);
 
 private:
-    std::vector<std::unique_ptr<Device>> devices_;
+    mutable Mutex mutex_{LockRank::kRegistry};
+    std::vector<std::unique_ptr<Device>> devices_ MW_GUARDED_BY(mutex_);
 };
 
 }  // namespace mw::device

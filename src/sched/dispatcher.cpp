@@ -1,7 +1,5 @@
 #include "sched/dispatcher.hpp"
 
-#include <mutex>
-
 #include "common/error.hpp"
 #include "nn/model_builder.hpp"
 #include "nn/serialize.hpp"
@@ -14,7 +12,7 @@ Dispatcher::Dispatcher(device::DeviceRegistry& registry) : registry_(&registry) 
 nn::Model& Dispatcher::register_model(nn::ModelSpec spec, std::uint64_t weight_seed) {
     auto model = std::make_shared<nn::Model>(nn::build_model(std::move(spec), weight_seed));
     const std::string name = model->name();
-    const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    const WriterLock lock(models_mutex_);
     MW_CHECK(models_.count(name) == 0, "model already registered: " + name);
     models_[name] = model;
     return *models_[name];
@@ -23,7 +21,7 @@ nn::Model& Dispatcher::register_model(nn::ModelSpec spec, std::uint64_t weight_s
 void Dispatcher::register_model(std::shared_ptr<nn::Model> model) {
     MW_CHECK(model != nullptr, "null model");
     const std::string name = model->name();
-    const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+    const WriterLock lock(models_mutex_);
     MW_CHECK(models_.count(name) == 0, "model already registered: " + name);
     models_[name] = std::move(model);
 }
@@ -46,7 +44,7 @@ void Dispatcher::deploy(const std::string& model_name) {
 void Dispatcher::deploy_all() {
     std::vector<std::shared_ptr<nn::Model>> snapshot;
     {
-        const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+        const ReaderLock lock(models_mutex_);
         snapshot.reserve(models_.size());
         for (const auto& [name, model] : models_) snapshot.push_back(model);
     }
@@ -56,7 +54,7 @@ void Dispatcher::deploy_all() {
 
 bool Dispatcher::unregister_model(const std::string& model_name) {
     {
-        const std::unique_lock<std::shared_mutex> lock(models_mutex_);
+        const WriterLock lock(models_mutex_);
         if (models_.erase(model_name) == 0) return false;
     }
     // Device locks are taken outside our own lock (flat lock graph, as in
@@ -66,14 +64,14 @@ bool Dispatcher::unregister_model(const std::string& model_name) {
 }
 
 std::shared_ptr<nn::Model> Dispatcher::find_model(const std::string& model_name) const {
-    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    const ReaderLock lock(models_mutex_);
     const auto it = models_.find(model_name);
     MW_CHECK(it != models_.end(), "unknown model: " + model_name);
     return it->second;
 }
 
 bool Dispatcher::has_model(const std::string& model_name) const {
-    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    const ReaderLock lock(models_mutex_);
     return models_.count(model_name) > 0;
 }
 
@@ -88,7 +86,7 @@ const nn::ModelDesc& Dispatcher::desc(const std::string& model_name) const {
 }
 
 std::vector<std::string> Dispatcher::model_names() const {
-    const std::shared_lock<std::shared_mutex> lock(models_mutex_);
+    const ReaderLock lock(models_mutex_);
     std::vector<std::string> names;
     names.reserve(models_.size());
     for (const auto& [name, model] : models_) names.push_back(name);

@@ -6,8 +6,9 @@
 
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
+
+#include "common/sync.hpp"
 
 #include "device/registry.hpp"
 #include "nn/model.hpp"
@@ -68,8 +69,8 @@ private:
     [[nodiscard]] std::shared_ptr<nn::Model> find_model(const std::string& model_name) const;
 
     device::DeviceRegistry* registry_;
-    mutable std::shared_mutex models_mutex_;
-    std::map<std::string, std::shared_ptr<nn::Model>> models_;
+    mutable SharedMutex models_mutex_{LockRank::kDispatcher};
+    std::map<std::string, std::shared_ptr<nn::Model>> models_ MW_GUARDED_BY(models_mutex_);
 };
 
 }  // namespace mw::sched

@@ -68,13 +68,13 @@ bool AdmissionController::admit(Request&& request, double now) {
 
 void AdmissionController::observe_execute(const std::string& model_name,
                                           double execute_s) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     auto [it, inserted] = execute_ewma_.try_emplace(model_name, config_.ewma_alpha);
     it->second.add(execute_s);
 }
 
 double AdmissionController::estimated_execute_s(const std::string& model_name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     const auto it = execute_ewma_.find(model_name);
     return it == execute_ewma_.end() || it->second.empty() ? 0.0 : it->second.value();
 }

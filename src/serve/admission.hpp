@@ -14,10 +14,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <string>
 
 #include "common/stats.hpp"
+#include "common/sync.hpp"
 #include "serve/request_queue.hpp"
 #include "serve/stats.hpp"
 
@@ -70,8 +70,8 @@ private:
     RequestQueue* queue_;
     ServerStats* stats_;
 
-    mutable std::mutex mutex_;  ///< guards execute_ewma_
-    std::map<std::string, Ewma> execute_ewma_;
+    mutable Mutex mutex_{LockRank::kAdmission};
+    std::map<std::string, Ewma> execute_ewma_ MW_GUARDED_BY(mutex_);
 };
 
 }  // namespace mw::serve

@@ -1,7 +1,6 @@
 #include "serve/request_queue.hpp"
 
 #include "common/error.hpp"
-#include "common/timer.hpp"
 
 namespace mw::serve {
 
@@ -11,7 +10,7 @@ RequestQueue::RequestQueue(std::size_t capacity) : capacity_(capacity) {
 
 bool RequestQueue::try_push(Request& request) {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         if (closed_ || total_ >= capacity_) return false;
         lanes_[lane_of(request.policy)].push_back(std::move(request));
         ++total_;
@@ -21,9 +20,11 @@ bool RequestQueue::try_push(Request& request) {
 }
 
 std::optional<Request> RequestQueue::pop(double timeout_s) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    wait_for_seconds(activity_, lock, timeout_s,
-                     [this] { return total_ > 0 || closed_; });
+    MutexLock lock(mutex_);
+    activity_.wait_for(lock, timeout_s, [this] {
+        mutex_.assert_held();
+        return total_ > 0 || closed_;
+    });
     if (total_ == 0) return std::nullopt;  // timeout, or closed and drained
     for (std::size_t probe = 0; probe < kPolicyLanes; ++probe) {
         auto& lane = lanes_[next_lane_];
@@ -43,7 +44,7 @@ std::vector<Request> RequestQueue::pop_matching(const std::string& model_name,
                                                 std::size_t max_requests,
                                                 std::size_t max_samples) {
     std::vector<Request> matched;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     auto& lane = lanes_[lane_of(policy)];
     for (auto it = lane.begin();
          it != lane.end() && matched.size() < max_requests;) {
@@ -60,7 +61,7 @@ std::vector<Request> RequestQueue::pop_matching(const std::string& model_name,
 }
 
 std::optional<Request> RequestQueue::evict_oldest() {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     std::deque<Request>* oldest_lane = nullptr;
     for (auto& lane : lanes_) {
         if (lane.empty()) continue;
@@ -80,7 +81,7 @@ std::optional<Request> RequestQueue::evict_oldest() {
 std::vector<Request> RequestQueue::remove_if(
     const std::function<bool(const Request&)>& pred) {
     std::vector<Request> removed;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (auto& lane : lanes_) {
         for (auto it = lane.begin(); it != lane.end();) {
             if (pred(*it)) {
@@ -97,7 +98,7 @@ std::vector<Request> RequestQueue::remove_if(
 
 void RequestQueue::close() {
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const MutexLock lock(mutex_);
         closed_ = true;
     }
     activity_.notify_all();
@@ -105,7 +106,7 @@ void RequestQueue::close() {
 
 std::vector<Request> RequestQueue::drain() {
     std::vector<Request> out;
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     for (auto& lane : lanes_) {
         while (!lane.empty()) {
             out.push_back(std::move(lane.front()));
@@ -117,17 +118,17 @@ std::vector<Request> RequestQueue::drain() {
 }
 
 bool RequestQueue::closed() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return closed_;
 }
 
 std::size_t RequestQueue::size() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return total_;
 }
 
 std::size_t RequestQueue::lane_size(sched::Policy policy) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return lanes_[lane_of(policy)].size();
 }
 

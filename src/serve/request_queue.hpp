@@ -8,16 +8,15 @@
 #pragma once
 
 #include <array>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "serve/request.hpp"
 
 namespace mw::serve {
@@ -68,12 +67,12 @@ public:
 private:
     const std::size_t capacity_;
 
-    mutable std::mutex mutex_;
-    std::condition_variable activity_;  ///< signalled on push and close
-    std::array<std::deque<Request>, kPolicyLanes> lanes_;
-    std::size_t total_ = 0;
-    std::size_t next_lane_ = 0;  ///< round-robin cursor for pop()
-    bool closed_ = false;
+    mutable Mutex mutex_{LockRank::kServeQueue};
+    CondVar activity_;  ///< signalled on push and close
+    std::array<std::deque<Request>, kPolicyLanes> lanes_ MW_GUARDED_BY(mutex_);
+    std::size_t total_ MW_GUARDED_BY(mutex_) = 0;
+    std::size_t next_lane_ MW_GUARDED_BY(mutex_) = 0;  ///< round-robin cursor for pop()
+    bool closed_ MW_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace mw::serve

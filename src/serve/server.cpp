@@ -163,7 +163,7 @@ void Server::execute_batch(PendingBatch batch) {
     sched::ScheduleDecision decision;
     try {
         {
-            const std::lock_guard<std::mutex> lock(scheduler_mutex_);
+            const MutexLock lock(scheduler_mutex_);
             decision = scheduler_->decide(schedule_request, dispatch_now);
         }
         const Tensor input = batch.requests.size() == 1

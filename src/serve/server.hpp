@@ -23,9 +23,9 @@
 #include <cstdint>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "sched/scheduler.hpp"
@@ -87,7 +87,7 @@ private:
 
     ServerConfig config_;
     const Clock* clock_;
-    sched::OnlineScheduler* scheduler_;
+    sched::OnlineScheduler* scheduler_ MW_PT_GUARDED_BY(scheduler_mutex_);
     sched::Dispatcher* dispatcher_;
 
     ServerStats stats_;
@@ -95,7 +95,7 @@ private:
     AdmissionController admission_;
     BatchAggregator batcher_;
 
-    std::mutex scheduler_mutex_;  ///< OnlineScheduler is not thread-safe
+    Mutex scheduler_mutex_{LockRank::kScheduler};  ///< OnlineScheduler is not thread-safe
     std::atomic<std::uint64_t> next_id_{1};
     std::atomic<std::size_t> inflight_{0};
     std::atomic<bool> running_{false};

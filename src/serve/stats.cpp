@@ -54,43 +54,43 @@ PolicyCounters ServerSnapshot::totals() const {
 }
 
 void ServerStats::on_submitted(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.submitted;
 }
 
 void ServerStats::on_admitted(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.admitted;
 }
 
 void ServerStats::on_rejected_full(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.rejected_full;
 }
 
 void ServerStats::on_evicted(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.evicted;
 }
 
 void ServerStats::on_shed(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.shed;
 }
 
 void ServerStats::on_shutdown(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.shutdown;
 }
 
 void ServerStats::on_failed(sched::Policy policy) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ++per_policy_[lane_of(policy)].counters.failed;
 }
 
 void ServerStats::on_batch_executed(sched::Policy policy,
                                     std::size_t coalesced_requests) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     auto& c = per_policy_[lane_of(policy)].counters;
     ++c.batches_executed;
     c.coalesced_requests += coalesced_requests;
@@ -99,7 +99,7 @@ void ServerStats::on_batch_executed(sched::Policy policy,
 void ServerStats::on_completed(sched::Policy policy, double queue_s, double execute_s,
                                std::size_t samples, double bytes_in, double energy_j,
                                std::size_t coalesced) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     auto& pp = per_policy_[lane_of(policy)];
     ++pp.counters.completed;
     pp.counters.samples += static_cast<double>(samples);
@@ -113,7 +113,7 @@ void ServerStats::on_completed(sched::Policy policy, double queue_s, double exec
 }
 
 ServerSnapshot ServerStats::snapshot() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     ServerSnapshot snap;
     for (std::size_t i = 0; i < kPolicyLanes; ++i) {
         const PerPolicy& pp = per_policy_[i];

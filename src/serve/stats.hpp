@@ -7,8 +7,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string>
+
+#include "common/sync.hpp"
 
 #include "sched/policy.hpp"
 #include "serve/request.hpp"
@@ -103,8 +104,8 @@ private:
         LatencyHistogram execute_hist;
     };
 
-    mutable std::mutex mutex_;
-    std::array<PerPolicy, kPolicyLanes> per_policy_;
+    mutable Mutex mutex_{LockRank::kStats};
+    std::array<PerPolicy, kPolicyLanes> per_policy_ MW_GUARDED_BY(mutex_);
 };
 
 }  // namespace mw::serve

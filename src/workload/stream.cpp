@@ -35,7 +35,7 @@ MemorySource::MemorySource(std::size_t pool_samples, std::size_t sample_elems,
 }
 
 Tensor MemorySource::next_batch(std::size_t batch, std::size_t sample_elems) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return copy_from_pool(pool_, cursor_, batch, sample_elems);
 }
 
@@ -58,7 +58,7 @@ FileSource::FileSource(std::string path, std::size_t sample_elems) : path_(std::
 }
 
 Tensor FileSource::next_batch(std::size_t batch, std::size_t sample_elems) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     return copy_from_pool(pool_, cursor_, batch, sample_elems);
 }
 
@@ -70,7 +70,7 @@ SyntheticSource::SyntheticSource(std::uint64_t seed) : rng_(seed) {}
 
 Tensor SyntheticSource::next_batch(std::size_t batch, std::size_t sample_elems) {
     Tensor out(Shape{batch, sample_elems});
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const MutexLock lock(mutex_);
     out.fill_uniform(rng_, 0.0F, 1.0F);
     return out;
 }

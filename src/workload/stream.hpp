@@ -9,10 +9,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/rng.hpp"
+#include "common/sync.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mw::workload {
@@ -39,8 +39,8 @@ public:
 
 private:
     Tensor pool_;  ///< immutable after construction
-    std::mutex mutex_;
-    std::size_t cursor_ = 0;
+    Mutex mutex_{LockRank::kWorkloadSource};
+    std::size_t cursor_ MW_GUARDED_BY(mutex_) = 0;
 };
 
 /// File-backed source: loops over raw float32 records in a binary file.
@@ -53,8 +53,8 @@ public:
 private:
     std::string path_;
     Tensor pool_;  ///< immutable after construction
-    std::mutex mutex_;
-    std::size_t cursor_ = 0;
+    Mutex mutex_{LockRank::kWorkloadSource};
+    std::size_t cursor_ MW_GUARDED_BY(mutex_) = 0;
 };
 
 /// Synthetic "network" source: generates fresh pseudo-random payloads on
@@ -66,8 +66,8 @@ public:
     [[nodiscard]] std::string describe() const override;
 
 private:
-    std::mutex mutex_;
-    Rng rng_;
+    Mutex mutex_{LockRank::kWorkloadSource};
+    Rng rng_ MW_GUARDED_BY(mutex_);
 };
 
 }  // namespace mw::workload

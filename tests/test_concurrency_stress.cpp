@@ -603,4 +603,152 @@ TEST(RequestQueueStress, ConcurrentCloseWithTraffic) {
     EXPECT_FALSE(queue.try_push(late));
 }
 
+// ---------------------------------------------------------------------------
+// Lock-rank validator (common/sync.hpp)
+// ---------------------------------------------------------------------------
+
+TEST(LockRankValidator, RankNamesAreStable) {
+    EXPECT_STREQ(lock_rank_name(LockRank::kScheduler), "scheduler");
+    EXPECT_STREQ(lock_rank_name(LockRank::kRegistry), "registry");
+    EXPECT_STREQ(lock_rank_name(LockRank::kDispatcher), "dispatcher");
+    EXPECT_STREQ(lock_rank_name(LockRank::kDevice), "device");
+    EXPECT_STREQ(lock_rank_name(LockRank::kServeQueue), "serve-queue");
+    EXPECT_STREQ(lock_rank_name(LockRank::kAdmission), "admission");
+    EXPECT_STREQ(lock_rank_name(LockRank::kStats), "stats");
+    EXPECT_STREQ(lock_rank_name(LockRank::kLogger), "logger");
+}
+
+TEST(LockRankValidator, InOrderChainIsAccepted) {
+    Mutex registry_mu(LockRank::kRegistry);
+    Mutex device_mu(LockRank::kDevice);
+    Mutex stats_mu(LockRank::kStats);
+    {
+        const MutexLock a(registry_mu);
+        const MutexLock b(device_mu);
+        const MutexLock c(stats_mu);
+    }
+    // The per-thread stack popped cleanly: low ranks are acquirable again.
+    const MutexLock again(registry_mu);
+}
+
+TEST(LockRankValidator, IndependentThreadsHaveIndependentStacks) {
+    Mutex device_mu(LockRank::kDevice);
+    Mutex registry_mu(LockRank::kRegistry);
+    const MutexLock dev(device_mu);
+    // This thread holds rank 40; another thread may still start its own
+    // chain at rank 20 (the stack is thread-local, not global).
+    std::thread other([&] {
+        const MutexLock reg(registry_mu);
+    });
+    other.join();
+}
+
+#if defined(MW_LOCK_RANK_CHECKS)
+
+TEST(LockRankValidatorDeathTest, InvertedAcquisitionAbortsNamingBothRanks) {
+    // This binary spawns threads, so in-process fork would be unsafe;
+    // threadsafe style re-executes the test binary for the death assertion.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Mutex registry_mu(LockRank::kRegistry);
+    Mutex device_mu(LockRank::kDevice);
+    EXPECT_DEATH(
+        {
+            const MutexLock dev(device_mu);
+            const MutexLock reg(registry_mu);
+        },
+        "lock-rank violation: acquiring .registry. .rank 20. "
+        "while already holding .device. .rank 40.");
+}
+
+TEST(LockRankValidatorDeathTest, SameRankReentryAborts) {
+    // Two locks of one rank is exactly the Device AB-BA peer hazard; the
+    // validator rejects it even in the "safe" acquisition order.
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Mutex first(LockRank::kDevice);
+    Mutex second(LockRank::kDevice);
+    EXPECT_DEATH(
+        {
+            const MutexLock a(first);
+            const MutexLock b(second);
+        },
+        "lock-rank violation: acquiring .device. .rank 40. "
+        "while already holding .device. .rank 40.");
+}
+
+#endif  // MW_LOCK_RANK_CHECKS
+
+// ---------------------------------------------------------------------------
+// Regression: lock-protocol violations fixed by the sync.hpp migration
+// ---------------------------------------------------------------------------
+
+// Device::add_memory_peer used to mutate the peer vector with no lock held,
+// racing the contention probe in execute() that iterates it; the registry's
+// device table was likewise unguarded. Wiring a new same-domain device into
+// a registry whose existing devices are mid-execution must be clean (run
+// under the tsan preset to prove it).
+TEST(RegistryStress, PeerWiringRacesExecution) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    registry.load_model_everywhere(shared_model(nn::zoo::simple(), 7));
+    Device& cpu = registry.at("i7-8700");
+    Device& igpu = registry.at("uhd630");
+    const std::size_t cpu_peers_before = cpu.memory_peer_count();
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> runners;
+    runners.reserve(4);
+    for (int t = 0; t < 4; ++t) {
+        runners.emplace_back([&, t] {
+            Device& dev = (t % 2 == 0) ? cpu : igpu;
+            for (int i = 0; i < 200 && !stop.load(std::memory_order_acquire); ++i) {
+                dev.profile("simple", 4, static_cast<double>(i) * 1e-3);
+            }
+        });
+    }
+    std::thread wirer([&] {
+        for (int i = 0; i < 8; ++i) {
+            DeviceParams p = i7_8700_params();  // memory_domain 0: joins CPU+iGPU
+            p.name = "late-joiner-" + std::to_string(i);
+            Device& added = registry.emplace(std::move(p));
+            added.load_model(shared_model(nn::zoo::simple(), 50 + i));
+        }
+        stop.store(true, std::memory_order_release);
+    });
+    for (auto& r : runners) r.join();
+    wirer.join();
+
+    // Both pre-existing domain members saw every late joiner.
+    EXPECT_EQ(cpu.memory_peer_count(), cpu_peers_before + 8);
+    EXPECT_EQ(igpu.memory_peer_count(), cpu_peers_before + 8);
+    EXPECT_EQ(registry.size(), 3U + 8U);
+}
+
+// Registry lookups concurrent with add(): the table is append-only under its
+// own lock, so readers see either the old or the new size, never a torn
+// vector.
+TEST(RegistryStress, LookupsRaceWithAdd) {
+    DeviceRegistry registry = DeviceRegistry::standard_testbed();
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    readers.reserve(3);
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            while (!stop.load(std::memory_order_acquire)) {
+                EXPECT_TRUE(registry.contains("i7-8700"));
+                EXPECT_GE(registry.size(), 3U);
+                EXPECT_GE(registry.devices().size(), 3U);
+                EXPECT_GE(registry.names().size(), 3U);
+                EXPECT_EQ(registry.at("uhd630").name(), "uhd630");
+            }
+        });
+    }
+    for (int i = 0; i < 32; ++i) {
+        DeviceParams p = gtx1080ti_params();  // private memory domain
+        p.name = "extra-" + std::to_string(i);
+        registry.emplace(std::move(p));
+    }
+    stop.store(true, std::memory_order_release);
+    for (auto& r : readers) r.join();
+    EXPECT_EQ(registry.size(), 3U + 32U);
+}
+
 }  // namespace

@@ -10,9 +10,14 @@ Rules enforced over src/ (suppress a single line with
                         and sanitizer coverage stay centralised.
                         (std::this_thread, thread::id and
                         hardware_concurrency() queries are fine.)
-  manual-lock           no mutex_.lock()/.unlock() calls: locking is RAII
-                        (lock_guard / unique_lock / shared_lock) so an early
-                        return or exception cannot leak a held lock.
+  raw-sync-primitive    no raw standard mutexes / condition variables / lock
+                        guards outside src/common/sync.hpp: every lock is an
+                        mw::Mutex / mw::SharedMutex with a LockRank and
+                        thread-safety annotations, locked through the RAII
+                        guards (MutexLock / WriterLock / ReaderLock), and
+                        every wait goes through mw::CondVar. This subsumes
+                        the former manual-lock rule — the wrappers expose no
+                        manual lock()/unlock() at all.
   raw-assert            no assert()/<cassert> in src/: preconditions use
                         MW_CHECK (throws, caller-visible), invariants use
                         MW_ASSERT / MW_ASSERT_MSG / MW_DCHECK (never
@@ -21,9 +26,11 @@ Rules enforced over src/ (suppress a single line with
                         src/common/error.hpp — fatal paths go through the MW
                         macros so they print where and why.
   time-arith-confined   no raw std::chrono / clock reads outside
-                        src/common/timer.hpp: all wall-clock measurement goes
-                        through Stopwatch so the double-seconds convention
-                        (see units.hpp) has a single conversion point.
+                        src/common/timer.hpp and src/common/sync.hpp: all
+                        wall-clock measurement goes through Stopwatch and all
+                        timed waits through CondVar, so the double-seconds
+                        convention (see units.hpp) has two sanctioned
+                        conversion points.
   header-self-contained IWYU-lite: every header in src/ must compile on its
                         own (checked with `$CXX -fsyntax-only`).
   wall-clock-in-serve   src/serve/ only: no Stopwatch / WallClock references.
@@ -106,10 +113,14 @@ LINE_RULES = [
         ("src/common/thread_pool.hpp", "src/common/thread_pool.cpp"),
     ),
     (
-        "manual-lock",
-        re.compile(r"\.\s*(?:lock|unlock)\s*\(\s*\)"),
-        "manual lock()/unlock() — use a RAII guard (std::lock_guard / unique_lock)",
-        (),
+        "raw-sync-primitive",
+        re.compile(
+            r"\bstd::(?:mutex|shared_mutex|timed_mutex|recursive_mutex|shared_timed_mutex"
+            r"|condition_variable(?:_any)?|lock_guard|unique_lock|shared_lock|scoped_lock)\b"
+        ),
+        "raw standard sync primitive — use mw::Mutex / mw::SharedMutex / mw::CondVar "
+        "and the RAII guards from common/sync.hpp (rank-checked + TSA-annotated)",
+        ("src/common/sync.hpp",),
     ),
     (
         "raw-assert",
@@ -130,7 +141,7 @@ LINE_RULES = [
             r"|\bclock_gettime\b|\bgettimeofday\b"
         ),
         "raw clock access — wall-clock time goes through mw::Stopwatch (common/timer.hpp)",
-        ("src/common/timer.hpp",),
+        ("src/common/timer.hpp", "src/common/sync.hpp"),
     ),
 ]
 
