@@ -11,6 +11,9 @@
 // serialising mutex, dispatch bookkeeping, future completion) dominates, and
 // coalescing amortises it across the batch — the real mechanism by which
 // dynamic batching raises sustained QPS at equal workers.
+//
+// Part 3 repeats the max-rate run with a TraceRecorder installed and reports
+// the sustained-QPS cost of recording every request-path span (budget: <5%).
 #include <cstdio>
 #include <vector>
 
@@ -18,6 +21,7 @@
 #include "common/timer.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/zoo.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/scheduler_dataset.hpp"
 #include "serve/server.hpp"
@@ -197,5 +201,35 @@ int main() {
         static_cast<double>(on.snapshot.totals().completed) / on.elapsed_s;
     std::printf("sustained QPS: %.0f -> %.0f (%.1fx) at equal workers\n", off_qps, on_qps,
                 off_qps > 0.0 ? on_qps / off_qps : 0.0);
+
+    // --- Part 3: request-path tracing overhead --------------------------
+    // Same max-rate run twice: hooks with no recorder installed (one atomic
+    // load per hook — the production "tracing off" cost) vs a recorder
+    // capturing every span. Under -DMW_OBS=OFF this section is compiled out
+    // along with the hooks themselves.
+#if defined(MW_OBS_ENABLED)
+    std::printf("\ntracing overhead on %s at max-rate arrivals (batching ON):\n",
+                tiny.model);
+    const auto plain = run_load(world, batched, tiny, 1e9, 1.5);
+    const double plain_qps =
+        static_cast<double>(plain.snapshot.totals().completed) / plain.elapsed_s;
+
+    obs::TraceRecorder recorder({.ring_capacity = std::size_t{1} << 17});
+    obs::TraceRecorder::install(&recorder);
+    const auto traced = run_load(world, batched, tiny, 1e9, 1.5);
+    obs::TraceRecorder::install(nullptr);
+    const double traced_qps =
+        static_cast<double>(traced.snapshot.totals().completed) / traced.elapsed_s;
+
+    std::printf("  tracing OFF: %9.0f QPS\n", plain_qps);
+    std::printf("  tracing ON:  %9.0f QPS  (%zu spans, %zu dropped, %zu threads)\n",
+                traced_qps, recorder.snapshot().size(), recorder.dropped(),
+                recorder.thread_count());
+    const double overhead_pct =
+        plain_qps > 0.0 ? (plain_qps - traced_qps) / plain_qps * 100.0 : 0.0;
+    std::printf("  overhead: %.1f%% of sustained QPS (budget: < 5%%)\n", overhead_pct);
+#else
+    std::printf("\n(tracing hooks compiled out: MW_OBS=OFF)\n");
+#endif
     return 0;
 }

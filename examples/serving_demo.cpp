@@ -1,8 +1,13 @@
-// Minimal serving demo (and the CI smoke test for mw::serve): stand up a
-// Server over the trained scheduler, fire a few hundred mixed-policy
-// requests from concurrent clients, and print the per-policy stats the
-// serving layer collects. Runs in a few seconds and exits 0.
+// Minimal serving demo (and the CI smoke test for mw::serve + mw::obs):
+// stand up a Server over the trained scheduler, fire a few hundred
+// mixed-policy requests from concurrent clients with a TraceRecorder
+// installed, print the per-policy stats, and export the request-path trace
+// (Chrome trace_event JSON — open serving_demo.trace.json in
+// chrome://tracing or https://ui.perfetto.dev) plus the metrics registry as
+// Prometheus text and CSV. Exits 0 only when the request accounting balances
+// AND the trace contains every pipeline phase correlated by request id.
 #include <cstdio>
+#include <set>
 #include <vector>
 
 #include "common/format.hpp"
@@ -10,6 +15,8 @@
 #include "common/timer.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/zoo.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sched/scheduler_dataset.hpp"
 #include "serve/server.hpp"
@@ -45,6 +52,8 @@ int main() {
                         .default_slo_s = 0.5};
     config.batching = {.enabled = true, .max_requests = 8, .max_samples = 4096,
                        .max_wait_s = 0.002};
+    obs::TraceRecorder recorder;
+    obs::TraceRecorder::install(&recorder);
     serve::Server server(scheduler, dispatcher, clock, config);
 
     // Four concurrent clients, 100 requests each, policies round-robin.
@@ -73,6 +82,7 @@ int main() {
     }
     for (auto& f : client_futures) f.get();
     server.stop();
+    obs::TraceRecorder::install(nullptr);
 
     const auto snapshot = server.stats();
     std::printf("\nper-policy serving stats (%zu requests from %zu clients):\n",
@@ -100,5 +110,37 @@ int main() {
                            totals.completed + totals.rejected_full + totals.evicted +
                                totals.shed + totals.failed + totals.shutdown;
     std::printf("request accounting %s\n", accounted ? "balanced" : "IMBALANCED");
-    return accounted ? 0 : 1;
+
+    // --- observability exports ------------------------------------------
+    bool trace_ok = true;
+#if defined(MW_OBS_ENABLED)
+    const auto spans = recorder.snapshot();
+    std::set<std::string> phases_seen;
+    std::set<std::uint64_t> correlated_ids;
+    for (const auto& span : spans) {
+        phases_seen.insert(obs::phase_name(span.phase));
+        if (span.request_id != 0) correlated_ids.insert(span.request_id);
+    }
+    std::printf("\ntrace: %zu spans, %zu threads, %zu dropped; %zu phases, "
+                "%zu request ids\n",
+                spans.size(), recorder.thread_count(), recorder.dropped(),
+                phases_seen.size(), correlated_ids.size());
+    trace_ok = phases_seen.size() == obs::kPhaseCount && !correlated_ids.empty();
+    if (!trace_ok) {
+        std::printf("trace INCOMPLETE: expected all %zu pipeline phases\n",
+                    obs::kPhaseCount);
+    }
+    if (!obs::write_chrome_trace_file("serving_demo.trace.json", recorder) ||
+        !obs::write_prometheus_file("serving_demo.metrics.prom", server.metrics()) ||
+        !obs::write_csv_file("serving_demo.metrics.csv", server.metrics())) {
+        std::printf("failed to write observability exports\n");
+        trace_ok = false;
+    } else {
+        std::printf("wrote serving_demo.trace.json (chrome://tracing), "
+                    "serving_demo.metrics.prom, serving_demo.metrics.csv\n");
+    }
+#else
+    std::printf("\n(tracing hooks compiled out: MW_OBS=OFF)\n");
+#endif
+    return accounted && trace_ok ? 0 : 1;
 }

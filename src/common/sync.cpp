@@ -18,6 +18,7 @@ const char* lock_rank_name(LockRank rank) noexcept {
         case LockRank::kPool: return "pool";
         case LockRank::kPoolLoop: return "pool-loop";
         case LockRank::kWorkloadSource: return "workload-source";
+        case LockRank::kObs: return "obs";
         case LockRank::kLogger: return "logger";
     }
     return "unknown";

@@ -98,6 +98,7 @@ enum class LockRank : int {
     kPool = 80,            ///< ThreadPool task queue
     kPoolLoop = 90,        ///< ThreadPool parallel_for completion latch
     kWorkloadSource = 100, ///< workload::InputSource cursors
+    kObs = 105,            ///< obs::TraceRecorder ring registration/snapshot
     kLogger = 110,         ///< log sink (last: any locked region may log)
 };
 

@@ -30,6 +30,8 @@ std::string format_throughput(double bps) {
 }
 
 std::string format_duration(double seconds) {
+    // NaN marks "no data" (e.g. a percentile of an empty histogram).
+    if (std::isnan(seconds)) return "-";
     if (seconds >= 60.0) return format("{:.3g} min", seconds / 60.0);
     if (seconds >= 1.0) return format("{:.3g} s", seconds);
     if (seconds >= 1e-3) return format("{:.3g} ms", seconds * 1e3);

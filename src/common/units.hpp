@@ -21,7 +21,7 @@ constexpr double throughput_bps(double bytes, double seconds) {
 /// Human-readable throughput, e.g. "14.8 Gbit/s" / "52.1 Mbit/s".
 std::string format_throughput(double bits_per_second);
 
-/// Human-readable duration, e.g. "1.24 ms" / "16.3 min".
+/// Human-readable duration, e.g. "1.24 ms" / "16.3 min"; "-" for NaN (no data).
 std::string format_duration(double seconds);
 
 /// Human-readable energy, e.g. "3.1 mJ" / "10.2 kJ".

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace mw::device {
 namespace {
@@ -222,6 +223,11 @@ InferenceResult Device::run(const std::string& model_name, const Tensor& input, 
     const std::size_t batch = input.shape()[0];
     InferenceResult result;
     result.measurement = execute(*m, batch, sim_time);
+    // Traced outside the device mutex; the span covers the simulated
+    // execution window, correlated with the batch leader's request id.
+    MW_TRACE_SPAN(obs::Phase::kExecute, options.trace_id,
+                  result.measurement.start_time, result.measurement.end_time,
+                  name().c_str());
     if (options.compute_outputs) {
         // Real kernels: the outputs are the model's true predictions,
         // identical across devices (the paper's OpenCL kernels are portable).

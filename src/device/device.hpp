@@ -10,6 +10,7 @@
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
@@ -27,6 +28,10 @@ namespace mw::device {
 /// Execution options for a submission.
 struct SubmitOptions {
     bool compute_outputs = true;  ///< run the real kernels (false: price only)
+    /// Correlates this submission's trace spans (dispatch/execute) with the
+    /// originating request — serving passes the batch leader's request id.
+    /// 0 = untraced (profiling sweeps, direct device use).
+    std::uint64_t trace_id = 0;
 };
 
 /// Outputs plus the measurement for a data-carrying submission.

@@ -1,0 +1,169 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mw::obs {
+namespace {
+
+/// Escape a label for embedding in a JSON string (labels are short ASCII —
+/// model/device names and outcomes — but stay defensive).
+std::string json_escape(const char* text) {
+    std::string out;
+    for (const char* p = text; *p != '\0'; ++p) {
+        const char c = *p;
+        if (c == '"' || c == '\\') {
+            out.push_back('\\');
+            out.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out.push_back(c);
+        }
+    }
+    return out;
+}
+
+std::string format_double(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/// Prometheus sample values must never be literal `nan`; empty histograms
+/// export their quantiles as 0 with the count telling the story.
+double nan_to_zero(double v) { return std::isnan(v) ? 0.0 : v; }
+
+/// `name{policy="min-latency"}` -> `name` (the `# TYPE` line wants the bare
+/// metric family name).
+std::string family_of(const std::string& series_name) {
+    const std::size_t brace = series_name.find('{');
+    return brace == std::string::npos ? series_name : series_name.substr(0, brace);
+}
+
+/// Insert a label into a series name, handling both bare and labelled names:
+/// (`name`, q) -> `name{quantile="q"}`; (`name{a="b"}`, q) ->
+/// `name{a="b",quantile="q"}`.
+std::string with_quantile(const std::string& series_name, const char* quantile) {
+    const std::size_t brace = series_name.find('{');
+    if (brace == std::string::npos) {
+        return series_name + "{quantile=\"" + quantile + "\"}";
+    }
+    std::string out = series_name;
+    out.insert(out.size() - 1, std::string(",quantile=\"") + quantile + "\"");
+    return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder) {
+    const std::vector<Span> spans = recorder.snapshot();
+    out << "{\"traceEvents\":[";
+    bool first = true;
+    for (const Span& span : spans) {
+        if (!first) out << ",";
+        first = false;
+        // Chrome trace timestamps are microseconds.
+        const double ts_us = span.t0 * 1e6;
+        const double dur_us = span.duration_s() * 1e6;
+        out << "{\"name\":\"" << phase_name(span.phase) << "\",\"cat\":\"mw\"";
+        if (span.instant()) {
+            out << ",\"ph\":\"i\",\"s\":\"t\"";
+        } else {
+            out << ",\"ph\":\"X\",\"dur\":" << format_double(dur_us);
+        }
+        out << ",\"ts\":" << format_double(ts_us) << ",\"pid\":1,\"tid\":" << span.tid
+            << ",\"args\":{\"request_id\":" << span.request_id << ",\"label\":\""
+            << json_escape(span.label) << "\"}}";
+    }
+    out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry) {
+    std::string last_family;
+    for (const MetricsRegistry::Series& s : registry.series()) {
+        const std::string family = family_of(s.name);
+        switch (s.kind) {
+            case MetricKind::kCounter:
+                if (family != last_family) out << "# TYPE " << family << " counter\n";
+                out << s.name << " " << s.counter->value() << "\n";
+                break;
+            case MetricKind::kGauge:
+                if (family != last_family) out << "# TYPE " << family << " gauge\n";
+                out << s.name << " " << format_double(s.gauge->value()) << "\n";
+                break;
+            case MetricKind::kHistogram:
+                if (family != last_family) out << "# TYPE " << family << " summary\n";
+                out << with_quantile(s.name, "0.5") << " "
+                    << format_double(nan_to_zero(s.histogram->percentile(50.0))) << "\n";
+                out << with_quantile(s.name, "0.95") << " "
+                    << format_double(nan_to_zero(s.histogram->percentile(95.0))) << "\n";
+                out << with_quantile(s.name, "0.99") << " "
+                    << format_double(nan_to_zero(s.histogram->percentile(99.0))) << "\n";
+                out << family_of(s.name) << "_count"
+                    << (s.name.size() == family.size()
+                            ? std::string()
+                            : s.name.substr(family.size()))
+                    << " " << s.histogram->count() << "\n";
+                break;
+        }
+        last_family = family;
+    }
+}
+
+void write_csv(std::ostream& out, const MetricsRegistry& registry) {
+    out << "name,kind,value,count,p50_s,p95_s,p99_s\n";
+    for (const MetricsRegistry::Series& s : registry.series()) {
+        out << "\"" << s.name << "\"," << metric_kind_name(s.kind) << ",";
+        switch (s.kind) {
+            case MetricKind::kCounter:
+                out << s.counter->value() << ",,,,";
+                break;
+            case MetricKind::kGauge:
+                out << format_double(s.gauge->value()) << ",,,,";
+                break;
+            case MetricKind::kHistogram:
+                out << "," << s.histogram->count() << ","
+                    << format_double(nan_to_zero(s.histogram->percentile(50.0))) << ","
+                    << format_double(nan_to_zero(s.histogram->percentile(95.0))) << ","
+                    << format_double(nan_to_zero(s.histogram->percentile(99.0)));
+                break;
+        }
+        out << "\n";
+    }
+}
+
+namespace {
+
+template <typename Writer>
+bool write_file(const std::string& path, Writer&& writer) {
+    std::ofstream out(path);
+    if (!out.is_open()) return false;
+    writer(out);
+    return out.good();
+}
+
+}  // namespace
+
+bool write_chrome_trace_file(const std::string& path, const TraceRecorder& recorder) {
+    return write_file(path,
+                      [&](std::ostream& out) { write_chrome_trace(out, recorder); });
+}
+
+bool write_prometheus_file(const std::string& path, const MetricsRegistry& registry) {
+    return write_file(path,
+                      [&](std::ostream& out) { write_prometheus(out, registry); });
+}
+
+bool write_csv_file(const std::string& path, const MetricsRegistry& registry) {
+    return write_file(path, [&](std::ostream& out) { write_csv(out, registry); });
+}
+
+}  // namespace mw::obs

@@ -1,0 +1,43 @@
+// Exporters for the observability layer:
+//
+//   write_chrome_trace   Chrome trace_event JSON — open in chrome://tracing
+//                        or https://ui.perfetto.dev. One row per recording
+//                        thread; spans carry the request id and label in
+//                        their args so Perfetto's search correlates a
+//                        request's full path.
+//   write_prometheus     Prometheus-style text exposition of a registry:
+//                        `# TYPE` lines plus `name value`. Histograms dump as
+//                        `<name>_count` and quantile series (p50/p95/p99).
+//   write_csv            Flat CSV of a registry for the bench harness:
+//                        name,kind,value,count,p50_s,p95_s,p99_s.
+//
+// All writers take pre-collected state (a recorder snapshot, a registry) and
+// an ostream; they never read clocks and allocate freely — exporting is off
+// the hot path by construction.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "obs/trace.hpp"
+
+namespace mw::obs {
+
+/// Serialise every published span as Chrome trace_event JSON.
+void write_chrome_trace(std::ostream& out, const TraceRecorder& recorder);
+
+/// Prometheus-style text dump of every registered series.
+void write_prometheus(std::ostream& out, const MetricsRegistry& registry);
+
+/// CSV dump of every registered series (for the bench harness / spreadsheets).
+void write_csv(std::ostream& out, const MetricsRegistry& registry);
+
+/// Convenience: write `content_writer` output to `path` (creates/truncates).
+/// Returns false (and writes nothing) when the file cannot be opened.
+bool write_chrome_trace_file(const std::string& path, const TraceRecorder& recorder);
+bool write_prometheus_file(const std::string& path, const MetricsRegistry& registry);
+bool write_csv_file(const std::string& path, const MetricsRegistry& registry);
+
+}  // namespace mw::obs

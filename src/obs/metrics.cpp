@@ -1,0 +1,115 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mw::obs {
+
+void LogHistogram::add(double seconds) noexcept {
+    const double clamped = std::max(seconds, kMinS);
+    const double decades = std::log10(clamped / kMinS);
+    const auto raw = static_cast<std::size_t>(decades * kBucketsPerDecade);
+    buckets_[std::min(raw, kBuckets - 1)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double LogHistogram::percentile(double p) const noexcept {
+    // Rank against the summed bucket counts (not count_) so a concurrent
+    // add between the two reads cannot push the rank past the buckets.
+    std::array<std::uint64_t, kBuckets> counts;
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0) return std::numeric_limits<double>::quiet_NaN();
+    const double clamped_p = std::clamp(p, 0.0, 100.0);
+    const auto rank = static_cast<std::uint64_t>(
+        std::ceil(clamped_p / 100.0 * static_cast<double>(total)));
+    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        cumulative += counts[i];
+        if (cumulative >= target) {
+            // Geometric midpoint of the bucket.
+            const double exponent =
+                (static_cast<double>(i) + 0.5) / kBucketsPerDecade;
+            return kMinS * std::pow(10.0, exponent);
+        }
+    }
+    return kMinS * std::pow(10.0, static_cast<double>(kDecades));
+}
+
+const char* metric_kind_name(MetricKind kind) noexcept {
+    switch (kind) {
+        case MetricKind::kCounter: return "counter";
+        case MetricKind::kGauge: return "gauge";
+        case MetricKind::kHistogram: return "histogram";
+    }
+    return "unknown";
+}
+
+MetricsRegistry::Slot& MetricsRegistry::slot_for(const std::string& name,
+                                                 MetricKind kind) {
+    MW_CHECK(!name.empty(), "metric name must not be empty");
+    mutex_.assert_held();
+    auto [it, inserted] = slots_.try_emplace(name);
+    Slot& slot = it->second;
+    if (inserted) {
+        slot.kind = kind;
+        switch (kind) {
+            case MetricKind::kCounter: slot.counter = std::make_unique<Counter>(); break;
+            case MetricKind::kGauge: slot.gauge = std::make_unique<Gauge>(); break;
+            case MetricKind::kHistogram:
+                slot.histogram = std::make_unique<LogHistogram>();
+                break;
+        }
+    } else {
+        MW_CHECK(slot.kind == kind,
+                 "metric `" + name + "` already registered as " +
+                     metric_kind_name(slot.kind) + ", requested " +
+                     metric_kind_name(kind));
+    }
+    return slot;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+    const MutexLock lock(mutex_);
+    return *slot_for(name, MetricKind::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+    const MutexLock lock(mutex_);
+    return *slot_for(name, MetricKind::kGauge).gauge;
+}
+
+LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+    const MutexLock lock(mutex_);
+    return *slot_for(name, MetricKind::kHistogram).histogram;
+}
+
+std::vector<MetricsRegistry::Series> MetricsRegistry::series() const {
+    const MutexLock lock(mutex_);
+    std::vector<Series> out;
+    out.reserve(slots_.size());
+    for (const auto& [name, slot] : slots_) {
+        Series s;
+        s.name = name;
+        s.kind = slot.kind;
+        s.counter = slot.counter.get();
+        s.gauge = slot.gauge.get();
+        s.histogram = slot.histogram.get();
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+std::size_t MetricsRegistry::size() const {
+    const MutexLock lock(mutex_);
+    return slots_.size();
+}
+
+}  // namespace mw::obs

@@ -1,0 +1,136 @@
+// MetricsRegistry: one registration API for every named counter, gauge, and
+// histogram in the system. Components register their series once (a locked
+// map insert) and then update through stable references whose operations are
+// single atomic RMWs — the hot path never touches the registry lock. The
+// registry is the export surface: Prometheus-style text and CSV dumps walk
+// every registered series in name order (see obs/export.hpp).
+//
+// This absorbs the serving layer's former ad-hoc plumbing: ServerStats'
+// per-policy counters and latency histograms are registry series now, so the
+// bench harness, the demo, and any future component read one catalogue.
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/sync.hpp"
+
+namespace mw::obs {
+
+/// Monotone integer counter. All operations are lock-free.
+class Counter {
+public:
+    void inc(std::uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Double-valued gauge (set or accumulate). Lock-free; add() is a CAS loop
+/// because atomic<double>::fetch_add is not universally lock-free pre-C++20
+/// library support.
+class Gauge {
+public:
+    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void add(double delta) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    [[nodiscard]] double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed log-spaced histogram: 1 us .. 1000 s, 20 buckets/decade. Cheap
+/// enough to update on every request completion; percentiles interpolate to
+/// the geometric midpoint of the winning bucket (max relative error ~12%,
+/// one bucket width). Updates are lock-free; a concurrent percentile() sees
+/// some consistent prefix of the adds.
+class LogHistogram {
+public:
+    static constexpr double kMinS = 1e-6;
+    static constexpr std::size_t kBucketsPerDecade = 20;
+    static constexpr std::size_t kDecades = 9;
+    static constexpr std::size_t kBuckets = kBucketsPerDecade * kDecades;
+
+    void add(double seconds) noexcept;
+
+    [[nodiscard]] std::size_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    /// p in [0, 100]. Returns quiet NaN when the histogram is empty — an
+    /// empty series must not be confusable with a genuine sub-microsecond
+    /// measurement (renderers print a dash; see format_duration).
+    [[nodiscard]] double percentile(double p) const noexcept;
+
+private:
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+    std::atomic<std::size_t> count_{0};
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+[[nodiscard]] const char* metric_kind_name(MetricKind kind) noexcept;
+
+/// Thread safety: registration (counter()/gauge()/histogram()) and the
+/// visitors may be called concurrently from any thread; returned references
+/// stay valid for the registry's lifetime.
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// Create-or-get. A name registers exactly one kind; re-registering the
+    /// same name as a different kind throws.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    LogHistogram& histogram(const std::string& name);
+
+    /// One registered series, for exporters.
+    struct Series {
+        std::string name;
+        MetricKind kind;
+        const Counter* counter = nullptr;
+        const Gauge* gauge = nullptr;
+        const LogHistogram* histogram = nullptr;
+    };
+
+    /// Every registered series in name order.
+    [[nodiscard]] std::vector<Series> series() const;
+
+    [[nodiscard]] std::size_t size() const;
+
+private:
+    struct Slot {
+        MetricKind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<LogHistogram> histogram;
+    };
+
+    Slot& slot_for(const std::string& name, MetricKind kind);
+
+    mutable Mutex mutex_{LockRank::kStats};
+    std::map<std::string, Slot> slots_ MW_GUARDED_BY(mutex_);
+};
+
+}  // namespace mw::obs

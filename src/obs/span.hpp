@@ -1,0 +1,62 @@
+// The span vocabulary of the request path. A request entering mw::serve is
+// traced through a fixed taxonomy of phases,
+//
+//   submit -> admit -> queue -> batch -> dispatch -> execute -> complete
+//
+// each recorded as one Span correlated by the request id the Server assigned
+// at submit(). Batch-scoped phases (batch, dispatch, execute) carry the
+// batch *leader's* request id — the leader is a member, so every phase stays
+// reachable from a request id. Timestamps are double seconds on whatever
+// timeline the recording component runs (the serving layer's injected
+// mw::Clock; the device layer's simulated timeline — identical during
+// serving, where the clock's now() doubles as sim time).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+
+namespace mw::obs {
+
+/// Request-path phases, in pipeline order.
+enum class Phase : std::uint8_t {
+    kSubmit,    ///< client handed the request to Server::submit (instant)
+    kAdmit,     ///< admission decision: admitted / rejected / shed (instant)
+    kQueue,     ///< admission -> dispatch: time spent queued
+    kBatch,     ///< leader pop -> batch assembled (dynamic batching window)
+    kDispatch,  ///< scheduler decision + coalesce -> device start
+    kExecute,   ///< device execution (start_time -> end_time)
+    kComplete,  ///< the client's promise resolved; label = terminal status
+};
+
+inline constexpr std::size_t kPhaseCount = 7;
+
+[[nodiscard]] const char* phase_name(Phase phase) noexcept;
+
+/// One recorded span. Fixed-size and trivially copyable so recording is a
+/// handful of stores into a preallocated slot — no allocation on the hot
+/// path. The label (model name, device name, outcome) is truncated into an
+/// inline buffer for the same reason.
+struct Span {
+    static constexpr std::size_t kLabelCapacity = 24;
+
+    Phase phase = Phase::kSubmit;
+    std::uint32_t tid = 0;         ///< recorder-assigned thread index
+    std::uint64_t request_id = 0;  ///< Server-assigned correlator (0 = none)
+    double t0 = 0.0;               ///< span start, seconds
+    double t1 = 0.0;               ///< span end; == t0 for instant events
+    char label[kLabelCapacity] = {};
+
+    void set_label(const char* text) noexcept {
+        if (text == nullptr) {
+            label[0] = '\0';
+            return;
+        }
+        std::strncpy(label, text, kLabelCapacity - 1);
+        label[kLabelCapacity - 1] = '\0';
+    }
+
+    [[nodiscard]] bool instant() const noexcept { return t1 <= t0; }
+    [[nodiscard]] double duration_s() const noexcept { return t1 - t0; }
+};
+
+}  // namespace mw::obs

@@ -1,0 +1,125 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mw::obs {
+namespace {
+
+/// The process-wide sink the MW_TRACE_* macros consult.
+std::atomic<TraceRecorder*> g_installed{nullptr};
+
+/// Monotone recorder generation: a fresh TraceRecorder at a recycled address
+/// must not hit a stale thread-local ring cache.
+std::atomic<std::uint64_t> g_next_generation{1};
+
+/// Per-thread cache of "my ring inside the recorder of generation `gen`".
+struct TlsRingCache {
+    std::uint64_t gen = 0;
+    void* ring = nullptr;
+};
+
+thread_local TlsRingCache t_ring_cache;
+
+}  // namespace
+
+const char* phase_name(Phase phase) noexcept {
+    switch (phase) {
+        case Phase::kSubmit: return "submit";
+        case Phase::kAdmit: return "admit";
+        case Phase::kQueue: return "queue";
+        case Phase::kBatch: return "batch";
+        case Phase::kDispatch: return "dispatch";
+        case Phase::kExecute: return "execute";
+        case Phase::kComplete: return "complete";
+    }
+    return "unknown";
+}
+
+TraceRecorder::TraceRecorder(TraceConfig config)
+    : config_(config),
+      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {
+    MW_CHECK(config_.ring_capacity > 0, "ring_capacity must be positive");
+}
+
+TraceRecorder::~TraceRecorder() {
+    TraceRecorder* self = this;
+    g_installed.compare_exchange_strong(self, nullptr, std::memory_order_acq_rel);
+}
+
+void TraceRecorder::install(TraceRecorder* recorder) noexcept {
+    g_installed.store(recorder, std::memory_order_release);
+}
+
+TraceRecorder* TraceRecorder::installed() noexcept {
+    return g_installed.load(std::memory_order_acquire);
+}
+
+TraceRecorder::Ring& TraceRecorder::ring_for_this_thread() noexcept {
+    TlsRingCache& cache = t_ring_cache;
+    if (cache.gen == generation_) return *static_cast<Ring*>(cache.ring);
+    // First record from this thread (or a different recorder since): register
+    // a fresh ring. The only locked path in the recorder.
+    const MutexLock lock(mutex_);
+    auto ring = std::make_unique<Ring>(config_.ring_capacity,
+                                       static_cast<std::uint32_t>(rings_.size() + 1));
+    Ring& ref = *ring;
+    rings_.push_back(std::move(ring));
+    cache.gen = generation_;
+    cache.ring = &ref;
+    return ref;
+}
+
+void TraceRecorder::record(Phase phase, std::uint64_t request_id, double t0, double t1,
+                           const char* label) noexcept {
+    Ring& ring = ring_for_this_thread();
+    // Single writer per ring (the owning thread), so a relaxed read of our own
+    // published count is exact.
+    const std::size_t n = ring.published.load(std::memory_order_relaxed);
+    if (n >= ring.slots.size()) {
+        ring.dropped.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    Span& span = ring.slots[n];
+    span.phase = phase;
+    span.tid = ring.tid;
+    span.request_id = request_id;
+    span.t0 = t0;
+    span.t1 = t1;
+    span.set_label(label);
+    // Publish: slots below `published` are immutable from here on, which is
+    // what lets snapshot() read them without synchronising with writers.
+    ring.published.store(n + 1, std::memory_order_release);
+}
+
+std::vector<Span> TraceRecorder::snapshot() const {
+    std::vector<Span> out;
+    {
+        const MutexLock lock(mutex_);
+        for (const auto& ring : rings_) {
+            const std::size_t n = ring->published.load(std::memory_order_acquire);
+            out.insert(out.end(), ring->slots.begin(),
+                       ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
+        }
+    }
+    std::sort(out.begin(), out.end(),
+              [](const Span& a, const Span& b) { return a.t0 < b.t0; });
+    return out;
+}
+
+std::size_t TraceRecorder::dropped() const {
+    const MutexLock lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& ring : rings_) {
+        total += ring->dropped.load(std::memory_order_relaxed);
+    }
+    return total;
+}
+
+std::size_t TraceRecorder::thread_count() const {
+    const MutexLock lock(mutex_);
+    return rings_.size();
+}
+
+}  // namespace mw::obs

@@ -15,18 +15,27 @@ EnergyCounter::EnergyCounter(const PowerMeter& meter, double period_s)
 double EnergyCounter::integrate(double t0, double t1) const {
     MW_CHECK(t1 >= t0, "integrate: t1 < t0");
     if (t1 == t0) return 0.0;
-    // Trapezoidal rule on the sampling grid, refined so short windows still
-    // get >= 16 intervals.
-    const double span = t1 - t0;
-    const auto steps = static_cast<std::size_t>(
-        std::max<double>(16.0, std::ceil(span / period_s_)));
-    const double dt = span / static_cast<double>(steps);
-    double acc = 0.0;
-    double prev = meter_->read_watts(t0);
-    for (std::size_t i = 1; i <= steps; ++i) {
-        const double t = t0 + static_cast<double>(i) * dt;
-        const double cur = meter_->read_watts(t);
-        acc += 0.5 * (prev + cur) * dt;
+    // Trapezoidal rule on the ABSOLUTE sampling grid (cell k spans
+    // [k*period, (k+1)*period]), not a grid anchored at t0. Anchoring at t0
+    // made the sample points depend on the window, which broke additivity:
+    // integrate(a,b) + integrate(b,c) != integrate(a,c). Here the result is
+    // F(t1) - F(t0) for a fixed antiderivative F (full cells summed plus a
+    // partial-cell trapezoid at each end), so splits telescope exactly: the
+    // partial-cell term at any interior split point cancels term-for-term.
+    const double h = period_s_;
+    // Partial-cell trapezoid from the cell's left grid point up to t.
+    const auto partial = [&](double t, double cell) {
+        const double g = cell * h;
+        return 0.5 * (meter_->read_watts(g) + meter_->read_watts(t)) * (t - g);
+    };
+    const double k0 = std::floor(t0 / h);
+    const double k1 = std::floor(t1 / h);
+    double acc = partial(t1, k1) - partial(t0, k0);
+    if (k0 == k1) return acc;
+    double prev = meter_->read_watts(k0 * h);
+    for (double k = k0; k < k1; k += 1.0) {
+        const double cur = meter_->read_watts((k + 1.0) * h);
+        acc += 0.5 * (prev + cur) * h;
         prev = cur;
     }
     return acc;

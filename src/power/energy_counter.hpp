@@ -11,7 +11,10 @@ public:
     /// `period_s`: sampling interval (nvidia-smi-style polling).
     EnergyCounter(const PowerMeter& meter, double period_s);
 
-    /// Integrate the meter over [t0, t1]; returns Joules.
+    /// Integrate the meter over [t0, t1]; returns Joules. Samples lie on the
+    /// absolute grid k*period_s (not anchored at t0), which makes the
+    /// integral additive: integrate(a,b) + integrate(b,c) == integrate(a,c)
+    /// up to FP rounding, for any split point b.
     [[nodiscard]] double integrate(double t0, double t1) const;
 
     /// Joules consumed above a baseline power level over [t0, t1] — the

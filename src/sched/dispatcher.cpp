@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "nn/model_builder.hpp"
+#include "obs/trace.hpp"
 #include "nn/serialize.hpp"
 #include "nn/weights.hpp"
 
@@ -97,7 +98,13 @@ device::InferenceResult Dispatcher::run_on(const std::string& device_name,
                                            const std::string& model_name, const Tensor& input,
                                            double sim_time,
                                            const device::SubmitOptions& options) {
-    return registry_->at(device_name).run(model_name, input, sim_time, options);
+    device::InferenceResult result =
+        registry_->at(device_name).run(model_name, input, sim_time, options);
+    // Dispatch span: decision time until the device actually started (the gap
+    // is the simulated device-queue wait).
+    MW_TRACE_SPAN(obs::Phase::kDispatch, options.trace_id, sim_time,
+                  result.measurement.start_time, device_name.c_str());
+    return result;
 }
 
 }  // namespace mw::sched

@@ -1,15 +1,19 @@
 #include "serve/admission.hpp"
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace mw::serve {
 
 AdmissionController::AdmissionController(AdmissionConfig config, RequestQueue& queue,
                                          ServerStats& stats)
-    : config_(config), queue_(&queue), stats_(&stats) {
+    : config_(std::move(config)), queue_(&queue), stats_(&stats) {
     MW_CHECK(config_.ewma_alpha > 0.0 && config_.ewma_alpha <= 1.0,
              "ewma_alpha must be in (0,1]");
     MW_CHECK(config_.default_slo_s >= 0.0, "default_slo_s must be non-negative");
+    MW_CHECK(config_.cold_execute_prior_s > 0.0,
+             "cold_execute_prior_s must be positive (an unseen model is unknown, "
+             "not free)");
 }
 
 bool AdmissionController::admit(Request&& request, double now) {
@@ -21,12 +25,15 @@ bool AdmissionController::admit(Request&& request, double now) {
         deadline_unmeetable(request, now)) {
         // Hopeless on arrival: the execute estimate alone exceeds the SLO.
         stats_->on_shed(request.policy);
+        MW_TRACE_INSTANT(obs::Phase::kAdmit, request.id, now, "shed-deadline");
+        MW_TRACE_INSTANT(obs::Phase::kComplete, request.id, now, "shed-deadline");
         request.complete(make_status_response(RequestStatus::kShedDeadline));
         return false;
     }
 
     if (queue_->try_push(request)) {
         stats_->on_admitted(request.policy);
+        MW_TRACE_INSTANT(obs::Phase::kAdmit, request.id, now, "admitted");
         return true;
     }
 
@@ -37,10 +44,12 @@ bool AdmissionController::admit(Request&& request, double now) {
         case BackpressurePolicy::kRejectOldest: {
             if (std::optional<Request> victim = queue_->evict_oldest()) {
                 stats_->on_evicted(victim->policy);
+                MW_TRACE_INSTANT(obs::Phase::kComplete, victim->id, now, "evicted");
                 victim->complete(make_status_response(RequestStatus::kEvicted));
             }
             if (queue_->try_push(request)) {
                 stats_->on_admitted(request.policy);
+                MW_TRACE_INSTANT(obs::Phase::kAdmit, request.id, now, "admitted");
                 return true;
             }
             break;  // closed, or lost the race for the freed slot
@@ -51,10 +60,12 @@ bool AdmissionController::admit(Request&& request, double now) {
                 [&](const Request& r) { return deadline_unmeetable(r, now); });
             for (Request& r : doomed) {
                 stats_->on_shed(r.policy);
+                MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, now, "shed-deadline");
                 r.complete(make_status_response(RequestStatus::kShedDeadline));
             }
             if (queue_->try_push(request)) {
                 stats_->on_admitted(request.policy);
+                MW_TRACE_INSTANT(obs::Phase::kAdmit, request.id, now, "admitted");
                 return true;
             }
             break;  // nothing sheddable: every queued request is still viable
@@ -62,6 +73,8 @@ bool AdmissionController::admit(Request&& request, double now) {
     }
 
     stats_->on_rejected_full(request.policy);
+    MW_TRACE_INSTANT(obs::Phase::kAdmit, request.id, now, "rejected-full");
+    MW_TRACE_INSTANT(obs::Phase::kComplete, request.id, now, "rejected-full");
     request.complete(make_status_response(RequestStatus::kRejectedFull));
     return false;
 }
@@ -74,9 +87,21 @@ void AdmissionController::observe_execute(const std::string& model_name,
 }
 
 double AdmissionController::estimated_execute_s(const std::string& model_name) const {
-    const MutexLock lock(mutex_);
-    const auto it = execute_ewma_.find(model_name);
-    return it == execute_ewma_.end() || it->second.empty() ? 0.0 : it->second.value();
+    {
+        const MutexLock lock(mutex_);
+        const auto it = execute_ewma_.find(model_name);
+        if (it != execute_ewma_.end() && !it->second.empty()) {
+            return it->second.value();
+        }
+    }
+    // Cold model: unknown, not free. Returning 0 here made kDeadlineShed blind
+    // to cold models — no request could ever be hopeless on arrival until the
+    // EWMA warmed up. The predictor hook runs outside the EWMA lock.
+    if (config_.cold_prior_fn) {
+        const double prior = config_.cold_prior_fn(model_name);
+        if (prior > 0.0) return prior;
+    }
+    return config_.cold_execute_prior_s;
 }
 
 bool AdmissionController::deadline_unmeetable(const Request& request, double now) const {

@@ -13,6 +13,7 @@
 // expensive each model is.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <string>
 
@@ -40,6 +41,17 @@ struct AdmissionConfig {
     double default_slo_s = 0.0;
     /// Smoothing of the per-model execute-latency estimator.
     double ewma_alpha = 0.2;
+    /// Execute-latency estimate for models with no EWMA samples yet. An
+    /// unseen model is *unknown*, not free: with a 0 estimate kDeadlineShed
+    /// could never shed a cold model's requests, so "hopeless on arrival"
+    /// was a no-op until the EWMA warmed. Must be positive.
+    double cold_execute_prior_s = 1e-3;
+    /// Optional predictor hook consulted before the static prior (wire it to
+    /// the scheduler's latency predictor for per-model cold estimates).
+    /// Return <= 0 to fall through to cold_execute_prior_s. Must be
+    /// thread-safe; may run with the queue lock held (rank kServeQueue), so
+    /// it must not acquire locks ranked at or below kServeQueue.
+    std::function<double(const std::string& model_name)> cold_prior_fn;
 };
 
 /// Thread safety: all members may be called concurrently.
@@ -56,7 +68,9 @@ public:
     /// Feed an observed execute latency into the per-model estimator.
     void observe_execute(const std::string& model_name, double execute_s);
 
-    /// Current execute-latency estimate for a model; 0 until first observed.
+    /// Current execute-latency estimate for a model. A model with no
+    /// observations yet reports the cold-start prior (cold_prior_fn when set
+    /// and positive, else cold_execute_prior_s), never 0.
     [[nodiscard]] double estimated_execute_s(const std::string& model_name) const;
 
     /// True when `request` can no longer meet its SLO at time `now` (no SLO

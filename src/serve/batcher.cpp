@@ -4,6 +4,7 @@
 
 #include "common/error.hpp"
 #include "common/timer.hpp"
+#include "obs/trace.hpp"
 
 namespace mw::serve {
 namespace {
@@ -30,11 +31,18 @@ BatchAggregator::BatchAggregator(BatchConfig config, RequestQueue& queue,
 std::optional<PendingBatch> BatchAggregator::next(double pop_timeout_s) {
     std::optional<Request> leader = queue_->pop(pop_timeout_s);
     if (!leader) return std::nullopt;
+#if defined(MW_OBS_ENABLED)
+    const double popped_at = clock_->now();
+#endif
 
     PendingBatch batch;
     batch.total_samples = leader->samples;
     batch.requests.push_back(std::move(*leader));
-    if (!config_.enabled || config_.max_requests <= 1) return batch;
+    if (!config_.enabled || config_.max_requests <= 1) {
+        MW_TRACE_INSTANT(obs::Phase::kBatch, batch.requests.front().id, popped_at,
+                         "batching-off");
+        return batch;
+    }
 
     const double deadline = clock_->now() + config_.max_wait_s;
     while (batch.requests.size() < config_.max_requests &&
@@ -60,6 +68,10 @@ std::optional<PendingBatch> BatchAggregator::next(double pop_timeout_s) {
         if (!queue_->empty()) break;
         sleep_for_seconds(std::min(remaining, kMaxWaitSliceS));
     }
+    // Aggregation window: leader popped -> batch sealed, tagged with the
+    // leader's id (followers share the batch).
+    MW_TRACE_SPAN(obs::Phase::kBatch, batch.requests.front().id, popped_at,
+                  clock_->now(), batch.model_name().c_str());
     return batch;
 }
 

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "obs/trace.hpp"
 
 namespace mw::serve {
 namespace {
@@ -80,6 +81,7 @@ void Server::stop() {
     // Anything still queued (stop without drain, or never started).
     for (Request& r : queue_.drain()) {
         stats_.on_shutdown(r.policy);
+        MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, clock_->now(), "shutdown");
         r.complete(make_status_response(RequestStatus::kShutdown));
     }
     pool_.reset();
@@ -105,10 +107,14 @@ std::future<Response> Server::submit(InferenceRequest request) {
     if (stopped_.load(std::memory_order_acquire)) {
         stats_.on_submitted(r.policy);
         stats_.on_shutdown(r.policy);
+        MW_TRACE_INSTANT(obs::Phase::kSubmit, r.id, clock_->now(), r.model_name.c_str());
+        MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, clock_->now(), "shutdown");
         r.complete(make_status_response(RequestStatus::kShutdown));
         return future;
     }
-    admission_.admit(std::move(r), clock_->now());
+    const double now = clock_->now();
+    MW_TRACE_INSTANT(obs::Phase::kSubmit, r.id, now, r.model_name.c_str());
+    admission_.admit(std::move(r), now);
     return future;
 }
 
@@ -147,6 +153,7 @@ void Server::execute_batch(PendingBatch batch) {
         if (admission_.config().policy == BackpressurePolicy::kDeadlineShed &&
             admission_.deadline_unmeetable(r, dispatch_now)) {
             stats_.on_shed(r.policy);
+            MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, dispatch_now, "shed-deadline");
             r.complete(make_status_response(RequestStatus::kShedDeadline));
         } else {
             total_samples += r.samples;
@@ -156,6 +163,14 @@ void Server::execute_batch(PendingBatch batch) {
     if (live.empty()) return;
     batch.requests = std::move(live);
     batch.total_samples = total_samples;
+#if defined(MW_OBS_ENABLED)
+    // Queue-wait span per request: admission -> the moment a worker picked
+    // the batch up for dispatch.
+    for (const Request& r : batch.requests) {
+        MW_TRACE_SPAN(obs::Phase::kQueue, r.id, r.arrival_s, dispatch_now,
+                      r.model_name.c_str());
+    }
+#endif
 
     const sched::ScheduleRequest schedule_request{batch.model_name(),
                                                  batch.total_samples, batch.policy()};
@@ -169,11 +184,14 @@ void Server::execute_batch(PendingBatch batch) {
         const Tensor input = batch.requests.size() == 1
                                  ? std::move(batch.requests.front().payload)
                                  : coalesce_payloads(batch);
+        device::SubmitOptions submit_options;
+        submit_options.trace_id = batch.requests.front().id;
         result = dispatcher_->run_on(decision.device_name, batch.model_name(), input,
-                                     dispatch_now);
+                                     dispatch_now, submit_options);
     } catch (const std::exception& e) {
         for (Request& r : batch.requests) {
             stats_.on_failed(r.policy);
+            MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, dispatch_now, "failed");
             r.complete(make_status_response(RequestStatus::kFailed, e.what()));
         }
         return;
@@ -204,6 +222,8 @@ void Server::execute_batch(PendingBatch batch) {
         stats_.on_completed(r.policy, response.queue_s, execute_s, r.samples,
                             result.measurement.bytes_in * share,
                             result.measurement.energy_j * share, coalesced);
+        MW_TRACE_INSTANT(obs::Phase::kComplete, r.id, result.measurement.end_time,
+                         "completed");
         row += r.samples;
         r.complete(std::move(response));
     }

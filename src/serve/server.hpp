@@ -81,6 +81,11 @@ public:
     /// Counters + percentiles + queue gauges, readable while serving.
     [[nodiscard]] ServerSnapshot stats() const;
 
+    /// Every serving series by name, for the obs exporters (Prometheus/CSV).
+    [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+        return stats_.registry();
+    }
+
 private:
     void worker_loop();
     void execute_batch(PendingBatch batch);

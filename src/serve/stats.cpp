@@ -1,36 +1,14 @@
 #include "serve/stats.hpp"
 
-#include <algorithm>
-#include <cmath>
-
 namespace mw::serve {
+namespace {
 
-void LatencyHistogram::add(double seconds) {
-    const double clamped = std::max(seconds, kMinS);
-    const double decades = std::log10(clamped / kMinS);
-    const auto raw = static_cast<std::size_t>(decades * kBucketsPerDecade);
-    ++buckets_[std::min(raw, kBuckets - 1)];
-    ++count_;
+std::string series_name(const char* metric, sched::Policy policy) {
+    return std::string("mw_serve_") + metric + "{policy=\"" +
+           sched::policy_name(policy) + "\"}";
 }
 
-double LatencyHistogram::percentile(double p) const {
-    if (count_ == 0) return 0.0;
-    const double clamped_p = std::clamp(p, 0.0, 100.0);
-    const auto rank = static_cast<std::uint64_t>(
-        std::ceil(clamped_p / 100.0 * static_cast<double>(count_)));
-    const std::uint64_t target = std::max<std::uint64_t>(rank, 1);
-    std::uint64_t cumulative = 0;
-    for (std::size_t i = 0; i < kBuckets; ++i) {
-        cumulative += buckets_[i];
-        if (cumulative >= target) {
-            // Geometric midpoint of the bucket.
-            const double exponent =
-                (static_cast<double>(i) + 0.5) / kBucketsPerDecade;
-            return kMinS * std::pow(10.0, exponent);
-        }
-    }
-    return kMinS * std::pow(10.0, static_cast<double>(kDecades));
-}
+}  // namespace
 
 PolicyCounters ServerSnapshot::totals() const {
     PolicyCounters t;
@@ -53,78 +31,106 @@ PolicyCounters ServerSnapshot::totals() const {
     return t;
 }
 
+ServerStats::ServerStats() {
+    for (std::size_t i = 0; i < kPolicyLanes; ++i) {
+        const auto policy = static_cast<sched::Policy>(i);
+        Lane& lane = lanes_[i];
+        lane.submitted = &registry_.counter(series_name("submitted_total", policy));
+        lane.admitted = &registry_.counter(series_name("admitted_total", policy));
+        lane.rejected_full =
+            &registry_.counter(series_name("rejected_full_total", policy));
+        lane.evicted = &registry_.counter(series_name("evicted_total", policy));
+        lane.shed = &registry_.counter(series_name("shed_total", policy));
+        lane.completed = &registry_.counter(series_name("completed_total", policy));
+        lane.failed = &registry_.counter(series_name("failed_total", policy));
+        lane.shutdown = &registry_.counter(series_name("shutdown_total", policy));
+        lane.batches_executed =
+            &registry_.counter(series_name("batches_executed_total", policy));
+        lane.coalesced_requests =
+            &registry_.counter(series_name("coalesced_requests_total", policy));
+        lane.samples = &registry_.gauge(series_name("samples", policy));
+        lane.bytes_in = &registry_.gauge(series_name("bytes_in", policy));
+        lane.energy_j = &registry_.gauge(series_name("energy_joules", policy));
+        lane.queue_hist = &registry_.histogram(series_name("queue_seconds", policy));
+        lane.execute_hist =
+            &registry_.histogram(series_name("execute_seconds", policy));
+    }
+}
+
 void ServerStats::on_submitted(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.submitted;
+    lanes_[lane_of(policy)].submitted->inc();
 }
 
 void ServerStats::on_admitted(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.admitted;
+    lanes_[lane_of(policy)].admitted->inc();
 }
 
 void ServerStats::on_rejected_full(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.rejected_full;
+    lanes_[lane_of(policy)].rejected_full->inc();
 }
 
 void ServerStats::on_evicted(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.evicted;
+    lanes_[lane_of(policy)].evicted->inc();
 }
 
 void ServerStats::on_shed(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.shed;
+    lanes_[lane_of(policy)].shed->inc();
 }
 
 void ServerStats::on_shutdown(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.shutdown;
+    lanes_[lane_of(policy)].shutdown->inc();
 }
 
 void ServerStats::on_failed(sched::Policy policy) {
-    const MutexLock lock(mutex_);
-    ++per_policy_[lane_of(policy)].counters.failed;
+    lanes_[lane_of(policy)].failed->inc();
 }
 
 void ServerStats::on_batch_executed(sched::Policy policy,
                                     std::size_t coalesced_requests) {
-    const MutexLock lock(mutex_);
-    auto& c = per_policy_[lane_of(policy)].counters;
-    ++c.batches_executed;
-    c.coalesced_requests += coalesced_requests;
+    Lane& lane = lanes_[lane_of(policy)];
+    lane.batches_executed->inc();
+    lane.coalesced_requests->inc(coalesced_requests);
 }
 
 void ServerStats::on_completed(sched::Policy policy, double queue_s, double execute_s,
                                std::size_t samples, double bytes_in, double energy_j,
                                std::size_t coalesced) {
-    const MutexLock lock(mutex_);
-    auto& pp = per_policy_[lane_of(policy)];
-    ++pp.counters.completed;
-    pp.counters.samples += static_cast<double>(samples);
-    pp.counters.bytes_in += bytes_in;
-    pp.counters.energy_j += energy_j;
-    pp.queue_hist.add(queue_s);
+    Lane& lane = lanes_[lane_of(policy)];
+    lane.completed->inc();
+    lane.samples->add(static_cast<double>(samples));
+    lane.bytes_in->add(bytes_in);
+    lane.energy_j->add(energy_j);
+    lane.queue_hist->add(queue_s);
     // One histogram entry per request, so tail percentiles reflect what
     // clients saw (a slow coalesced batch hurts every member).
-    pp.execute_hist.add(execute_s);
+    lane.execute_hist->add(execute_s);
     (void)coalesced;
 }
 
 ServerSnapshot ServerStats::snapshot() const {
-    const MutexLock lock(mutex_);
     ServerSnapshot snap;
     for (std::size_t i = 0; i < kPolicyLanes; ++i) {
-        const PerPolicy& pp = per_policy_[i];
+        const Lane& lane = lanes_[i];
         PolicySnapshot& out = snap.policy[i];
-        out.counters = pp.counters;
-        out.queue_p50_s = pp.queue_hist.percentile(50.0);
-        out.queue_p95_s = pp.queue_hist.percentile(95.0);
-        out.queue_p99_s = pp.queue_hist.percentile(99.0);
-        out.execute_p50_s = pp.execute_hist.percentile(50.0);
-        out.execute_p95_s = pp.execute_hist.percentile(95.0);
-        out.execute_p99_s = pp.execute_hist.percentile(99.0);
+        out.counters.submitted = lane.submitted->value();
+        out.counters.admitted = lane.admitted->value();
+        out.counters.rejected_full = lane.rejected_full->value();
+        out.counters.evicted = lane.evicted->value();
+        out.counters.shed = lane.shed->value();
+        out.counters.completed = lane.completed->value();
+        out.counters.failed = lane.failed->value();
+        out.counters.shutdown = lane.shutdown->value();
+        out.counters.batches_executed = lane.batches_executed->value();
+        out.counters.coalesced_requests = lane.coalesced_requests->value();
+        out.counters.samples = lane.samples->value();
+        out.counters.bytes_in = lane.bytes_in->value();
+        out.counters.energy_j = lane.energy_j->value();
+        out.queue_p50_s = lane.queue_hist->percentile(50.0);
+        out.queue_p95_s = lane.queue_hist->percentile(95.0);
+        out.queue_p99_s = lane.queue_hist->percentile(99.0);
+        out.execute_p50_s = lane.execute_hist->percentile(50.0);
+        out.execute_p95_s = lane.execute_hist->percentile(95.0);
+        out.execute_p99_s = lane.execute_hist->percentile(99.0);
     }
     return snap;
 }

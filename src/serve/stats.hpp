@@ -1,7 +1,15 @@
-// ServerStats: the serving layer's observability surface. Per-policy latency
+// ServerStats: the serving layer's metrics surface. Per-policy latency
 // histograms (queue wait and execute), admitted/rejected/shed/completed
 // counters, and queue-depth gauges, all snapshotable while the server runs —
 // benches and the demo read sustained QPS and tail latency from here.
+//
+// Every series is registered in an obs::MetricsRegistry (one catalogue, one
+// export surface: Prometheus text / CSV via obs/export.hpp); the on_* hot
+// path updates cached references with single relaxed atomic RMWs — no lock.
+// Cross-counter invariants (submitted == admitted + rejected + shed, ...)
+// are exact once the server has stopped; a snapshot taken mid-flight may see
+// a request between two counters, exactly as under the former per-call
+// mutex.
 #pragma once
 
 #include <array>
@@ -9,34 +17,16 @@
 #include <cstdint>
 #include <string>
 
-#include "common/sync.hpp"
-
+#include "obs/metrics.hpp"
 #include "sched/policy.hpp"
 #include "serve/request.hpp"
 
 namespace mw::serve {
 
-/// Fixed log-spaced latency histogram: 1 us .. 1000 s, 20 buckets/decade.
-/// Cheap enough to update on every completion; percentiles interpolate
-/// inside the winning bucket (max relative error ~12%, one bucket width).
-class LatencyHistogram {
-public:
-    void add(double seconds);
-
-    [[nodiscard]] std::size_t count() const { return count_; }
-
-    /// p in [0, 100]; 0 when empty.
-    [[nodiscard]] double percentile(double p) const;
-
-private:
-    static constexpr double kMinS = 1e-6;
-    static constexpr std::size_t kBucketsPerDecade = 20;
-    static constexpr std::size_t kDecades = 9;
-    static constexpr std::size_t kBuckets = kBucketsPerDecade * kDecades;
-
-    std::array<std::uint64_t, kBuckets> buckets_{};
-    std::size_t count_ = 0;
-};
+/// Fixed log-spaced latency histogram (1 us .. 1000 s, 20 buckets/decade),
+/// shared with the rest of the system through obs. percentile() returns NaN
+/// when empty — renderers print a dash (format_duration does this).
+using LatencyHistogram = obs::LogHistogram;
 
 /// Monotonic per-policy counters. Invariant once the server has stopped:
 /// submitted == admitted + rejected_full + shed (at admission), and
@@ -59,6 +49,7 @@ struct PolicyCounters {
 };
 
 /// One policy's counters plus histogram percentiles and queue gauge.
+/// Percentiles are NaN when that lane has no completions yet.
 struct PolicySnapshot {
     PolicyCounters counters;
     double queue_p50_s = 0.0, queue_p95_s = 0.0, queue_p99_s = 0.0;
@@ -77,10 +68,12 @@ struct ServerSnapshot {
     [[nodiscard]] PolicyCounters totals() const;
 };
 
-/// Thread safety: all members may be called concurrently (one mutex; every
-/// operation is a handful of integer updates).
+/// Thread safety: all members may be called concurrently; every on_* is a
+/// handful of relaxed atomic updates on registry-owned series.
 class ServerStats {
 public:
+    ServerStats();
+
     void on_submitted(sched::Policy policy);
     void on_admitted(sched::Policy policy);
     void on_rejected_full(sched::Policy policy);
@@ -93,19 +86,36 @@ public:
                       std::size_t samples, double bytes_in, double energy_j,
                       std::size_t coalesced);
 
-    /// Consistent snapshot of counters + percentiles. Queue-depth gauges are
-    /// filled in by the Server, which owns the queue.
+    /// Counters + percentiles. Queue-depth gauges are filled in by the
+    /// Server, which owns the queue.
     [[nodiscard]] ServerSnapshot snapshot() const;
 
+    /// The registry behind every serving series, for the exporters.
+    [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
+
 private:
-    struct PerPolicy {
-        PolicyCounters counters;
-        LatencyHistogram queue_hist;
-        LatencyHistogram execute_hist;
+    /// Cached registry references for one policy lane: the hot path never
+    /// does a name lookup.
+    struct Lane {
+        obs::Counter* submitted;
+        obs::Counter* admitted;
+        obs::Counter* rejected_full;
+        obs::Counter* evicted;
+        obs::Counter* shed;
+        obs::Counter* completed;
+        obs::Counter* failed;
+        obs::Counter* shutdown;
+        obs::Counter* batches_executed;
+        obs::Counter* coalesced_requests;
+        obs::Gauge* samples;
+        obs::Gauge* bytes_in;
+        obs::Gauge* energy_j;
+        obs::LogHistogram* queue_hist;
+        obs::LogHistogram* execute_hist;
     };
 
-    mutable Mutex mutex_{LockRank::kStats};
-    std::array<PerPolicy, kPolicyLanes> per_policy_ MW_GUARDED_BY(mutex_);
+    obs::MetricsRegistry registry_;
+    std::array<Lane, kPolicyLanes> lanes_;
 };
 
 }  // namespace mw::serve

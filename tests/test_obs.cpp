@@ -1,0 +1,410 @@
+// mw::obs suite: TraceRecorder ring semantics (publish, drop-newest,
+// concurrent record vs snapshot — TSan coverage under the `tsan` preset),
+// MetricsRegistry registration rules, LogHistogram percentiles, the three
+// exporters, and the end-to-end serving hook test: every request-path phase
+// present in a Chrome trace, correlated by request id.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/zoo.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_dataset.hpp"
+#include "serve/server.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+
+using namespace mw;
+using namespace mw::obs;
+
+// ---------------------------------------------------------------------------
+// TraceRecorder
+// ---------------------------------------------------------------------------
+
+TEST(TraceRecorder, RecordsAndSnapshotsSortedByStart) {
+    TraceRecorder recorder({.ring_capacity = 16});
+    recorder.record(Phase::kExecute, 7, 2.0, 3.0, "gpu");
+    recorder.record(Phase::kSubmit, 7, 1.0, 1.0, "model-a");
+    recorder.record(Phase::kComplete, 7, 3.5, 3.5, "completed");
+
+    const std::vector<Span> spans = recorder.snapshot();
+    ASSERT_EQ(spans.size(), 3U);
+    EXPECT_EQ(spans[0].phase, Phase::kSubmit);
+    EXPECT_EQ(spans[1].phase, Phase::kExecute);
+    EXPECT_EQ(spans[2].phase, Phase::kComplete);
+    EXPECT_TRUE(spans[0].instant());
+    EXPECT_FALSE(spans[1].instant());
+    EXPECT_DOUBLE_EQ(spans[1].duration_s(), 1.0);
+    for (const Span& s : spans) EXPECT_EQ(s.request_id, 7U);
+    EXPECT_STREQ(spans[1].label, "gpu");
+    EXPECT_EQ(recorder.dropped(), 0U);
+    EXPECT_EQ(recorder.thread_count(), 1U);
+}
+
+TEST(TraceRecorder, LongLabelsAreTruncatedNotOverflowed) {
+    TraceRecorder recorder;
+    const std::string longer(100, 'x');
+    recorder.record(Phase::kBatch, 1, 0.0, 1.0, longer.c_str());
+    recorder.record(Phase::kBatch, 2, 0.0, 1.0, nullptr);
+    const auto spans = recorder.snapshot();
+    ASSERT_EQ(spans.size(), 2U);
+    EXPECT_EQ(std::strlen(spans[0].label), Span::kLabelCapacity - 1);
+    EXPECT_EQ(std::strlen(spans[1].label), 0U);
+}
+
+TEST(TraceRecorder, FullRingDropsNewestAndCounts) {
+    TraceRecorder recorder({.ring_capacity = 4});
+    for (std::uint64_t i = 0; i < 10; ++i) {
+        recorder.record(Phase::kQueue, i, static_cast<double>(i),
+                        static_cast<double>(i) + 0.5, "q");
+    }
+    const auto spans = recorder.snapshot();
+    ASSERT_EQ(spans.size(), 4U);
+    // Drop-newest: the first records survive (published slots are immutable).
+    for (std::uint64_t i = 0; i < 4; ++i) EXPECT_EQ(spans[i].request_id, i);
+    EXPECT_EQ(recorder.dropped(), 6U);
+}
+
+TEST(TraceRecorder, InstallRoutesMacroHelpersAndUninstallsOnDestruction) {
+    EXPECT_EQ(TraceRecorder::installed(), nullptr);
+    // No recorder installed: helper is a no-op, not a crash.
+    trace_span(Phase::kSubmit, 1, 0.0, 0.0, "nobody-listening");
+    {
+        TraceRecorder recorder;
+        TraceRecorder::install(&recorder);
+        EXPECT_EQ(TraceRecorder::installed(), &recorder);
+        trace_instant(Phase::kSubmit, 42, 1.25, "via-helper");
+        const auto spans = recorder.snapshot();
+        ASSERT_EQ(spans.size(), 1U);
+        EXPECT_EQ(spans[0].request_id, 42U);
+    }
+    // Destruction uninstalled the recorder.
+    EXPECT_EQ(TraceRecorder::installed(), nullptr);
+}
+
+TEST(TraceRecorder, ConcurrentRecordersGetPrivateRings) {
+    TraceRecorder recorder({.ring_capacity = 4096});
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&recorder, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                recorder.record(Phase::kExecute,
+                                static_cast<std::uint64_t>(t * kPerThread + i),
+                                static_cast<double>(i), static_cast<double>(i) + 1.0,
+                                "worker");
+            }
+        });
+    }
+    // Concurrent snapshots must be safe (and see only fully-written spans).
+    for (int i = 0; i < 50; ++i) {
+        for (const Span& s : recorder.snapshot()) {
+            ASSERT_DOUBLE_EQ(s.duration_s(), 1.0);
+            ASSERT_STREQ(s.label, "worker");
+        }
+    }
+    for (auto& t : threads) t.join();
+
+    const auto spans = recorder.snapshot();
+    EXPECT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kPerThread));
+    EXPECT_EQ(recorder.dropped(), 0U);
+    EXPECT_EQ(recorder.thread_count(), static_cast<std::size_t>(kThreads));
+    std::set<std::uint64_t> ids;
+    for (const Span& s : spans) ids.insert(s.request_id);
+    EXPECT_EQ(ids.size(), spans.size()) << "every record preserved exactly once";
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CreateOrGetReturnsStableReferences) {
+    MetricsRegistry registry;
+    Counter& a = registry.counter("requests_total");
+    Counter& b = registry.counter("requests_total");
+    EXPECT_EQ(&a, &b);
+    a.inc(3);
+    b.inc();
+    EXPECT_EQ(a.value(), 4U);
+    EXPECT_EQ(registry.size(), 1U);
+}
+
+TEST(MetricsRegistry, KindMismatchThrows) {
+    MetricsRegistry registry;
+    registry.counter("latency");
+    EXPECT_THROW(registry.gauge("latency"), InvalidArgument);
+    EXPECT_THROW(registry.histogram("latency"), InvalidArgument);
+    EXPECT_THROW(registry.counter(""), InvalidArgument);
+}
+
+TEST(MetricsRegistry, SeriesAreSortedByName) {
+    MetricsRegistry registry;
+    registry.gauge("zeta");
+    registry.counter("alpha");
+    registry.histogram("mid");
+    const auto series = registry.series();
+    ASSERT_EQ(series.size(), 3U);
+    EXPECT_EQ(series[0].name, "alpha");
+    EXPECT_EQ(series[0].kind, MetricKind::kCounter);
+    EXPECT_EQ(series[1].name, "mid");
+    EXPECT_EQ(series[1].kind, MetricKind::kHistogram);
+    EXPECT_EQ(series[2].name, "zeta");
+    EXPECT_EQ(series[2].kind, MetricKind::kGauge);
+}
+
+TEST(MetricsRegistry, ConcurrentUpdatesAreLossless) {
+    MetricsRegistry registry;
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 10000;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&registry] {
+            Counter& c = registry.counter("hits");
+            Gauge& g = registry.gauge("load");
+            LogHistogram& h = registry.histogram("lat");
+            for (int i = 0; i < kPerThread; ++i) {
+                c.inc();
+                g.add(0.5);
+                h.add(1e-3);
+            }
+        });
+    }
+    for (auto& t : threads) t.join();
+    const auto total = static_cast<std::uint64_t>(kThreads) * kPerThread;
+    EXPECT_EQ(registry.counter("hits").value(), total);
+    EXPECT_NEAR(registry.gauge("load").value(), 0.5 * static_cast<double>(total),
+                1e-6);
+    EXPECT_EQ(registry.histogram("lat").count(), total);
+}
+
+TEST(LogHistogram, EmptyIsNaNAndAddsAreBucketed) {
+    LogHistogram hist;
+    EXPECT_TRUE(std::isnan(hist.percentile(50.0)));
+    hist.add(2e-3);
+    EXPECT_EQ(hist.count(), 1U);
+    // One sample: every percentile reports its bucket's midpoint, within one
+    // bucket width (x10^(1/20) ~ 1.122) of the sample.
+    const double factor = std::pow(10.0, 1.0 / 20.0);
+    for (double p : {0.0, 50.0, 100.0}) {
+        const double est = hist.percentile(p);
+        EXPECT_LE(est, 2e-3 * factor);
+        EXPECT_GE(est * factor, 2e-3);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+// ---------------------------------------------------------------------------
+
+TEST(Exporters, ChromeTraceShapesSpansAndInstants) {
+    TraceRecorder recorder;
+    recorder.record(Phase::kQueue, 11, 0.001, 0.003, "model-a");
+    recorder.record(Phase::kAdmit, 11, 0.001, 0.001, "admitted");
+    std::ostringstream out;
+    write_chrome_trace(out, recorder);
+    const std::string json = out.str();
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos) << "complete event";
+    EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos) << "instant event";
+    EXPECT_NE(json.find("\"request_id\":11"), std::string::npos);
+    EXPECT_NE(json.find("queue"), std::string::npos);
+    EXPECT_NE(json.find("admitted"), std::string::npos);
+    // ts is microseconds: 0.001 s -> 1000 us.
+    EXPECT_NE(json.find("\"ts\":1000"), std::string::npos);
+}
+
+TEST(Exporters, PrometheusAndCsvCoverEveryKind) {
+    MetricsRegistry registry;
+    registry.counter("mw_requests_total").inc(5);
+    registry.gauge("mw_inflight").set(2.5);
+    LogHistogram& h = registry.histogram("mw_latency_seconds");
+    for (int i = 0; i < 100; ++i) h.add(1e-3);
+
+    std::ostringstream prom;
+    write_prometheus(prom, registry);
+    const std::string text = prom.str();
+    EXPECT_NE(text.find("# TYPE mw_requests_total counter"), std::string::npos);
+    EXPECT_NE(text.find("mw_requests_total 5"), std::string::npos);
+    EXPECT_NE(text.find("mw_inflight 2.5"), std::string::npos);
+    EXPECT_NE(text.find("mw_latency_seconds_count 100"), std::string::npos);
+    EXPECT_NE(text.find("quantile=\"0.99\""), std::string::npos);
+
+    std::ostringstream csv;
+    write_csv(csv, registry);
+    const std::string table = csv.str();
+    EXPECT_NE(table.find("name,kind,value,count,p50_s,p95_s,p99_s"),
+              std::string::npos);
+    EXPECT_NE(table.find("\"mw_requests_total\",counter,5"), std::string::npos);
+    EXPECT_NE(table.find("\"mw_latency_seconds\",histogram"), std::string::npos);
+}
+
+TEST(Exporters, EmptyHistogramExportsWithoutNaNLiterals) {
+    MetricsRegistry registry;
+    registry.histogram("mw_empty_seconds");
+    std::ostringstream prom;
+    write_prometheus(prom, registry);
+    EXPECT_EQ(prom.str().find("nan"), std::string::npos)
+        << "Prometheus text must not contain NaN literals";
+    std::ostringstream csv;
+    write_csv(csv, registry);
+    EXPECT_NE(csv.str().find("mw_empty_seconds"), std::string::npos);
+}
+
+#if defined(MW_OBS_ENABLED)
+
+// ---------------------------------------------------------------------------
+// End-to-end: the Server's hooks emit every phase, correlated by request id.
+// ---------------------------------------------------------------------------
+
+struct ServeWorld {
+    device::DeviceRegistry registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher{registry};
+    std::optional<sched::OnlineScheduler> scheduler;
+    ManualClock clock;
+
+    ServeWorld() {
+        dispatcher.register_model(nn::zoo::simple(), 7);
+        dispatcher.deploy_all();
+        const auto dataset = sched::build_scheduler_dataset(
+            registry, {nn::zoo::simple()}, {.batches = {1, 4, 16}});
+        sched::DevicePredictor predictor(
+            std::make_unique<ml::RandomForest>(
+                ml::ForestConfig{.n_estimators = 8, .seed = 3}),
+            dataset.device_names);
+        predictor.fit(dataset);
+        scheduler.emplace(dispatcher, std::move(predictor), dataset,
+                          sched::SchedulerConfig{.explore_probability = 0.0});
+        for (device::Device* dev : registry.devices()) dev->reset_timeline();
+    }
+};
+
+TEST(ServerTracing, EveryPhasePresentAndCorrelatedByRequestId) {
+    ServeWorld world;
+    TraceRecorder recorder;
+    TraceRecorder::install(&recorder);
+
+    std::vector<std::uint64_t> completed_ids;
+    {
+        serve::ServerConfig config;
+        config.workers = 2;
+        // ManualClock never advances, so the batching max-wait window would
+        // never expire; single-request batches still traverse (and trace)
+        // every pipeline phase.
+        config.batching.enabled = false;
+        serve::Server server(*world.scheduler, world.dispatcher, world.clock,
+                             config);
+        workload::SyntheticSource source(5);
+        std::vector<std::future<serve::Response>> futures;
+        for (int i = 0; i < 12; ++i) {
+            futures.push_back(server.submit(serve::InferenceRequest{
+                "simple", source.next_batch(2, 4), sched::Policy::kMaxThroughput,
+                0.0}));
+        }
+        for (auto& f : futures) {
+            ASSERT_EQ(f.get().status, serve::RequestStatus::kCompleted);
+        }
+        server.stop();
+        // Request ids are assigned 1..N in submit order.
+        for (std::uint64_t id = 1; id <= 12; ++id) completed_ids.push_back(id);
+    }
+    TraceRecorder::install(nullptr);
+
+    const std::vector<Span> spans = recorder.snapshot();
+    EXPECT_EQ(recorder.dropped(), 0U);
+
+    std::array<std::set<std::uint64_t>, kPhaseCount> ids_by_phase;
+    for (const Span& s : spans) {
+        ids_by_phase[static_cast<std::size_t>(s.phase)].insert(s.request_id);
+        EXPECT_GE(s.t1, s.t0) << phase_name(s.phase);
+    }
+    for (std::size_t phase = 0; phase < kPhaseCount; ++phase) {
+        EXPECT_FALSE(ids_by_phase[phase].empty())
+            << "phase " << phase_name(static_cast<Phase>(phase))
+            << " missing from the trace";
+    }
+
+    const auto& submit = ids_by_phase[static_cast<std::size_t>(Phase::kSubmit)];
+    for (const std::uint64_t id : completed_ids) {
+        // Per-request phases carry the request's own id...
+        EXPECT_TRUE(submit.count(id)) << "request " << id;
+        EXPECT_TRUE(ids_by_phase[static_cast<std::size_t>(Phase::kAdmit)].count(id));
+        EXPECT_TRUE(ids_by_phase[static_cast<std::size_t>(Phase::kQueue)].count(id));
+        EXPECT_TRUE(
+            ids_by_phase[static_cast<std::size_t>(Phase::kComplete)].count(id));
+    }
+    // ...and batch-scoped phases carry some submitted request's id (the batch
+    // leader), so every span in the trace is reachable from a request.
+    for (const Phase phase : {Phase::kBatch, Phase::kDispatch, Phase::kExecute}) {
+        for (const std::uint64_t id :
+             ids_by_phase[static_cast<std::size_t>(phase)]) {
+            EXPECT_TRUE(submit.count(id))
+                << phase_name(phase) << " span has unknown request id " << id;
+        }
+    }
+
+    // The Chrome export of a real serving trace names every phase.
+    std::ostringstream out;
+    write_chrome_trace(out, recorder);
+    const std::string json = out.str();
+    for (std::size_t phase = 0; phase < kPhaseCount; ++phase) {
+        EXPECT_NE(json.find(phase_name(static_cast<Phase>(phase))),
+                  std::string::npos);
+    }
+}
+
+TEST(ServerTracing, ServerStatsInvariantsHoldAfterRegistryMigration) {
+    ServeWorld world;
+    serve::ServerConfig config;
+    config.workers = 2;
+    config.queue_capacity = 4;
+    config.batching.enabled = false;  // ManualClock: see above
+    config.admission.policy = serve::BackpressurePolicy::kRejectNewest;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    workload::SyntheticSource source(6);
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(server.submit(serve::InferenceRequest{
+            "simple", source.next_batch(1, 4), sched::Policy::kMaxThroughput, 0.0}));
+    }
+    for (auto& f : futures) (void)f.get();
+    server.stop();
+
+    const serve::PolicyCounters t = server.stats().totals();
+    EXPECT_EQ(t.submitted, 64U);
+    EXPECT_EQ(t.submitted, t.admitted + t.rejected_full + t.shed);
+    EXPECT_EQ(t.admitted, t.completed + t.shed + t.failed + t.evicted + t.shutdown);
+    EXPECT_GT(t.completed, 0U);
+    // The same counters are readable by name through the registry.
+    const auto& registry = server.metrics();
+    std::uint64_t submitted_via_registry = 0;
+    for (const auto& series : registry.series()) {
+        if (series.kind == MetricKind::kCounter &&
+            series.name.find("mw_serve_submitted_total") == 0) {
+            submitted_via_registry += series.counter->value();
+        }
+    }
+    EXPECT_EQ(submitted_via_registry, 64U);
+}
+
+#endif  // MW_OBS_ENABLED
+
+}  // namespace

@@ -1,6 +1,7 @@
 // Tests for the power instrumentation layer (nvidia-smi / PCM equivalents).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <memory>
 
 #include "device/registry.hpp"
@@ -100,6 +101,44 @@ TEST(EnergyCounter, ZeroWindow) {
     const EnergyCounter counter(meter, 0.1);
     EXPECT_EQ(counter.integrate(3.0, 3.0), 0.0);
     EXPECT_THROW((void)counter.integrate(3.0, 2.0), InvalidArgument);
+}
+
+TEST(EnergyCounter, IntegralIsAdditiveAcrossSplits) {
+    // Regression: the trapezoid grid used to be anchored at t0, so the sample
+    // points — and hence the integral — depended on the window:
+    // integrate(a,b) + integrate(b,c) != integrate(a,c). The absolute-grid
+    // formulation makes any split telescope exactly.
+    Fixture f;
+    Device& gpu = f.registry.at("gtx1080ti");
+    gpu.force_warm();
+    // Two runs give the power timeline idle/kernel/idle steps to integrate
+    // across — the case where window-dependent sampling diverged most.
+    const auto m1 = gpu.profile("mnist-small", 65536, 5.0);
+    const auto m2 = gpu.profile("mnist-small", 32768, m1.end_time + 0.5);
+    const NvmlLikeMeter meter(gpu);
+    const EnergyCounter counter(meter, 0.01);
+
+    const double a = 4.9;
+    const double c = m2.end_time + 0.3;
+    const double whole = counter.integrate(a, c);
+    EXPECT_GT(whole, 0.0);
+    // Split at grid-aligned, mid-cell, and phase-boundary points alike.
+    const double splits[] = {5.0,          m1.start_time + 0.37 * m1.latency_s(),
+                             m1.end_time,  m1.end_time + 0.123,
+                             m2.start_time, m2.start_time + 0.005};
+    for (const double b : splits) {
+        ASSERT_GT(b, a);
+        ASSERT_LT(b, c);
+        const double sum = counter.integrate(a, b) + counter.integrate(b, c);
+        EXPECT_NEAR(sum, whole, std::abs(whole) * 1e-9)
+            << "split at b=" << b << " breaks additivity";
+    }
+    // Three-way split, chained.
+    const double b1 = m1.end_time;
+    const double b2 = m2.start_time;
+    EXPECT_NEAR(counter.integrate(a, b1) + counter.integrate(b1, b2) +
+                    counter.integrate(b2, c),
+                whole, std::abs(whole) * 1e-9);
 }
 
 }  // namespace

@@ -3,7 +3,9 @@
 // and every seed — not just the hand-picked cases of the unit tests.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/stats.hpp"
 #include "device/exec_model.hpp"
@@ -11,6 +13,7 @@
 #include "nn/activation.hpp"
 #include "nn/model_builder.hpp"
 #include "nn/zoo.hpp"
+#include "obs/metrics.hpp"
 #include "sched/features.hpp"
 #include "sched/measurement_harness.hpp"
 
@@ -343,5 +346,50 @@ INSTANTIATE_TEST_SUITE_P(All, PolicyProperty,
                                            sched::Policy::kMinLatency,
                                            sched::Policy::kMinEnergy),
                          [](const auto& info) { return sched::policy_name(info.param); });
+
+// ---------------------------------------------------------------------------
+// obs::LogHistogram: percentile estimates vs the exact sample percentile,
+// on randomized inputs.
+// ---------------------------------------------------------------------------
+
+class HistogramProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HistogramProperty, PercentileMonotoneAndWithinOneBucketOfExact) {
+    Rng rng(GetParam());
+    const std::size_t n = 200 + rng.below(800);
+    obs::LogHistogram hist;
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        // Log-uniform over [10 us, 10 s], inside the histogram's range.
+        const double v = std::pow(10.0, rng.uniform(-5.0, 1.0));
+        samples.push_back(v);
+        hist.add(v);
+    }
+    std::sort(samples.begin(), samples.end());
+
+    // The estimate is the geometric midpoint of the bucket holding the
+    // rank-th smallest sample, so it sits within half a log bucket of the
+    // exact value; one full bucket width (x10^(1/20)) bounds it comfortably.
+    const double bucket_factor = std::pow(10.0, 1.0 / 20.0);
+    double prev = 0.0;
+    for (double p = 1.0; p <= 100.0; p += 0.5) {
+        const double est = hist.percentile(p);
+        ASSERT_FALSE(std::isnan(est));
+        EXPECT_GE(est, prev) << "percentile not monotone in p at p=" << p;
+        prev = est;
+        const auto rank = std::max<std::size_t>(
+            1, static_cast<std::size_t>(
+                   std::ceil(p / 100.0 * static_cast<double>(n))));
+        const double exact = samples[std::min(rank, n) - 1];
+        EXPECT_LE(est, exact * bucket_factor)
+            << "p" << p << " overshoots exact " << exact;
+        EXPECT_GE(est * bucket_factor, exact)
+            << "p" << p << " undershoots exact " << exact;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramProperty,
+                         ::testing::Values(11U, 23U, 47U, 81U, 99U));
 
 }  // namespace

@@ -4,6 +4,7 @@
 // doubles as TSan coverage under the `tsan` preset).
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <future>
 #include <map>
 #include <memory>
@@ -11,6 +12,7 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "common/units.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/zoo.hpp"
 #include "sched/scheduler.hpp"
@@ -141,9 +143,17 @@ TEST(RequestQueue, CloseRefusesPushesButDrainsPops) {
 // LatencyHistogram
 // ---------------------------------------------------------------------------
 
+TEST(LatencyHistogram, EmptyHistogramPercentileIsNaN) {
+    // 0.0 looked like a real (excellent!) latency in every report; NaN is
+    // unambiguous "no data", and the renderers print it as a dash.
+    LatencyHistogram hist;
+    EXPECT_TRUE(std::isnan(hist.percentile(50.0)));
+    EXPECT_TRUE(std::isnan(hist.percentile(99.0)));
+    EXPECT_EQ(format_duration(hist.percentile(50.0)), "-");
+}
+
 TEST(LatencyHistogram, PercentilesTrackLogBuckets) {
     LatencyHistogram hist;
-    EXPECT_EQ(hist.percentile(50.0), 0.0) << "empty histogram reports 0";
     for (int i = 1; i <= 1000; ++i) hist.add(static_cast<double>(i) * 1e-3);
     EXPECT_EQ(hist.count(), 1000U);
     const double p50 = hist.percentile(50.0);
@@ -231,6 +241,49 @@ TEST(Admission, DeadlineShedUsesExecuteEstimator) {
     // No SLO: never shed regardless of the estimator.
     Request relaxed = make_request(2, "slow-model", 1);
     EXPECT_TRUE(world.admission.admit(std::move(relaxed), 0.0));
+}
+
+TEST(Admission, ColdModelEstimateIsPriorNotZero) {
+    AdmissionWorld world(BackpressurePolicy::kDeadlineShed, 8);
+    EXPECT_GT(world.admission.estimated_execute_s("never-seen"), 0.0);
+    EXPECT_NEAR(world.admission.estimated_execute_s("never-seen"),
+                world.admission.config().cold_execute_prior_s, 1e-15);
+}
+
+TEST(Admission, DeadlineShedShedsColdModelOnArrival) {
+    // Regression: estimated_execute_s() returned 0.0 for a model with no
+    // observations, so kDeadlineShed admitted every cold-model request no
+    // matter how tight its SLO — "hopeless on arrival" only worked after the
+    // EWMA warmed up.
+    AdmissionWorld world(BackpressurePolicy::kDeadlineShed, 8);
+    Request r = make_request(1, "cold-model", 1, sched::Policy::kMinLatency,
+                             /*slo=*/1e-4);  // below the 1e-3 default prior
+    auto future = r.promise.get_future();
+    EXPECT_FALSE(world.admission.admit(std::move(r), 0.0));
+    EXPECT_EQ(future.get().status, RequestStatus::kShedDeadline);
+    EXPECT_EQ(world.stats.snapshot().totals().shed, 1U);
+
+    // A feasible SLO (above the prior) is still admitted.
+    Request ok = make_request(2, "cold-model", 1, sched::Policy::kMinLatency,
+                              /*slo=*/1.0);
+    EXPECT_TRUE(world.admission.admit(std::move(ok), 0.0));
+}
+
+TEST(Admission, ColdPriorFnSeedsPerModelEstimates) {
+    RequestQueue queue(8);
+    ServerStats stats;
+    AdmissionConfig config;
+    config.policy = BackpressurePolicy::kDeadlineShed;
+    config.cold_prior_fn = [](const std::string& model) {
+        return model == "heavy" ? 10.0 : -1.0;  // decline everything else
+    };
+    AdmissionController admission(config, queue, stats);
+    EXPECT_NEAR(admission.estimated_execute_s("heavy"), 10.0, 1e-12);
+    EXPECT_NEAR(admission.estimated_execute_s("light"),
+                config.cold_execute_prior_s, 1e-15);
+    // Real observations override any prior.
+    admission.observe_execute("heavy", 0.25);
+    EXPECT_NEAR(admission.estimated_execute_s("heavy"), 0.25, 1e-12);
 }
 
 // ---------------------------------------------------------------------------

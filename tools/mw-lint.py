@@ -38,6 +38,10 @@ Rules enforced over src/ (suppress a single line with
                         injected mw::Clock so tests can drive batching windows
                         and SLO deadlines with a ManualClock and the scheduler
                         sees one coherent sim-time.
+  wall-clock-in-obs     src/obs/ only: same ban. The trace recorder and
+                        exporters never read clocks; timestamps arrive from
+                        the recording components, so traces stay on the one
+                        injected timeline.
 """
 
 from __future__ import annotations
@@ -153,6 +157,13 @@ PREFIX_RULES = [
         re.compile(r"\bStopwatch\b|\bWallClock\b"),
         "serve code reads time through its injected mw::Clock only — "
         "construct the server with a WallClock at the composition root instead",
+    ),
+    (
+        "wall-clock-in-obs",
+        "src/obs/",
+        re.compile(r"\bStopwatch\b|\bWallClock\b"),
+        "obs never reads a clock — every span timestamp is passed in by the "
+        "recording component from its own injected mw::Clock / sim timeline",
     ),
 ]
 
