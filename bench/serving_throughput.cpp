@@ -14,11 +14,26 @@
 //
 // Part 3 repeats the max-rate run with a TraceRecorder installed and reports
 // the sustained-QPS cost of recording every request-path span (budget: <5%).
+//
+// Part 4 is the degraded-mode bench: a resilient server under a hard device
+// kill. Three closed-loop windows (healthy, killed, revived) show sustained
+// QPS surviving the kill via breaker exclusion and recovering after the
+// half-open re-probe.
+//
+// Flags: --quick shortens every window (the CI gate mode); --json PATH
+// writes the headline numbers as BENCH_serving.json for tools/bench-compare.
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <string>
 #include <vector>
 
 #include "common/format.hpp"
 #include "common/timer.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "ml/random_forest.hpp"
 #include "nn/zoo.hpp"
 #include "obs/trace.hpp"
@@ -151,9 +166,151 @@ void print_policy_table(const char* label, const LoadResult& r) {
                 t.rejected_full + t.evicted, t.shed);
 }
 
+/// Part 4: one resilient server through a kill/revive cycle. Closed-loop
+/// clients (bounded outstanding window) so each window's QPS reflects what
+/// the fleet sustains, not what an open-loop pacer offered.
+struct DegradedResult {
+    double healthy_qps = 0.0;
+    double killed_qps = 0.0;
+    double recovered_qps = 0.0;
+    std::string killed_device;
+};
+
+DegradedResult run_degraded(World& world, double window_s) {
+    WallClock clock;
+    fault::FaultInjector injector({.seed = 42}, clock);
+    world.dispatcher.set_fault_injector(&injector);
+
+    serve::ServerConfig config;
+    config.workers = 3;
+    config.queue_capacity = 128;
+    config.batching.enabled = false;
+    config.resilience.enabled = true;
+    config.resilience.health.cooldown_s = 0.05;
+    config.resilience.health.probe_interval_s = 0.01;
+    serve::Server server(*world.scheduler, world.dispatcher, clock, config);
+
+    const TrafficSpec tiny{"simple", 4, 8, false};
+    const auto pool = make_payload_pool(tiny, 64);
+    std::size_t next_payload = 0;
+
+    const auto window = [&](double duration_s) {
+        std::map<std::string, int> by_device;
+        int completed = 0;
+        std::deque<std::future<serve::Response>> inflight;
+        const auto reap = [&](std::size_t down_to) {
+            while (inflight.size() > down_to) {
+                const serve::Response r = inflight.front().get();
+                inflight.pop_front();
+                if (r.ok()) {
+                    ++completed;
+                    by_device[r.device_name] += 1;
+                }
+            }
+        };
+        const double start = clock.now();
+        while (clock.now() - start < duration_s) {
+            reap(32);
+            inflight.push_back(server.submit(serve::InferenceRequest{
+                tiny.model, Tensor(pool[next_payload++ % pool.size()]),
+                sched::Policy::kMaxThroughput}));
+        }
+        reap(0);
+        const double elapsed = clock.now() - start;
+        return std::pair<double, std::map<std::string, int>>{
+            elapsed > 0.0 ? completed / elapsed : 0.0, by_device};
+    };
+
+    DegradedResult out;
+    const auto [healthy_qps, healthy_by_device] = window(window_s);
+    out.healthy_qps = healthy_qps;
+    int busiest_count = 0;
+    for (const auto& [device, count] : healthy_by_device) {
+        if (count > busiest_count) {
+            out.killed_device = device;
+            busiest_count = count;
+        }
+    }
+
+    injector.kill_device(out.killed_device);
+    out.killed_qps = window(window_s).first;
+
+    injector.revive_device(out.killed_device);
+    sleep_for_seconds(2 * config.resilience.health.cooldown_s);
+    // Drive traffic until the half-open probe closes the breaker (bounded).
+    for (int round = 0; round < 100 &&
+                        server.health()->state(out.killed_device) !=
+                            fault::BreakerState::kClosed;
+         ++round) {
+        (void)window(window_s / 20.0);
+    }
+    out.recovered_qps = window(window_s).first;
+
+    server.stop();
+    world.dispatcher.set_fault_injector(nullptr);
+    return out;
+}
+
+/// The headline numbers the CI regression gate compares.
+struct BenchSummary {
+    double sustained_qps = 0.0;
+    double queue_wait_p95_s = 0.0;
+    double mean_batch = 0.0;
+    double energy_per_request_j = 0.0;
+    DegradedResult degraded;
+};
+
+void write_json(const char* path, const BenchSummary& s) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"sustained_qps\": %.3f,\n"
+                 "  \"queue_wait_p95_s\": %.9f,\n"
+                 "  \"mean_batch\": %.3f,\n"
+                 "  \"energy_per_request_j\": %.9f,\n"
+                 "  \"degraded\": {\n"
+                 "    \"healthy_qps\": %.3f,\n"
+                 "    \"killed_qps\": %.3f,\n"
+                 "    \"recovered_qps\": %.3f,\n"
+                 "    \"recovered_ratio\": %.4f\n"
+                 "  }\n"
+                 "}\n",
+                 s.sustained_qps, s.queue_wait_p95_s, s.mean_batch,
+                 s.energy_per_request_j, s.degraded.healthy_qps,
+                 s.degraded.killed_qps, s.degraded.recovered_qps,
+                 s.degraded.healthy_qps > 0.0
+                     ? s.degraded.recovered_qps / s.degraded.healthy_qps
+                     : 0.0);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    bool quick = false;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+            return 2;
+        }
+    }
+    const double sweep_s = quick ? 0.4 : 1.2;
+    const double maxrate_s = quick ? 0.5 : 1.5;
+    const double degraded_window_s = quick ? 0.4 : 1.0;
+    const std::vector<double> sweep_points =
+        quick ? std::vector<double>{250.0, 4000.0}
+              : std::vector<double>{50.0, 250.0, 1000.0, 4000.0};
+
     std::printf("building world (profiling + scheduler training)...\n");
     World world;
 
@@ -172,8 +329,8 @@ int main() {
                 sweep_config.queue_capacity);
     std::printf("  %8s  %9s  %9s  %9s  %10s  %10s  %10s\n", "offered", "sustained",
                 "completed", "refused", "queue p50", "queue p95", "queue p99");
-    for (const double qps : {50.0, 250.0, 1000.0, 4000.0}) {
-        const auto result = run_load(world, sweep_config, heavy, qps, 1.2);
+    for (const double qps : sweep_points) {
+        const auto result = run_load(world, sweep_config, heavy, qps, sweep_s);
         print_sweep_row(qps, result);
     }
     std::printf("  (refused grows past saturation while queue-wait percentiles stay"
@@ -190,9 +347,9 @@ int main() {
 
     std::printf("\ndynamic batching on %s at max-rate arrivals, mixed policies:\n\n",
                 tiny.model);
-    const auto off = run_load(world, unbatched, tiny, 1e9, 1.5);
+    const auto off = run_load(world, unbatched, tiny, 1e9, maxrate_s);
     print_policy_table("batching OFF (batch=1)", off);
-    const auto on = run_load(world, batched, tiny, 1e9, 1.5);
+    const auto on = run_load(world, batched, tiny, 1e9, maxrate_s);
     print_policy_table("batching ON (<=32 req / 2 ms window)", on);
 
     const double off_qps =
@@ -202,6 +359,24 @@ int main() {
     std::printf("sustained QPS: %.0f -> %.0f (%.1fx) at equal workers\n", off_qps, on_qps,
                 off_qps > 0.0 ? on_qps / off_qps : 0.0);
 
+    // Headline numbers for the CI regression gate, from the batched run.
+    BenchSummary summary;
+    {
+        const auto totals = on.snapshot.totals();
+        summary.sustained_qps = on_qps;
+        const double p95 = on.snapshot.of(sched::Policy::kMaxThroughput).queue_p95_s;
+        summary.queue_wait_p95_s = std::isnan(p95) ? 0.0 : p95;
+        summary.mean_batch =
+            totals.batches_executed > 0
+                ? static_cast<double>(totals.coalesced_requests) /
+                      static_cast<double>(totals.batches_executed)
+                : 0.0;
+        summary.energy_per_request_j =
+            totals.completed > 0
+                ? totals.energy_j / static_cast<double>(totals.completed)
+                : 0.0;
+    }
+
     // --- Part 3: request-path tracing overhead --------------------------
     // Same max-rate run twice: hooks with no recorder installed (one atomic
     // load per hook — the production "tracing off" cost) vs a recorder
@@ -210,13 +385,13 @@ int main() {
 #if defined(MW_OBS_ENABLED)
     std::printf("\ntracing overhead on %s at max-rate arrivals (batching ON):\n",
                 tiny.model);
-    const auto plain = run_load(world, batched, tiny, 1e9, 1.5);
+    const auto plain = run_load(world, batched, tiny, 1e9, maxrate_s);
     const double plain_qps =
         static_cast<double>(plain.snapshot.totals().completed) / plain.elapsed_s;
 
     obs::TraceRecorder recorder({.ring_capacity = std::size_t{1} << 17});
     obs::TraceRecorder::install(&recorder);
-    const auto traced = run_load(world, batched, tiny, 1e9, 1.5);
+    const auto traced = run_load(world, batched, tiny, 1e9, maxrate_s);
     obs::TraceRecorder::install(nullptr);
     const double traced_qps =
         static_cast<double>(traced.snapshot.totals().completed) / traced.elapsed_s;
@@ -231,5 +406,25 @@ int main() {
 #else
     std::printf("\n(tracing hooks compiled out: MW_OBS=OFF)\n");
 #endif
+
+    // --- Part 4: degraded mode -------------------------------------------
+    // Kill the busiest device mid-run; the breaker opens and excludes it, so
+    // sustained QPS survives on the remaining devices, and after revival the
+    // half-open re-probe re-admits it.
+    std::printf("\ndegraded mode: hard device kill + breaker recovery (%s):\n",
+                tiny.model);
+    summary.degraded = run_degraded(world, degraded_window_s);
+    const auto& deg = summary.degraded;
+    std::printf("  healthy:   %9.0f QPS\n", deg.healthy_qps);
+    std::printf("  killed:    %9.0f QPS  (%s down, breaker open)\n", deg.killed_qps,
+                deg.killed_device.c_str());
+    std::printf("  recovered: %9.0f QPS  (revived + re-admitted via half-open probe)\n",
+                deg.recovered_qps);
+    const double recovered_ratio =
+        deg.healthy_qps > 0.0 ? deg.recovered_qps / deg.healthy_qps : 0.0;
+    std::printf("  recovered/healthy: %.2f (target: >= 0.70)%s\n", recovered_ratio,
+                recovered_ratio >= 0.70 ? "" : "  ** BELOW TARGET **");
+
+    if (json_path != nullptr) write_json(json_path, summary);
     return 0;
 }

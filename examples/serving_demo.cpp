@@ -125,10 +125,11 @@ int main() {
                 "%zu request ids\n",
                 spans.size(), recorder.thread_count(), recorder.dropped(),
                 phases_seen.size(), correlated_ids.size());
-    trace_ok = phases_seen.size() == obs::kPhaseCount && !correlated_ids.empty();
+    trace_ok =
+        phases_seen.size() == obs::kRequestPathPhaseCount && !correlated_ids.empty();
     if (!trace_ok) {
-        std::printf("trace INCOMPLETE: expected all %zu pipeline phases\n",
-                    obs::kPhaseCount);
+        std::printf("trace INCOMPLETE: expected all %zu request-path phases\n",
+                    obs::kRequestPathPhaseCount);
     }
     if (!obs::write_chrome_trace_file("serving_demo.trace.json", recorder) ||
         !obs::write_prometheus_file("serving_demo.metrics.prom", server.metrics()) ||

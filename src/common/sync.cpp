@@ -11,7 +11,9 @@ const char* lock_rank_name(LockRank rank) noexcept {
         case LockRank::kScheduler: return "scheduler";
         case LockRank::kRegistry: return "registry";
         case LockRank::kDispatcher: return "dispatcher";
+        case LockRank::kFaultInject: return "fault-inject";
         case LockRank::kDevice: return "device";
+        case LockRank::kFaultHealth: return "fault-health";
         case LockRank::kServeQueue: return "serve-queue";
         case LockRank::kAdmission: return "admission";
         case LockRank::kStats: return "stats";

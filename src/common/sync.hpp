@@ -91,7 +91,9 @@ enum class LockRank : int {
     kScheduler = 10,       ///< serve::Server's OnlineScheduler serialisation
     kRegistry = 20,        ///< device::DeviceRegistry device table
     kDispatcher = 30,      ///< sched::Dispatcher model table
+    kFaultInject = 35,     ///< fault::FaultInjector per-device fault streams
     kDevice = 40,          ///< device::Device internal state
+    kFaultHealth = 45,     ///< fault::DeviceHealthTracker breaker/EWMA table
     kServeQueue = 50,      ///< serve::RequestQueue lanes
     kAdmission = 60,       ///< serve::AdmissionController EWMA table
     kStats = 70,           ///< serve::ServerStats counters/histograms

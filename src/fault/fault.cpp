@@ -1,0 +1,121 @@
+#include "fault/fault.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace mw::fault {
+namespace {
+
+/// FNV-1a over the device name: per-device stream seeds must not depend on
+/// std::hash (which varies by implementation), or a chaos seed recorded by
+/// CI would not reproduce on a developer machine.
+std::uint64_t fnv1a(const std::string& text) {
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : text) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultConfig config, const Clock& clock,
+                             obs::MetricsRegistry* metrics)
+    : config_(config), clock_(&clock) {
+    MW_ASSERT_MSG(config_.transient_failure_p >= 0.0 && config_.transient_failure_p <= 1.0,
+                  "FaultInjector: transient_failure_p must be a probability in [0,1]");
+    MW_ASSERT_MSG(config_.straggler_p >= 0.0 && config_.straggler_p <= 1.0,
+                  "FaultInjector: straggler_p must be a probability in [0,1]");
+    MW_ASSERT_MSG(config_.straggler_factor >= 1.0,
+                  "FaultInjector: straggler_factor must be >= 1");
+    if (metrics != nullptr) {
+        transients_metric_ = &metrics->counter("mw_fault_injected_transient_total");
+        stragglers_metric_ = &metrics->counter("mw_fault_injected_straggler_total");
+        down_metric_ = &metrics->counter("mw_fault_down_rejections_total");
+    }
+}
+
+FaultInjector::DeviceState& FaultInjector::state_for(const std::string& device_name) {
+    auto it = states_.find(device_name);
+    if (it == states_.end()) {
+        DeviceState state;
+        state.rng.reseed(config_.seed ^ fnv1a(device_name));
+        it = states_.emplace(device_name, std::move(state)).first;
+    }
+    return it->second;
+}
+
+void FaultInjector::kill_device(const std::string& device_name) {
+    {
+        const MutexLock lock(mutex_);
+        state_for(device_name).down = true;
+    }
+    MW_TRACE_INSTANT(obs::Phase::kFault, 0, clock_->now(), "down");
+}
+
+void FaultInjector::revive_device(const std::string& device_name) {
+    {
+        const MutexLock lock(mutex_);
+        state_for(device_name).down = false;
+    }
+    MW_TRACE_INSTANT(obs::Phase::kFault, 0, clock_->now(), "revived");
+}
+
+bool FaultInjector::device_down(const std::string& device_name) const {
+    const MutexLock lock(mutex_);
+    const auto it = states_.find(device_name);
+    return it != states_.end() && it->second.down;
+}
+
+void FaultInjector::before_execute(const std::string& device_name, double now,
+                                   std::uint64_t trace_id) {
+    enum class Draw { kNone, kDown, kTransient };
+    Draw draw = Draw::kNone;
+    {
+        const MutexLock lock(mutex_);
+        DeviceState& state = state_for(device_name);
+        if (state.down) {
+            draw = Draw::kDown;
+        } else if (config_.transient_failure_p > 0.0 &&
+                   state.rng.bernoulli(config_.transient_failure_p)) {
+            draw = Draw::kTransient;
+        }
+    }
+    switch (draw) {
+        case Draw::kNone:
+            return;
+        case Draw::kDown:
+            down_rejections_.fetch_add(1, std::memory_order_relaxed);
+            if (down_metric_ != nullptr) down_metric_->inc();
+            MW_TRACE_INSTANT(obs::Phase::kFault, trace_id, now, "device-down");
+            throw DeviceDownError("device `" + device_name + "` is down (injected)");
+        case Draw::kTransient:
+            transients_.fetch_add(1, std::memory_order_relaxed);
+            if (transients_metric_ != nullptr) transients_metric_->inc();
+            MW_TRACE_INSTANT(obs::Phase::kFault, trace_id, now, "transient");
+            throw TransientFault("transient kernel failure on `" + device_name +
+                                 "` (injected)");
+    }
+}
+
+void FaultInjector::after_execute(const std::string& device_name, device::Measurement& m,
+                                  std::uint64_t trace_id) {
+    bool straggle = false;
+    {
+        const MutexLock lock(mutex_);
+        DeviceState& state = state_for(device_name);
+        straggle = !state.down && config_.straggler_p > 0.0 &&
+                   state.rng.bernoulli(config_.straggler_p);
+    }
+    if (!straggle) return;
+    stragglers_.fetch_add(1, std::memory_order_relaxed);
+    if (stragglers_metric_ != nullptr) stragglers_metric_->inc();
+    const double stretched =
+        m.start_time + (m.end_time - m.start_time) * config_.straggler_factor;
+    MW_TRACE_SPAN(obs::Phase::kFault, trace_id, m.end_time, stretched, "straggler");
+    m.end_time = stretched;
+}
+
+}  // namespace mw::fault

@@ -17,7 +17,8 @@
 
 namespace mw::obs {
 
-/// Request-path phases, in pipeline order.
+/// Request-path phases, in pipeline order, followed by the fault/resilience
+/// phases that appear only when the mw::fault machinery engages.
 enum class Phase : std::uint8_t {
     kSubmit,    ///< client handed the request to Server::submit (instant)
     kAdmit,     ///< admission decision: admitted / rejected / shed (instant)
@@ -26,9 +27,18 @@ enum class Phase : std::uint8_t {
     kDispatch,  ///< scheduler decision + coalesce -> device start
     kExecute,   ///< device execution (start_time -> end_time)
     kComplete,  ///< the client's promise resolved; label = terminal status
+    kFault,     ///< injected fault fired: transient / straggler / down (instant)
+    kRetry,     ///< dispatcher re-routes failed work to the next candidate
+    kHedge,     ///< straggler hedge: duplicate dispatch issued (instant)
+    kBreaker,   ///< health breaker transition: open / half-open / close
 };
 
-inline constexpr std::size_t kPhaseCount = 7;
+inline constexpr std::size_t kPhaseCount = 11;
+
+/// The phases every fault-free served request traverses (the first seven).
+/// Traces of healthy runs contain exactly these; the fault phases join them
+/// only under injected faults, retries, hedges, or breaker trips.
+inline constexpr std::size_t kRequestPathPhaseCount = 7;
 
 [[nodiscard]] const char* phase_name(Phase phase) noexcept;
 

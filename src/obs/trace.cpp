@@ -33,6 +33,10 @@ const char* phase_name(Phase phase) noexcept {
         case Phase::kDispatch: return "dispatch";
         case Phase::kExecute: return "execute";
         case Phase::kComplete: return "complete";
+        case Phase::kFault: return "fault";
+        case Phase::kRetry: return "retry";
+        case Phase::kHedge: return "hedge";
+        case Phase::kBreaker: return "breaker";
     }
     return "unknown";
 }

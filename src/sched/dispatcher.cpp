@@ -1,6 +1,10 @@
 #include "sched/dispatcher.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
 #include "nn/model_builder.hpp"
 #include "obs/trace.hpp"
 #include "nn/serialize.hpp"
@@ -98,13 +102,56 @@ device::InferenceResult Dispatcher::run_on(const std::string& device_name,
                                            const std::string& model_name, const Tensor& input,
                                            double sim_time,
                                            const device::SubmitOptions& options) {
+    fault::FaultInjector* injector = injector_.load(std::memory_order_acquire);
+    if (injector != nullptr) {
+        injector->before_execute(device_name, sim_time, options.trace_id);
+    }
     device::InferenceResult result =
         registry_->at(device_name).run(model_name, input, sim_time, options);
+    if (injector != nullptr) {
+        injector->after_execute(device_name, result.measurement, options.trace_id);
+    }
     // Dispatch span: decision time until the device actually started (the gap
     // is the simulated device-queue wait).
     MW_TRACE_SPAN(obs::Phase::kDispatch, options.trace_id, sim_time,
                   result.measurement.start_time, device_name.c_str());
     return result;
+}
+
+ResilientOutcome Dispatcher::run_resilient(const std::vector<std::string>& candidates,
+                                           const std::string& model_name,
+                                           const Tensor& input, double sim_time,
+                                           const RetryPolicy& policy,
+                                           fault::DeviceHealthTracker* health,
+                                           const device::SubmitOptions& options) {
+    MW_CHECK(!candidates.empty(), "run_resilient: candidate list must not be empty");
+    MW_CHECK(policy.max_attempts > 0, "run_resilient: max_attempts must be positive");
+    double submit_time = sim_time;
+    double backoff = policy.backoff_base_s;
+    double total_backoff = 0.0;
+    for (std::size_t attempt = 0; attempt < policy.max_attempts; ++attempt) {
+        const std::string& device_name = candidates[attempt % candidates.size()];
+        try {
+            device::InferenceResult result =
+                run_on(device_name, model_name, input, submit_time, options);
+            if (health != nullptr) {
+                health->on_success(device_name, result.measurement.latency_s());
+            }
+            return {std::move(result), device_name, attempt + 1, total_backoff};
+        } catch (const fault::FaultError&) {
+            if (health != nullptr) health->on_failure(device_name);
+            if (attempt + 1 == policy.max_attempts) throw;
+            if (health != nullptr) health->note_retry(device_name);
+            MW_TRACE_INSTANT(obs::Phase::kRetry, options.trace_id, submit_time,
+                             device_name.c_str());
+            // Back off on the simulated timeline: the next attempt submits
+            // later, it does not block a worker on a wall clock.
+            submit_time += backoff;
+            total_backoff += backoff;
+            backoff = std::min(backoff * policy.backoff_multiplier, policy.backoff_cap_s);
+        }
+    }
+    throw StateError("run_resilient: unreachable retry exhaustion");
 }
 
 }  // namespace mw::sched

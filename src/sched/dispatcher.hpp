@@ -4,6 +4,7 @@
 // every available processing device.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -13,7 +14,30 @@
 #include "device/registry.hpp"
 #include "nn/model.hpp"
 
+namespace mw::fault {
+class FaultInjector;
+class DeviceHealthTracker;
+}  // namespace mw::fault
+
 namespace mw::sched {
+
+/// Retry ladder for run_resilient(): capped exponential backoff on the
+/// simulated timeline (the backoff is added to the submit time of the next
+/// attempt, never slept on a wall clock).
+struct RetryPolicy {
+    std::size_t max_attempts = 3;     ///< total tries, including the first
+    double backoff_base_s = 0.001;    ///< delay before the second attempt
+    double backoff_multiplier = 2.0;  ///< growth per further attempt
+    double backoff_cap_s = 0.050;     ///< ceiling on any single delay
+};
+
+/// What run_resilient() actually did, alongside the result.
+struct ResilientOutcome {
+    device::InferenceResult result;
+    std::string device_name;   ///< device that finally served the work
+    std::size_t attempts = 1;  ///< tries consumed (1 = no retry)
+    double backoff_s = 0.0;    ///< total simulated backoff added
+};
 
 /// Owns the deployed models and routes execution to chosen devices.
 ///
@@ -57,11 +81,37 @@ public:
     [[nodiscard]] const nn::ModelDesc& desc(const std::string& model_name) const;
     [[nodiscard]] std::vector<std::string> model_names() const;
 
-    /// Execute a data-carrying request on a specific device.
+    /// Execute a data-carrying request on a specific device. When a fault
+    /// injector is installed this is the injection point: the call may throw
+    /// fault::TransientFault / fault::DeviceDownError, or return a
+    /// straggler-stretched measurement.
     device::InferenceResult run_on(const std::string& device_name,
                                    const std::string& model_name, const Tensor& input,
                                    double sim_time,
                                    const device::SubmitOptions& options = {});
+
+    /// Execute with retry-on-fault across a preference-ordered candidate
+    /// list: attempt i runs on candidates[i % size] at
+    /// sim_time + accumulated backoff. Only fault::FaultError is retried —
+    /// precondition errors (unknown model, bad batch) propagate immediately,
+    /// since no other device would answer them either. Each failure is
+    /// reported to `health` (when given), emits a kRetry span, and backs off
+    /// exponentially up to the cap; exhausting the ladder rethrows the last
+    /// fault. Success reports on_success to `health`.
+    ResilientOutcome run_resilient(const std::vector<std::string>& candidates,
+                                   const std::string& model_name, const Tensor& input,
+                                   double sim_time, const RetryPolicy& policy,
+                                   fault::DeviceHealthTracker* health = nullptr,
+                                   const device::SubmitOptions& options = {});
+
+    /// Install (or clear, with nullptr) the fault injector consulted by
+    /// run_on. The injector must outlive its installation.
+    void set_fault_injector(fault::FaultInjector* injector) {
+        injector_.store(injector, std::memory_order_release);
+    }
+    [[nodiscard]] fault::FaultInjector* fault_injector() const {
+        return injector_.load(std::memory_order_acquire);
+    }
 
     [[nodiscard]] device::DeviceRegistry& registry() { return *registry_; }
 
@@ -69,6 +119,7 @@ private:
     [[nodiscard]] std::shared_ptr<nn::Model> find_model(const std::string& model_name) const;
 
     device::DeviceRegistry* registry_;
+    std::atomic<fault::FaultInjector*> injector_{nullptr};
     mutable SharedMutex models_mutex_{LockRank::kDispatcher};
     std::map<std::string, std::shared_ptr<nn::Model>> models_ MW_GUARDED_BY(models_mutex_);
 };

@@ -1,5 +1,7 @@
 #include "sched/scheduler.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "common/logging.hpp"
 #include "sched/features.hpp"
@@ -36,6 +38,33 @@ ScheduleDecision OnlineScheduler::decide(const ScheduleRequest& request, double 
                                          request.batch, decision.gpu_was_warm);
     decision.device_name = predictor_.predict_row(decision.features);
     ++decisions_;
+    return decision;
+}
+
+ScheduleDecision OnlineScheduler::decide(const ScheduleRequest& request, double now,
+                                         const std::vector<std::string>& excluded) {
+    ScheduleDecision decision = decide(request, now);
+    if (excluded.empty()) return decision;
+    const auto is_excluded = [&excluded](const std::string& name) {
+        return std::find(excluded.begin(), excluded.end(), name) != excluded.end();
+    };
+    if (!is_excluded(decision.device_name)) return decision;
+    // The predicted device is circuit-broken: fall back to the least-busy
+    // healthy device that can serve the model (best ETA proxy without a
+    // second predictor query, which cannot mask devices).
+    device::Device* fallback = nullptr;
+    for (device::Device* dev : dispatcher_->registry().devices()) {
+        if (is_excluded(dev->name()) || !dev->has_model(request.model_name)) continue;
+        if (fallback == nullptr || dev->busy_until() < fallback->busy_until()) {
+            fallback = dev;
+        }
+    }
+    if (fallback == nullptr) {
+        throw StateError("decide: every device serving `" + request.model_name +
+                         "` is health-excluded");
+    }
+    decision.device_name = fallback->name();
+    decision.rerouted = true;
     return decision;
 }
 

@@ -32,6 +32,8 @@ struct ScheduleDecision {
     std::string device_name;
     bool gpu_was_warm = false;
     bool explored = false;  ///< decision came from an exploration probe
+    bool rerouted = false;  ///< predictor's pick was health-excluded; fell
+                            ///< back to the least-busy healthy device
     std::vector<double> features;
 };
 
@@ -65,6 +67,13 @@ public:
     /// Decide the device for a request at simulated time `now` without
     /// executing (probes the GPU state).
     ScheduleDecision decide(const ScheduleRequest& request, double now);
+
+    /// decide() with a health-exclusion set (circuit-broken devices). When
+    /// the predictor's pick is excluded the decision falls back to the
+    /// least-busy non-excluded device that has the model loaded and marks
+    /// `rerouted`; throws StateError when every device is excluded.
+    ScheduleDecision decide(const ScheduleRequest& request, double now,
+                            const std::vector<std::string>& excluded);
 
     /// Decide and execute (profile path — timing/energy only).
     ScheduleOutcome submit(const ScheduleRequest& request, double now);

@@ -54,6 +54,8 @@ struct Response {
     std::size_t coalesced = 1;        ///< requests sharing the executed batch
     double queue_s = 0.0;             ///< admission -> dispatch (server clock)
     double execute_s = 0.0;           ///< batch execution latency (device timeline)
+    std::size_t attempts = 1;         ///< dispatch tries (resilient path; 1 = clean)
+    bool hedged = false;              ///< a straggler hedge was issued for the batch
     std::string error;                ///< diagnostics when kFailed
 
     [[nodiscard]] bool ok() const { return status == RequestStatus::kCompleted; }

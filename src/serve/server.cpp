@@ -1,10 +1,12 @@
 #include "serve/server.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <exception>
 #include <utility>
 
 #include "common/error.hpp"
+#include "fault/fault.hpp"
 #include "obs/trace.hpp"
 
 namespace mw::serve {
@@ -51,6 +53,10 @@ Server::Server(sched::OnlineScheduler& scheduler, sched::Dispatcher& dispatcher,
       pool_(std::make_unique<ThreadPool>(config.workers)) {
     MW_CHECK(config_.workers > 0, "server needs at least one worker");
     MW_CHECK(config_.worker_poll_s > 0.0, "worker_poll_s must be positive");
+    if (config_.resilience.enabled) {
+        health_ = std::make_unique<fault::DeviceHealthTracker>(
+            config_.resilience.health, clock, &stats_.mutable_registry());
+    }
     if (config_.start_on_construction) start();
 }
 
@@ -174,20 +180,27 @@ void Server::execute_batch(PendingBatch batch) {
 
     const sched::ScheduleRequest schedule_request{batch.model_name(),
                                                  batch.total_samples, batch.policy()};
-    device::InferenceResult result;
-    sched::ScheduleDecision decision;
+    DispatchResult dispatched;
     try {
-        {
-            const MutexLock lock(scheduler_mutex_);
-            decision = scheduler_->decide(schedule_request, dispatch_now);
-        }
         const Tensor input = batch.requests.size() == 1
                                  ? std::move(batch.requests.front().payload)
                                  : coalesce_payloads(batch);
         device::SubmitOptions submit_options;
         submit_options.trace_id = batch.requests.front().id;
-        result = dispatcher_->run_on(decision.device_name, batch.model_name(), input,
-                                     dispatch_now, submit_options);
+        if (health_ != nullptr) {
+            dispatched =
+                dispatch_resilient(schedule_request, input, dispatch_now, submit_options);
+        } else {
+            sched::ScheduleDecision decision;
+            {
+                const MutexLock lock(scheduler_mutex_);
+                decision = scheduler_->decide(schedule_request, dispatch_now);
+            }
+            dispatched.result = dispatcher_->run_on(
+                decision.device_name, batch.model_name(), input, dispatch_now,
+                submit_options);
+            dispatched.served_by = std::move(decision.device_name);
+        }
     } catch (const std::exception& e) {
         for (Request& r : batch.requests) {
             stats_.on_failed(r.policy);
@@ -197,6 +210,7 @@ void Server::execute_batch(PendingBatch batch) {
         return;
     }
 
+    device::InferenceResult& result = dispatched.result;
     const double execute_s = result.measurement.latency_s();
     admission_.observe_execute(batch.model_name(), execute_s);
     stats_.on_batch_executed(batch.policy(), batch.requests.size());
@@ -210,7 +224,7 @@ void Server::execute_batch(PendingBatch batch) {
             static_cast<double>(r.samples) / static_cast<double>(batch.total_samples);
         Response response;
         response.status = RequestStatus::kCompleted;
-        response.device_name = decision.device_name;
+        response.device_name = dispatched.served_by;
         response.outputs = coalesced == 1
                                ? std::move(result.outputs)
                                : slice_rows(result.outputs, row, r.samples,
@@ -219,6 +233,8 @@ void Server::execute_batch(PendingBatch batch) {
         response.coalesced = coalesced;
         response.queue_s = dispatch_now - r.arrival_s;
         response.execute_s = execute_s;
+        response.attempts = dispatched.attempts;
+        response.hedged = dispatched.hedged;
         stats_.on_completed(r.policy, response.queue_s, execute_s, r.samples,
                             result.measurement.bytes_in * share,
                             result.measurement.energy_j * share, coalesced);
@@ -227,6 +243,82 @@ void Server::execute_batch(PendingBatch batch) {
         row += r.samples;
         r.complete(std::move(response));
     }
+}
+
+Server::DispatchResult Server::dispatch_resilient(
+    const sched::ScheduleRequest& schedule_request, const Tensor& input,
+    double dispatch_now, const device::SubmitOptions& submit_options) {
+    // Partition the fleet through the circuit breakers. A fully-excluded
+    // fleet falls back to trying everything: the retry ladder is then the
+    // only line of defence, but shedding every batch while all breakers
+    // cool down would turn a transient storm into a total outage.
+    std::vector<std::string> excluded;
+    std::vector<std::string> allowed =
+        health_->partition_allowed(dispatcher_->registry().names(), &excluded);
+    if (allowed.empty()) {
+        allowed = dispatcher_->registry().names();
+        excluded.clear();
+    }
+
+    sched::ScheduleDecision decision;
+    {
+        const MutexLock lock(scheduler_mutex_);
+        decision = scheduler_->decide(schedule_request, dispatch_now, excluded);
+    }
+
+    // Candidate ladder: the scheduler's pick first, then the other healthy
+    // devices in ascending observed-latency order (best fallback first).
+    std::vector<std::string> candidates;
+    candidates.reserve(allowed.size());
+    candidates.push_back(decision.device_name);
+    std::sort(allowed.begin(), allowed.end(),
+              [this](const std::string& a, const std::string& b) {
+                  return health_->latency_ewma_s(a) < health_->latency_ewma_s(b);
+              });
+    for (std::string& name : allowed) {
+        if (name != decision.device_name) candidates.push_back(std::move(name));
+    }
+
+    sched::ResilientOutcome outcome = dispatcher_->run_resilient(
+        candidates, schedule_request.model_name, input, dispatch_now,
+        config_.resilience.retry, health_.get(), submit_options);
+    DispatchResult dispatched{std::move(outcome.result), std::move(outcome.device_name),
+                              outcome.attempts, false};
+
+    // Straggler hedge: the primary came back, but later than the execute
+    // timeout. Issue one duplicate on the next-best device, dated at the
+    // moment the timeout fired on the simulated timeline, and keep whichever
+    // finishes earlier. (Simulated-time semantics: the primary's result is
+    // already known when we hedge; the race is replayed on the timeline.)
+    const double hedge_timeout_s = config_.resilience.hedge_timeout_s;
+    if (hedge_timeout_s > 0.0 &&
+        dispatched.result.measurement.latency_s() > hedge_timeout_s) {
+        const auto alt = std::find_if(
+            candidates.begin(), candidates.end(),
+            [&dispatched](const std::string& name) { return name != dispatched.served_by; });
+        if (alt != candidates.end()) {
+            const double hedge_at = dispatch_now + hedge_timeout_s;
+            health_->note_hedge(*alt);
+            dispatched.hedged = true;
+            MW_TRACE_INSTANT(obs::Phase::kHedge, submit_options.trace_id, hedge_at,
+                             alt->c_str());
+            try {
+                device::InferenceResult hedge_result =
+                    dispatcher_->run_on(*alt, schedule_request.model_name, input,
+                                        hedge_at, submit_options);
+                health_->on_success(*alt, hedge_result.measurement.latency_s());
+                if (hedge_result.measurement.end_time <
+                    dispatched.result.measurement.end_time) {
+                    dispatched.result = std::move(hedge_result);
+                    dispatched.served_by = *alt;
+                }
+            } catch (const fault::FaultError&) {
+                // The hedge itself faulted: keep the straggling primary.
+                health_->on_failure(*alt);
+            }
+        }
+    }
+    return dispatched;
 }
 
 }  // namespace mw::serve

@@ -28,6 +28,7 @@
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
+#include "fault/health.hpp"
 #include "sched/scheduler.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -35,6 +36,22 @@
 #include "serve/stats.hpp"
 
 namespace mw::serve {
+
+/// Resilient-dispatch knobs. Off by default: a server without resilience
+/// behaves exactly as before mw::fault existed.
+struct ResilienceConfig {
+    bool enabled = false;
+    /// Retry ladder for faulted dispatches (next-best device, capped
+    /// exponential backoff on the simulated timeline).
+    sched::RetryPolicy retry{};
+    /// Per-device circuit breaker fed back into decide() as an exclusion
+    /// set; counters land in the server's metrics registry as mw_fault_*.
+    fault::HealthConfig health{};
+    /// Execute-timeout for the hedged re-dispatch: a batch whose execute
+    /// latency exceeds this gets one duplicate dispatch on the next-best
+    /// device, and the earlier finisher wins. 0 disables hedging.
+    double hedge_timeout_s = 0.0;
+};
 
 struct ServerConfig {
     std::size_t workers = 2;         ///< draining threads (owned pool size)
@@ -49,6 +66,7 @@ struct ServerConfig {
     /// Start workers in the constructor. Tests set this false to stage a
     /// queue deterministically before any worker runs, then call start().
     bool start_on_construction = true;
+    ResilienceConfig resilience{};
 };
 
 /// One-shot lifecycle: construct (optionally start()), serve, stop(); a
@@ -86,9 +104,33 @@ public:
         return stats_.registry();
     }
 
+    /// The per-device health tracker / circuit breaker; nullptr unless
+    /// resilience is enabled.
+    [[nodiscard]] fault::DeviceHealthTracker* health() { return health_.get(); }
+    [[nodiscard]] const fault::DeviceHealthTracker* health() const {
+        return health_.get();
+    }
+
 private:
+    /// What one batch dispatch produced, whichever path (plain or
+    /// resilient) ran it.
+    struct DispatchResult {
+        device::InferenceResult result;
+        std::string served_by;     ///< device that produced `result`
+        std::size_t attempts = 1;  ///< retry-ladder tries consumed
+        bool hedged = false;       ///< a duplicate hedge dispatch was issued
+    };
+
     void worker_loop();
     void execute_batch(PendingBatch batch);
+
+    /// The resilient dispatch path: health-partition the devices, decide
+    /// with exclusions, retry across candidates, hedge stragglers. May throw
+    /// (exhausted retries, every device excluded) — the caller fails the
+    /// batch exactly as on the plain path.
+    DispatchResult dispatch_resilient(const sched::ScheduleRequest& schedule_request,
+                                      const Tensor& input, double dispatch_now,
+                                      const device::SubmitOptions& submit_options);
 
     ServerConfig config_;
     const Clock* clock_;
@@ -99,6 +141,7 @@ private:
     RequestQueue queue_;
     AdmissionController admission_;
     BatchAggregator batcher_;
+    std::unique_ptr<fault::DeviceHealthTracker> health_;  ///< resilience only
 
     Mutex scheduler_mutex_{LockRank::kScheduler};  ///< OnlineScheduler is not thread-safe
     std::atomic<std::uint64_t> next_id_{1};

@@ -93,6 +93,10 @@ public:
     /// The registry behind every serving series, for the exporters.
     [[nodiscard]] const obs::MetricsRegistry& registry() const { return registry_; }
 
+    /// Mutable registry, for co-registering non-stats serving series (the
+    /// resilience layer's mw_fault_* counters) in the same export surface.
+    [[nodiscard]] obs::MetricsRegistry& mutable_registry() { return registry_; }
+
 private:
     /// Cached registry references for one policy lane: the hot path never
     /// does a name lookup.

@@ -1,0 +1,380 @@
+// mw::fault suite: injector determinism and validation (death test),
+// kill/revive, straggler stretching, the DeviceHealthTracker breaker state
+// machine on a ManualClock, the dispatcher's retry ladder, scheduler
+// decide-with-exclusions, and the server's straggler hedge.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/zoo.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_dataset.hpp"
+#include "serve/server.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+
+using namespace mw;
+using fault::BreakerState;
+
+// ---------------------------------------------------------------------------
+// FaultInjector
+// ---------------------------------------------------------------------------
+
+TEST(FaultInjectorDeathTest, OutOfRangeProbabilityAbortsWithNamedMessage) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    const ManualClock clock;
+    EXPECT_DEATH(
+        { fault::FaultInjector injector({.transient_failure_p = 1.5}, clock); },
+        "transient_failure_p must be a probability");
+    EXPECT_DEATH(
+        { fault::FaultInjector injector({.straggler_p = -0.1}, clock); },
+        "straggler_p must be a probability");
+    EXPECT_DEATH(
+        { fault::FaultInjector injector({.straggler_factor = 0.5}, clock); },
+        "straggler_factor must be >= 1");
+}
+
+/// The pattern of injected transients for one device under one seed.
+std::vector<bool> transient_pattern(fault::FaultInjector& injector,
+                                    const std::string& device, int draws) {
+    std::vector<bool> pattern;
+    pattern.reserve(static_cast<std::size_t>(draws));
+    for (int i = 0; i < draws; ++i) {
+        bool threw = false;
+        try {
+            injector.before_execute(device, 0.0, 0);
+        } catch (const fault::TransientFault&) {
+            threw = true;
+        }
+        pattern.push_back(threw);
+    }
+    return pattern;
+}
+
+TEST(FaultInjector, SameSeedSameDeviceGivesIdenticalFaultSequence) {
+    const ManualClock clock;
+    const fault::FaultConfig config{.transient_failure_p = 0.3, .seed = 42};
+    fault::FaultInjector a(config, clock);
+    fault::FaultInjector b(config, clock);
+    const auto pattern_a = transient_pattern(a, "i7-8700", 64);
+    EXPECT_EQ(pattern_a, transient_pattern(b, "i7-8700", 64));
+    EXPECT_GT(a.transients_injected(), 0U);
+    EXPECT_LT(a.transients_injected(), 64U);
+    // Distinct devices draw from distinct streams of the same root seed.
+    EXPECT_NE(pattern_a, transient_pattern(b, "uhd630", 64));
+}
+
+TEST(FaultInjector, KillAndReviveToggleDeviceDown) {
+    const ManualClock clock;
+    fault::FaultInjector injector({.seed = 7}, clock);
+    EXPECT_FALSE(injector.device_down("gtx1080ti"));
+    EXPECT_NO_THROW(injector.before_execute("gtx1080ti", 0.0, 1));
+
+    injector.kill_device("gtx1080ti");
+    EXPECT_TRUE(injector.device_down("gtx1080ti"));
+    EXPECT_THROW(injector.before_execute("gtx1080ti", 0.0, 1),
+                 fault::DeviceDownError);
+    EXPECT_EQ(injector.down_rejections(), 1U);
+
+    injector.revive_device("gtx1080ti");
+    EXPECT_FALSE(injector.device_down("gtx1080ti"));
+    EXPECT_NO_THROW(injector.before_execute("gtx1080ti", 0.0, 1));
+}
+
+TEST(FaultInjector, StragglerStretchesExecutionByTheFactor) {
+    const ManualClock clock;
+    fault::FaultInjector injector(
+        {.straggler_p = 1.0, .straggler_factor = 3.0, .seed = 1}, clock);
+    device::Measurement m;
+    m.submit_time = 0.5;
+    m.start_time = 1.0;
+    m.end_time = 2.0;
+    injector.after_execute("uhd630", m, 9);
+    // Only the execution interval stretches, anchored at start_time.
+    EXPECT_DOUBLE_EQ(m.start_time, 1.0);
+    EXPECT_DOUBLE_EQ(m.end_time, 4.0);
+    EXPECT_EQ(injector.stragglers_injected(), 1U);
+}
+
+// ---------------------------------------------------------------------------
+// DeviceHealthTracker: breaker state machine driven by a ManualClock
+// ---------------------------------------------------------------------------
+
+TEST(DeviceHealthTracker, OpensAfterConsecutiveFailuresAndBlocksUntilCooldown) {
+    ManualClock clock;
+    const fault::HealthConfig config{.consecutive_failures_to_open = 3,
+                                     .cooldown_s = 1.0,
+                                     .probe_interval_s = 0.25};
+    fault::DeviceHealthTracker health(config, clock);
+
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kClosed);
+    EXPECT_TRUE(health.allow("i7-8700"));
+
+    health.on_failure("i7-8700");
+    health.on_failure("i7-8700");
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kClosed);
+    health.on_failure("i7-8700");
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kOpen);
+    EXPECT_EQ(health.breaker_opens(), 1U);
+    EXPECT_FALSE(health.allow("i7-8700"));
+
+    // Other devices are independent.
+    EXPECT_TRUE(health.allow("uhd630"));
+
+    // Cooldown not yet elapsed on the injected clock.
+    clock.advance(0.5);
+    EXPECT_FALSE(health.allow("i7-8700"));
+
+    // Cooldown elapsed: the next allow() is the half-open re-probe.
+    clock.advance(0.5);
+    EXPECT_TRUE(health.allow("i7-8700"));
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kHalfOpen);
+    // Probes are paced: a second immediate allow() is refused.
+    EXPECT_FALSE(health.allow("i7-8700"));
+    clock.advance(0.25);
+    EXPECT_TRUE(health.allow("i7-8700"));
+}
+
+TEST(DeviceHealthTracker, HalfOpenProbeOutcomeClosesOrReopens) {
+    ManualClock clock;
+    const fault::HealthConfig config{.consecutive_failures_to_open = 2,
+                                     .cooldown_s = 0.5};
+    fault::DeviceHealthTracker health(config, clock);
+
+    // Trip, cool down, probe fails -> straight back to open.
+    health.on_failure("uhd630");
+    health.on_failure("uhd630");
+    ASSERT_EQ(health.state("uhd630"), BreakerState::kOpen);
+    clock.advance(0.5);
+    ASSERT_TRUE(health.allow("uhd630"));
+    ASSERT_EQ(health.state("uhd630"), BreakerState::kHalfOpen);
+    health.on_failure("uhd630");
+    EXPECT_EQ(health.state("uhd630"), BreakerState::kOpen);
+    EXPECT_FALSE(health.allow("uhd630"));
+
+    // Cool down again; this probe succeeds -> closed, error state reset.
+    clock.advance(0.5);
+    ASSERT_TRUE(health.allow("uhd630"));
+    health.on_success("uhd630", 0.002);
+    EXPECT_EQ(health.state("uhd630"), BreakerState::kClosed);
+    EXPECT_EQ(health.breaker_closes(), 1U);
+    EXPECT_DOUBLE_EQ(health.error_rate("uhd630"), 0.0);
+    EXPECT_TRUE(health.allow("uhd630"));
+    EXPECT_GT(health.latency_ewma_s("uhd630"), 0.0);
+}
+
+TEST(DeviceHealthTracker, ErrorEwmaOpensTheBreakerWithoutAConsecutiveRun) {
+    ManualClock clock;
+    const fault::HealthConfig config{.error_alpha = 0.5,
+                                     .open_error_threshold = 0.6,
+                                     .min_observations = 4,
+                                     .consecutive_failures_to_open = 100};
+    fault::DeviceHealthTracker health(config, clock);
+    // Alternate success/failure: never 2 consecutive failures, but the EWMA
+    // climbs past the threshold once enough observations accumulate.
+    for (int i = 0; i < 8 && health.state("gtx1080ti") == BreakerState::kClosed;
+         ++i) {
+        health.on_failure("gtx1080ti");
+        if (health.state("gtx1080ti") != BreakerState::kClosed) break;
+        health.on_success("gtx1080ti", 0.001);
+    }
+    EXPECT_EQ(health.state("gtx1080ti"), BreakerState::kOpen);
+}
+
+TEST(DeviceHealthTracker, PartitionAllowedSplitsTheFleet) {
+    ManualClock clock;
+    fault::DeviceHealthTracker health({.consecutive_failures_to_open = 1}, clock);
+    health.on_failure("uhd630");
+    std::vector<std::string> excluded;
+    const auto allowed = health.partition_allowed(
+        {"i7-8700", "uhd630", "gtx1080ti"}, &excluded);
+    EXPECT_EQ(allowed, (std::vector<std::string>{"i7-8700", "gtx1080ti"}));
+    EXPECT_EQ(excluded, (std::vector<std::string>{"uhd630"}));
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher::run_resilient on the standard testbed
+// ---------------------------------------------------------------------------
+
+struct DispatchWorld {
+    device::DeviceRegistry registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher{registry};
+    ManualClock clock;
+    workload::SyntheticSource source{5};
+
+    DispatchWorld() {
+        dispatcher.register_model(nn::zoo::simple(), 7);
+        dispatcher.deploy_all();
+        for (device::Device* dev : registry.devices()) dev->reset_timeline();
+    }
+
+    Tensor payload() { return source.next_batch(2, 4); }
+};
+
+TEST(RunResilient, RetriesOnNextBestDeviceWithSimulatedBackoff) {
+    DispatchWorld world;
+    fault::FaultInjector injector({.seed = 3}, world.clock);
+    world.dispatcher.set_fault_injector(&injector);
+    injector.kill_device("i7-8700");
+    fault::DeviceHealthTracker health({}, world.clock);
+
+    const sched::RetryPolicy policy{.max_attempts = 3, .backoff_base_s = 0.001};
+    const auto outcome = world.dispatcher.run_resilient(
+        {"i7-8700", "uhd630"}, "simple", world.payload(), 1.0, policy, &health);
+
+    EXPECT_EQ(outcome.device_name, "uhd630");
+    EXPECT_EQ(outcome.attempts, 2U);
+    EXPECT_DOUBLE_EQ(outcome.backoff_s, 0.001);
+    // The second attempt submitted after the backoff on the simulated timeline.
+    EXPECT_DOUBLE_EQ(outcome.result.measurement.submit_time, 1.001);
+    EXPECT_EQ(health.retries(), 1U);
+    EXPECT_GT(health.error_rate("i7-8700"), 0.0);
+    EXPECT_DOUBLE_EQ(health.error_rate("uhd630"), 0.0);
+    EXPECT_EQ(injector.down_rejections(), 1U);
+}
+
+TEST(RunResilient, ExhaustedLadderRethrowsAndTripsTheBreaker) {
+    DispatchWorld world;
+    fault::FaultInjector injector({.seed = 3}, world.clock);
+    world.dispatcher.set_fault_injector(&injector);
+    injector.kill_device("i7-8700");
+    fault::DeviceHealthTracker health({.consecutive_failures_to_open = 3},
+                                      world.clock);
+
+    const sched::RetryPolicy policy{.max_attempts = 3};
+    EXPECT_THROW(world.dispatcher.run_resilient({"i7-8700"}, "simple",
+                                                world.payload(), 0.0, policy,
+                                                &health),
+                 fault::DeviceDownError);
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kOpen);
+    // The final failure is not a retry: only the re-dispatches count.
+    EXPECT_EQ(health.retries(), 2U);
+}
+
+TEST(RunResilient, PreconditionErrorsPropagateWithoutRetry) {
+    DispatchWorld world;
+    fault::DeviceHealthTracker health({}, world.clock);
+    EXPECT_THROW(world.dispatcher.run_resilient({"i7-8700", "uhd630"}, "no-such-model",
+                                                world.payload(), 0.0, {}, &health),
+                 Error);
+    EXPECT_EQ(health.retries(), 0U);
+    EXPECT_EQ(health.state("i7-8700"), BreakerState::kClosed);
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler exclusions + Server hedging
+// ---------------------------------------------------------------------------
+
+struct ServeWorld {
+    device::DeviceRegistry registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher{registry};
+    std::optional<sched::OnlineScheduler> scheduler;
+    ManualClock clock;
+    workload::SyntheticSource source{5};
+
+    ServeWorld() {
+        dispatcher.register_model(nn::zoo::simple(), 7);
+        dispatcher.deploy_all();
+        const auto dataset = sched::build_scheduler_dataset(
+            registry, {nn::zoo::simple()}, {.batches = {1, 4, 16}});
+        sched::DevicePredictor predictor(
+            std::make_unique<ml::RandomForest>(
+                ml::ForestConfig{.n_estimators = 8, .seed = 3}),
+            dataset.device_names);
+        predictor.fit(dataset);
+        scheduler.emplace(dispatcher, std::move(predictor), dataset,
+                          sched::SchedulerConfig{.explore_probability = 0.0});
+        for (device::Device* dev : registry.devices()) dev->reset_timeline();
+    }
+};
+
+TEST(SchedulerExclusions, ReroutesOffAnExcludedPickAndThrowsWhenNoneLeft) {
+    ServeWorld world;
+    const sched::ScheduleRequest request{"simple", 4,
+                                         sched::Policy::kMaxThroughput};
+    const auto picked = world.scheduler->decide(request, 0.0);
+    EXPECT_FALSE(picked.rerouted);
+
+    const auto rerouted =
+        world.scheduler->decide(request, 0.0, {picked.device_name});
+    EXPECT_TRUE(rerouted.rerouted);
+    EXPECT_NE(rerouted.device_name, picked.device_name);
+
+    // An exclusion that doesn't cover the pick changes nothing.
+    const auto untouched =
+        world.scheduler->decide(request, 0.0, {rerouted.device_name});
+    EXPECT_EQ(untouched.device_name, picked.device_name);
+    EXPECT_FALSE(untouched.rerouted);
+
+    EXPECT_THROW(world.scheduler->decide(request, 0.0, world.registry.names()),
+                 StateError);
+}
+
+TEST(ServerHedging, StragglingDeviceIsHedgedOntoTheNextBest) {
+    ServeWorld world;
+    const auto picked = world.scheduler->decide(
+        {"simple", 2, sched::Policy::kMaxThroughput}, 0.0);
+    // Make the predictor's pick pathologically slow; the prediction is stale
+    // (features don't see throttle), so the server dispatches there anyway.
+    world.registry.at(picked.device_name).set_throttle(1000.0);
+
+    serve::ServerConfig config;
+    config.workers = 1;
+    config.batching.enabled = false;  // ManualClock: no batch window to expire
+    config.resilience.enabled = true;
+    // Healthy executes on this testbed take tens of microseconds of
+    // simulated time; 100 us only trips for the throttled straggler.
+    config.resilience.hedge_timeout_s = 1e-4;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    auto future = server.submit(serve::InferenceRequest{
+        "simple", world.source.next_batch(2, 4), sched::Policy::kMaxThroughput,
+        0.0});
+    const serve::Response response = future.get();
+    server.stop();
+
+    ASSERT_EQ(response.status, serve::RequestStatus::kCompleted);
+    EXPECT_TRUE(response.hedged);
+    EXPECT_NE(response.device_name, picked.device_name);
+    ASSERT_NE(server.health(), nullptr);
+    EXPECT_EQ(server.health()->hedges(), 1U);
+}
+
+TEST(ServerHedging, HealthyFleetServesWithoutHedgesOrRetries) {
+    ServeWorld world;
+    serve::ServerConfig config;
+    config.workers = 2;
+    config.batching.enabled = false;
+    config.resilience.enabled = true;
+    config.resilience.hedge_timeout_s = 1e9;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < 8; ++i) {
+        futures.push_back(server.submit(serve::InferenceRequest{
+            "simple", world.source.next_batch(2, 4),
+            sched::Policy::kMaxThroughput, 0.0}));
+    }
+    for (auto& f : futures) {
+        const serve::Response response = f.get();
+        ASSERT_EQ(response.status, serve::RequestStatus::kCompleted);
+        EXPECT_FALSE(response.hedged);
+        EXPECT_EQ(response.attempts, 1U);
+    }
+    server.stop();
+    ASSERT_NE(server.health(), nullptr);
+    EXPECT_EQ(server.health()->retries(), 0U);
+    EXPECT_EQ(server.health()->hedges(), 0U);
+    EXPECT_EQ(server.health()->breaker_opens(), 0U);
+}
+
+}  // namespace

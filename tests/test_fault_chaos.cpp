@@ -1,0 +1,247 @@
+// Chaos correctness suite: a resilient server under a seeded fault storm and
+// a hard device kill. Run directly for one seed, or sweep seeds the way the
+// nightly chaos pipeline does:
+//
+//   MW_CHAOS_SEED=7 ./tests/test_fault_chaos
+//   MW_CHAOS_TRACE=chaos.trace.json MW_CHAOS_SEED=7 ./tests/test_fault_chaos
+//
+// MW_CHAOS_SEED picks the injector's root seed (default 42); MW_CHAOS_TRACE
+// writes a Chrome trace of the run for post-mortem when a seed fails.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <future>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "fault/fault.hpp"
+#include "fault/health.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/zoo.hpp"
+#include "obs/export.hpp"
+#include "obs/trace.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_dataset.hpp"
+#include "serve/server.hpp"
+#include "workload/stream.hpp"
+
+namespace {
+
+using namespace mw;
+using fault::BreakerState;
+
+std::uint64_t chaos_seed() {
+    if (const char* env = std::getenv("MW_CHAOS_SEED")) {
+        return std::strtoull(env, nullptr, 10);
+    }
+    return 42;
+}
+
+/// Installs a TraceRecorder for the test's duration when MW_CHAOS_TRACE is
+/// set, and writes the Chrome trace there on teardown.
+class ChaosTraceGuard {
+public:
+    ChaosTraceGuard() {
+        if (const char* env = std::getenv("MW_CHAOS_TRACE")) {
+            path_ = env;
+            recorder_ = std::make_unique<obs::TraceRecorder>(
+                obs::TraceConfig{.ring_capacity = 1 << 16});
+            obs::TraceRecorder::install(recorder_.get());
+        }
+    }
+    ~ChaosTraceGuard() {
+        if (recorder_ == nullptr) return;
+        obs::TraceRecorder::install(nullptr);
+        obs::write_chrome_trace_file(path_, *recorder_);
+    }
+
+private:
+    std::string path_;
+    std::unique_ptr<obs::TraceRecorder> recorder_;
+};
+
+struct ChaosWorld {
+    device::DeviceRegistry registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher{registry};
+    std::optional<sched::OnlineScheduler> scheduler;
+    WallClock clock;
+    workload::SyntheticSource source{11};
+
+    ChaosWorld() {
+        dispatcher.register_model(nn::zoo::simple(), 7);
+        dispatcher.deploy_all();
+        const auto dataset = sched::build_scheduler_dataset(
+            registry, {nn::zoo::simple()}, {.batches = {1, 4, 16}});
+        sched::DevicePredictor predictor(
+            std::make_unique<ml::RandomForest>(
+                ml::ForestConfig{.n_estimators = 8, .seed = 3}),
+            dataset.device_names);
+        predictor.fit(dataset);
+        scheduler.emplace(dispatcher, std::move(predictor), dataset,
+                          sched::SchedulerConfig{.explore_probability = 0.0});
+        for (device::Device* dev : registry.devices()) dev->reset_timeline();
+    }
+
+    serve::InferenceRequest request() {
+        return serve::InferenceRequest{"simple", source.next_batch(2, 4),
+                                       sched::Policy::kMaxThroughput, 0.0};
+    }
+};
+
+// Under a 10% transient + 2% straggler storm at concurrent load, every
+// accepted request must reach a terminal status and the stats accounting
+// must balance exactly — nothing lost, nothing double-counted.
+TEST(ChaosStorm, EveryRequestTerminalAndAccountingBalancesExactly) {
+    const ChaosTraceGuard trace_guard;
+    const std::uint64_t seed = chaos_seed();
+    SCOPED_TRACE("MW_CHAOS_SEED=" + std::to_string(seed));
+
+    ChaosWorld world;
+    fault::FaultInjector injector({.transient_failure_p = 0.10,
+                                   .straggler_p = 0.02,
+                                   .straggler_factor = 4.0,
+                                   .seed = seed},
+                                  world.clock);
+    world.dispatcher.set_fault_injector(&injector);
+
+    serve::ServerConfig config;
+    config.workers = 3;
+    config.queue_capacity = 64;
+    config.resilience.enabled = true;
+    config.resilience.retry.max_attempts = 4;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 75;
+    std::vector<std::vector<std::future<serve::Response>>> futures(kClients);
+    {
+        std::vector<std::thread> clients;
+        clients.reserve(kClients);
+        for (int c = 0; c < kClients; ++c) {
+            clients.emplace_back([&world, &server, &futures, c] {
+                auto& lane = futures[static_cast<std::size_t>(c)];
+                for (int i = 0; i < kPerClient; ++i) {
+                    // Closed-loop client with a bounded outstanding window:
+                    // sustained load, not an instantaneous queue-capacity
+                    // burst (rejections are legal but not the point here).
+                    if (i >= 8) lane[static_cast<std::size_t>(i - 8)].wait();
+                    lane.push_back(server.submit(world.request()));
+                }
+            });
+        }
+        for (auto& client : clients) client.join();
+    }
+
+    std::map<serve::RequestStatus, std::size_t> outcomes;
+    for (auto& lane : futures) {
+        for (auto& f : lane) {
+            // get() itself is the terminal-status check: a lost request would
+            // hang here forever (the CI job's timeout catches that).
+            outcomes[f.get().status] += 1;
+        }
+    }
+    server.stop();
+
+    const auto totals = server.stats().totals();
+    EXPECT_EQ(totals.submitted,
+              static_cast<std::size_t>(kClients) * kPerClient);
+    // Exact accounting balance across every terminal counter.
+    EXPECT_EQ(totals.submitted, totals.completed + totals.rejected_full +
+                                    totals.evicted + totals.shed +
+                                    totals.failed + totals.shutdown);
+    // The counters agree with what the clients' futures actually resolved to.
+    EXPECT_EQ(totals.completed, outcomes[serve::RequestStatus::kCompleted]);
+    EXPECT_EQ(totals.failed, outcomes[serve::RequestStatus::kFailed]);
+
+    // The storm actually happened, and the ladder absorbed it: faults were
+    // injected, retries fired, and most traffic still completed.
+    EXPECT_GT(injector.transients_injected(), 0U);
+    ASSERT_NE(server.health(), nullptr);
+    EXPECT_GT(server.health()->retries(), 0U);
+    EXPECT_GE(totals.completed, totals.submitted / 2);
+}
+
+// Hard-kill the busiest device mid-run: the breaker must open and exclude
+// it, throughput must recover on the survivors, and after revival the
+// half-open probe must re-admit it.
+TEST(ChaosKill, BreakerExcludesKilledDeviceAndReadmitsAfterRevival) {
+    const ChaosTraceGuard trace_guard;
+    const std::uint64_t seed = chaos_seed();
+    SCOPED_TRACE("MW_CHAOS_SEED=" + std::to_string(seed));
+
+    ChaosWorld world;
+    fault::FaultInjector injector({.seed = seed}, world.clock);
+    world.dispatcher.set_fault_injector(&injector);
+
+    serve::ServerConfig config;
+    config.workers = 2;
+    config.resilience.enabled = true;
+    config.resilience.health.cooldown_s = 0.05;
+    config.resilience.health.probe_interval_s = 0.01;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    const auto run_window = [&](int n) {
+        std::map<std::string, int> by_device;
+        int completed = 0;
+        std::vector<std::future<serve::Response>> futures;
+        futures.reserve(static_cast<std::size_t>(n));
+        for (int i = 0; i < n; ++i) futures.push_back(server.submit(world.request()));
+        for (auto& f : futures) {
+            const serve::Response response = f.get();
+            if (response.ok()) {
+                ++completed;
+                by_device[response.device_name] += 1;
+            }
+        }
+        return std::pair<int, std::map<std::string, int>>{completed, by_device};
+    };
+
+    // Healthy window: find the device the scheduler actually routes to.
+    const auto [healthy_completed, healthy_by_device] = run_window(60);
+    ASSERT_GT(healthy_completed, 0);
+    std::string busiest;
+    int busiest_count = 0;
+    for (const auto& [device, count] : healthy_by_device) {
+        if (count > busiest_count) {
+            busiest = device;
+            busiest_count = count;
+        }
+    }
+    ASSERT_FALSE(busiest.empty());
+
+    // Kill it mid-run. The retry ladder keeps requests completing while the
+    // breaker accumulates failures and opens.
+    injector.kill_device(busiest);
+    const auto [degraded_completed, degraded_by_device] = run_window(60);
+    ASSERT_NE(server.health(), nullptr);
+    EXPECT_EQ(server.health()->state(busiest), BreakerState::kOpen);
+    EXPECT_EQ(degraded_by_device.count(busiest), 0U)
+        << "a killed device reported completions";
+    // Degraded throughput recovers on the survivors: >= 70% of healthy.
+    EXPECT_GE(degraded_completed, (healthy_completed * 7) / 10);
+    EXPECT_GT(server.health()->breaker_opens(), 0U);
+
+    // Revive and wait out the cooldown; serving traffic drives the
+    // half-open probe, whose success closes the breaker.
+    injector.revive_device(busiest);
+    sleep_for_seconds(2 * config.resilience.health.cooldown_s);
+    bool readmitted = false;
+    for (int round = 0; round < 50 && !readmitted; ++round) {
+        const auto [completed, by_device] = run_window(4);
+        (void)completed;
+        readmitted = server.health()->state(busiest) == BreakerState::kClosed &&
+                     by_device.count(busiest) > 0;
+    }
+    EXPECT_TRUE(readmitted)
+        << "revived device was not re-admitted by the half-open probe";
+    EXPECT_GT(server.health()->breaker_closes(), 0U);
+
+    server.stop();
+}
+
+}  // namespace

@@ -335,10 +335,17 @@ TEST(ServerTracing, EveryPhasePresentAndCorrelatedByRequestId) {
         ids_by_phase[static_cast<std::size_t>(s.phase)].insert(s.request_id);
         EXPECT_GE(s.t1, s.t0) << phase_name(s.phase);
     }
-    for (std::size_t phase = 0; phase < kPhaseCount; ++phase) {
+    // A healthy (fault-free) run traverses exactly the request-path phases;
+    // the fault/resilience phases must NOT appear without injected faults.
+    for (std::size_t phase = 0; phase < kRequestPathPhaseCount; ++phase) {
         EXPECT_FALSE(ids_by_phase[phase].empty())
             << "phase " << phase_name(static_cast<Phase>(phase))
             << " missing from the trace";
+    }
+    for (std::size_t phase = kRequestPathPhaseCount; phase < kPhaseCount; ++phase) {
+        EXPECT_TRUE(ids_by_phase[phase].empty())
+            << "fault phase " << phase_name(static_cast<Phase>(phase))
+            << " appeared in a fault-free trace";
     }
 
     const auto& submit = ids_by_phase[static_cast<std::size_t>(Phase::kSubmit)];
@@ -360,11 +367,11 @@ TEST(ServerTracing, EveryPhasePresentAndCorrelatedByRequestId) {
         }
     }
 
-    // The Chrome export of a real serving trace names every phase.
+    // The Chrome export of a real serving trace names every request-path phase.
     std::ostringstream out;
     write_chrome_trace(out, recorder);
     const std::string json = out.str();
-    for (std::size_t phase = 0; phase < kPhaseCount; ++phase) {
+    for (std::size_t phase = 0; phase < kRequestPathPhaseCount; ++phase) {
         EXPECT_NE(json.find(phase_name(static_cast<Phase>(phase))),
                   std::string::npos);
     }

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare a BENCH_serving.json against the committed
+baseline and fail (exit 1) when sustained QPS dropped more than the allowed
+fraction.
+
+Only QPS regressions gate the build — queue wait, batch size and energy are
+printed for context but machine-to-machine variance makes them too noisy to
+gate on. The QPS threshold is generous (20% by default) for the same reason:
+the gate exists to catch "someone serialized the hot path", not 2% jitter.
+
+Usage:
+  tools/bench-compare.py BASELINE.json CURRENT.json [--max-qps-drop 0.20]
+  tools/bench-compare.py --self-test
+
+--self-test fabricates a 25% QPS regression from a synthetic baseline and
+verifies the gate actually fires — CI runs it before trusting the real gate.
+"""
+
+import argparse
+import json
+import sys
+import tempfile
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    if "sustained_qps" not in data:
+        sys.exit(f"error: {path} has no sustained_qps field")
+    return data
+
+
+def fmt_delta(base, cur):
+    if base == 0:
+        return "n/a"
+    return f"{(cur - base) / base * 100.0:+.1f}%"
+
+
+def compare(baseline_path, current_path, max_qps_drop):
+    base = load(baseline_path)
+    cur = load(current_path)
+
+    rows = [
+        ("sustained_qps", "QPS"),
+        ("queue_wait_p95_s", "s"),
+        ("mean_batch", "req/batch"),
+        ("energy_per_request_j", "J/req"),
+    ]
+    print(f"{'metric':24} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for key, unit in rows:
+        b, c = base.get(key, 0.0), cur.get(key, 0.0)
+        print(f"{key:24} {b:14.4g} {c:14.4g} {fmt_delta(b, c):>8}  ({unit})")
+    for side, data in (("baseline", base), ("current", cur)):
+        deg = data.get("degraded", {})
+        if deg:
+            print(f"degraded ({side}): healthy {deg.get('healthy_qps', 0):.0f}, "
+                  f"killed {deg.get('killed_qps', 0):.0f}, "
+                  f"recovered ratio {deg.get('recovered_ratio', 0):.2f}")
+
+    base_qps = base["sustained_qps"]
+    cur_qps = cur["sustained_qps"]
+    if base_qps <= 0:
+        sys.exit("error: baseline sustained_qps is not positive")
+    drop = (base_qps - cur_qps) / base_qps
+    if drop > max_qps_drop:
+        print(f"\nFAIL: sustained QPS dropped {drop * 100.0:.1f}% "
+              f"(allowed: {max_qps_drop * 100.0:.0f}%)")
+        return 1
+    print(f"\nOK: sustained QPS within {max_qps_drop * 100.0:.0f}% of baseline "
+          f"(drop: {max(drop, 0.0) * 100.0:.1f}%)")
+    return 0
+
+
+def self_test(max_qps_drop):
+    baseline = {
+        "sustained_qps": 100000.0,
+        "queue_wait_p95_s": 0.002,
+        "mean_batch": 20.0,
+        "energy_per_request_j": 3e-5,
+    }
+    regressed = dict(baseline, sustained_qps=baseline["sustained_qps"] * 0.75)
+    ok = dict(baseline, sustained_qps=baseline["sustained_qps"] * 0.9)
+
+    def run(current):
+        with tempfile.NamedTemporaryFile("w", suffix=".json") as bf, \
+                tempfile.NamedTemporaryFile("w", suffix=".json") as cf:
+            json.dump(baseline, bf)
+            bf.flush()
+            json.dump(current, cf)
+            cf.flush()
+            return compare(bf.name, cf.name, max_qps_drop)
+
+    print("== self-test: 25% regression must FAIL ==")
+    if run(regressed) != 1:
+        sys.exit("self-test FAILED: a 25% QPS regression passed the gate")
+    print("\n== self-test: 10% drop must PASS ==")
+    if run(ok) != 0:
+        sys.exit("self-test FAILED: a 10% QPS drop tripped the 20% gate")
+    print("\nself-test OK: the gate fires on a 25% regression "
+          "and passes a 10% drop")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="freshly measured JSON")
+    parser.add_argument("--max-qps-drop", type=float, default=0.20,
+                        help="maximum allowed fractional QPS drop (default 0.20)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate fires on a synthetic regression")
+    args = parser.parse_args()
+
+    if args.self_test:
+        sys.exit(self_test(args.max_qps_drop))
+    if not args.baseline or not args.current:
+        parser.error("baseline and current are required (or use --self-test)")
+    sys.exit(compare(args.baseline, args.current, args.max_qps_drop))
+
+
+if __name__ == "__main__":
+    main()

@@ -42,6 +42,11 @@ Rules enforced over src/ (suppress a single line with
                         exporters never read clocks; timestamps arrive from
                         the recording components, so traces stay on the one
                         injected timeline.
+  wall-clock-in-fault   src/fault/ only: same ban. The FaultInjector and
+                        DeviceHealthTracker take an injected mw::Clock so a
+                        chaos run is a pure function of its seed — breaker
+                        cooldowns and half-open probes replay deterministically
+                        under a ManualClock.
 """
 
 from __future__ import annotations
@@ -164,6 +169,14 @@ PREFIX_RULES = [
         re.compile(r"\bStopwatch\b|\bWallClock\b"),
         "obs never reads a clock — every span timestamp is passed in by the "
         "recording component from its own injected mw::Clock / sim timeline",
+    ),
+    (
+        "wall-clock-in-fault",
+        "src/fault/",
+        re.compile(r"\bStopwatch\b|\bWallClock\b"),
+        "fault injection and health tracking read time only through the "
+        "injected mw::Clock — wall time would make fault schedules, breaker "
+        "cooldowns and chaos seeds non-reproducible under a ManualClock",
     ),
 ]
 
