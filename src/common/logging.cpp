@@ -1,6 +1,5 @@
 #include "common/logging.hpp"
 
-#include <atomic>
 #include <cstdio>
 #include <string>
 
@@ -9,7 +8,7 @@
 namespace mw::log {
 namespace {
 
-std::atomic<Level> g_level{Level::kWarn};
+Atomic<Level> g_level{Level::kWarn};
 Mutex g_sink_mutex{LockRank::kLogger};
 
 const char* level_tag(Level level) {
@@ -25,9 +24,13 @@ const char* level_tag(Level level) {
 
 }  // namespace
 
-void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+void set_level(Level level) {
+    g_level.store(level, std::memory_order_relaxed);  // relaxed: scalar filter level
+}
 
-Level level() { return g_level.load(std::memory_order_relaxed); }
+Level level() {
+    return g_level.load(std::memory_order_relaxed);  // relaxed: scalar filter level
+}
 
 void emit(Level lvl, std::string_view msg) {
     if (lvl < level()) return;

@@ -1,0 +1,90 @@
+// SpscRing: a bounded single-producer/single-consumer ring buffer — the
+// first building block of the lock-free serving hot path (ROADMAP item 2:
+// one SPSC ring per worker instead of the mutexed MPMC queue).
+//
+// Protocol: `head_` counts pushes and is written only by the producer;
+// `tail_` counts pops and is written only by the consumer. Each side
+// publishes its index with a release store and reads the other side's with
+// an acquire load, which is exactly what makes the non-atomic slot accesses
+// safe: the consumer reads a slot only after acquiring the head that
+// published it, and the producer rewrites a slot only after acquiring the
+// tail that retired it. Each side also keeps a plain-field cache of the
+// other side's index so the fast path touches no shared cache line.
+//
+// The memory-order template parameters exist ONLY for the model-check
+// mutation proof (tests instantiate a relaxed-order variant and assert the
+// checker reports the slot race — see tests/test_mc.cpp and DESIGN.md §12).
+// Production code must use the default orders.
+//
+// T must be default-constructible and movable. Capacity is a power of two.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/sync.hpp"
+
+namespace mw {
+
+template <typename T,
+          std::memory_order PublishOrder = std::memory_order_release,
+          std::memory_order ConsumeOrder = std::memory_order_acquire>
+class SpscRing {
+public:
+    explicit SpscRing(std::size_t capacity) : slots_(capacity), mask_(capacity - 1) {
+        MW_CHECK(capacity > 0 && (capacity & (capacity - 1)) == 0,
+                 "SpscRing: capacity must be a power of two");
+    }
+
+    SpscRing(const SpscRing&) = delete;
+    SpscRing& operator=(const SpscRing&) = delete;
+
+    /// Producer side only. False when the ring is full.
+    [[nodiscard]] bool try_push(T value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);  // relaxed: producer-owned index, nobody else writes it
+        if (head - cached_tail_ == slots_.size()) {
+            cached_tail_ = tail_.load(ConsumeOrder);
+            if (head - cached_tail_ == slots_.size()) return false;
+        }
+        MW_MC_RACE_WRITE(&slots_[head & mask_], "SpscRing slot (push)");
+        slots_[head & mask_] = std::move(value);
+        head_.store(head + 1, PublishOrder);
+        return true;
+    }
+
+    /// Consumer side only. False when the ring is empty.
+    [[nodiscard]] bool try_pop(T& out) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);  // relaxed: consumer-owned index, nobody else writes it
+        if (cached_head_ == tail) {
+            cached_head_ = head_.load(ConsumeOrder);
+            if (cached_head_ == tail) return false;
+        }
+        MW_MC_RACE_READ(&slots_[tail & mask_], "SpscRing slot (pop)");
+        out = std::move(slots_[tail & mask_]);
+        tail_.store(tail + 1, PublishOrder);
+        return true;
+    }
+
+    /// Approximate occupancy (exact when called from either endpoint thread
+    /// while the other is quiescent).
+    [[nodiscard]] std::size_t size() const {
+        const std::size_t head = head_.load(std::memory_order_acquire);
+        const std::size_t tail = tail_.load(std::memory_order_acquire);
+        return head - tail;
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+private:
+    std::vector<T> slots_;
+    std::size_t mask_;
+
+    Atomic<std::size_t> head_{0};  ///< pushes completed; producer-written
+    Atomic<std::size_t> tail_{0};  ///< pops completed; consumer-written
+    std::size_t cached_tail_ = 0;  ///< producer's view of tail_
+    std::size_t cached_head_ = 0;  ///< consumer's view of head_
+};
+
+}  // namespace mw

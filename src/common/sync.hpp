@@ -23,13 +23,26 @@
 // analysis knows the lock is held across the wait) and double-seconds
 // timeouts (so std::chrono stays confined to the two sanctioned conversion
 // points, common/timer.hpp and this header).
+//
+// Atomics carry the same discipline (mw-lint: raw-atomic): every atomic in
+// the tree is an mw::Atomic<T> / mw::AtomicFlag, never a raw std::atomic.
+// In normal builds the wrappers are zero-overhead passthroughs. Under
+// -DMW_MODEL_CHECK every wrapper operation (atomics AND lock acquisitions)
+// becomes a scheduling point of the mw::mc model checker: managed test
+// threads are serialized and the checker explores their interleavings,
+// while a vector-clock tracker verifies that the memory orders actually
+// written establish the happens-before edges the code relies on. See
+// src/mc/mc.hpp and DESIGN.md §12.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 #include <utility>
+
+#include "mc/hooks.hpp"
 
 // --- Clang Thread Safety Analysis attribute macros -------------------------
 // No-ops under non-Clang compilers; see
@@ -140,7 +153,177 @@ private:
     LockRank rank_;
 };
 
+/// Map a std::memory_order onto the four orders the model checker's
+/// happens-before tracker distinguishes (consume is treated as acquire,
+/// seq_cst as acq_rel — the serialized model-check run supplies the total
+/// order seq_cst would otherwise add).
+[[nodiscard]] constexpr mc::Ordering mc_order(stdsync::memory_order order) noexcept {
+    switch (order) {
+        case stdsync::memory_order_relaxed: return mc::Ordering::kRelaxed;
+        case stdsync::memory_order_consume:
+        case stdsync::memory_order_acquire: return mc::Ordering::kAcquire;
+        case stdsync::memory_order_release: return mc::Ordering::kRelease;
+        default: return mc::Ordering::kAcqRel;
+    }
+}
+
 }  // namespace detail
+
+// Instrumented operations cannot be unconditionally noexcept: under
+// -DMW_MODEL_CHECK a recorded failure (assertion, race, deadlock, step
+// budget) unwinds the managed thread by throwing the scheduler's internal
+// AbortSchedule exception through the hook call. Normal builds keep the
+// std::atomic noexcept guarantee.
+#if defined(MW_MODEL_CHECK)
+#define MW_SYNC_NOEXCEPT
+#else
+#define MW_SYNC_NOEXCEPT noexcept
+#endif
+
+/// Drop-in replacement for std::atomic<T> (the explicit-call subset: load /
+/// store / exchange / compare_exchange / fetch_add / fetch_sub — no implicit
+/// conversions, so every access is visible at the call site). Zero-overhead
+/// passthrough in normal builds; under -DMW_MODEL_CHECK each operation is a
+/// scheduling point and feeds the happens-before tracker, so the model
+/// checker both explores interleavings across it and verifies that the
+/// memory order written here really synchronizes what the code thinks it
+/// does. Raw std::atomic outside this header is an mw-lint error
+/// (raw-atomic).
+template <typename T>
+class Atomic {
+public:
+    constexpr Atomic() noexcept : v_{} {}
+    constexpr Atomic(T value) noexcept : v_(value) {}  // implicit, like std::atomic
+
+    Atomic(const Atomic&) = delete;
+    Atomic& operator=(const Atomic&) = delete;
+
+    [[nodiscard]] T load(stdsync::memory_order order =
+                             stdsync::memory_order_seq_cst) const MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicLoad, order);
+        const T value = v_.load(order);
+        hook_applied(mc::Op::kAtomicLoad, order, /*did_store=*/false);
+        return value;
+    }
+
+    void store(T value, stdsync::memory_order order =
+                            stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicStore, order);
+        v_.store(value, order);
+        hook_applied(mc::Op::kAtomicStore, order, /*did_store=*/true);
+    }
+
+    T exchange(T value, stdsync::memory_order order =
+                            stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicRmw, order);
+        const T previous = v_.exchange(value, order);
+        hook_applied(mc::Op::kAtomicRmw, order, /*did_store=*/true);
+        return previous;
+    }
+
+    bool compare_exchange_weak(T& expected, T desired, stdsync::memory_order success,
+                               stdsync::memory_order failure) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicRmw, success);
+        const bool swapped = v_.compare_exchange_weak(expected, desired, success, failure);
+        hook_applied(mc::Op::kAtomicRmw, swapped ? success : failure, swapped);
+        return swapped;
+    }
+    bool compare_exchange_weak(T& expected, T desired,
+                               stdsync::memory_order order =
+                                   stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        return compare_exchange_weak(expected, desired, order, cas_failure_order(order));
+    }
+
+    bool compare_exchange_strong(T& expected, T desired, stdsync::memory_order success,
+                                 stdsync::memory_order failure) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicRmw, success);
+        const bool swapped =
+            v_.compare_exchange_strong(expected, desired, success, failure);
+        hook_applied(mc::Op::kAtomicRmw, swapped ? success : failure, swapped);
+        return swapped;
+    }
+    bool compare_exchange_strong(T& expected, T desired,
+                                 stdsync::memory_order order =
+                                     stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        return compare_exchange_strong(expected, desired, order, cas_failure_order(order));
+    }
+
+    /// Arg is a template so the member only instantiates where std::atomic
+    /// supports it (integral + floating T: T; pointer T: ptrdiff_t).
+    template <typename Arg>
+    T fetch_add(Arg arg, stdsync::memory_order order =
+                             stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicRmw, order);
+        const T previous = v_.fetch_add(arg, order);
+        hook_applied(mc::Op::kAtomicRmw, order, /*did_store=*/true);
+        return previous;
+    }
+    template <typename Arg>
+    T fetch_sub(Arg arg, stdsync::memory_order order =
+                             stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        hook_point(mc::Op::kAtomicRmw, order);
+        const T previous = v_.fetch_sub(arg, order);
+        hook_applied(mc::Op::kAtomicRmw, order, /*did_store=*/true);
+        return previous;
+    }
+
+private:
+    [[nodiscard]] static constexpr stdsync::memory_order cas_failure_order(
+        stdsync::memory_order success) noexcept {
+        // Same demotion std::atomic's one-order CAS overload performs.
+        switch (success) {
+            case stdsync::memory_order_acq_rel: return stdsync::memory_order_acquire;
+            case stdsync::memory_order_release: return stdsync::memory_order_relaxed;
+            default: return success;
+        }
+    }
+
+    void hook_point(mc::Op op, stdsync::memory_order order) const MW_SYNC_NOEXCEPT {
+#if defined(MW_MODEL_CHECK)
+        mc::atomic_point(this, op, detail::mc_order(order), nullptr);
+#else
+        (void)op;
+        (void)order;
+#endif
+    }
+    void hook_applied(mc::Op op, stdsync::memory_order order,
+                      bool did_store) const MW_SYNC_NOEXCEPT {
+#if defined(MW_MODEL_CHECK)
+        mc::atomic_applied(this, op, detail::mc_order(order), did_store);
+#else
+        (void)op;
+        (void)order;
+        (void)did_store;
+#endif
+    }
+
+    mutable stdsync::atomic<T> v_;
+};
+
+/// std::atomic_flag replacement with the same model-check instrumentation
+/// (built on atomic<bool> so it also supports a plain test()).
+class AtomicFlag {
+public:
+    constexpr AtomicFlag() noexcept = default;
+
+    AtomicFlag(const AtomicFlag&) = delete;
+    AtomicFlag& operator=(const AtomicFlag&) = delete;
+
+    bool test_and_set(stdsync::memory_order order =
+                          stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        return v_.exchange(true, order);
+    }
+    void clear(stdsync::memory_order order = stdsync::memory_order_seq_cst) MW_SYNC_NOEXCEPT {
+        v_.store(false, order);
+    }
+    [[nodiscard]] bool test(stdsync::memory_order order =
+                                stdsync::memory_order_seq_cst) const MW_SYNC_NOEXCEPT {
+        return v_.load(order);
+    }
+
+private:
+    Atomic<bool> v_{false};
+};
 
 /// Exclusive mutex with a lock rank. Locking is RAII-only (MutexLock);
 /// there is deliberately no public lock()/unlock().
@@ -194,10 +377,40 @@ private:
 };
 
 /// RAII exclusive lock on a Mutex (the only way to lock one).
+///
+/// Under -DMW_MODEL_CHECK a managed thread acquires cooperatively: it spins
+/// on try_lock, yielding to the checker's scheduler between attempts, so a
+/// contended lock blocks only in simulation (never the real thread — which
+/// would wedge the serialized execution) and lock/unlock build the same
+/// happens-before edges the race detector consumes.
 class MW_SCOPED_CAPABILITY MutexLock {
 public:
-    explicit MutexLock(Mutex& mu) MW_ACQUIRE(mu) : rank_(mu.rank_), ul_(mu.m_) {}
-    ~MutexLock() MW_RELEASE() {}
+    explicit MutexLock(Mutex& mu) MW_ACQUIRE(mu)
+        : rank_(mu.rank_), ul_(mu.m_, stdsync::defer_lock) {
+#if defined(MW_MODEL_CHECK)
+        if (mc::managed()) {
+            mc_addr_ = &mu;
+            mc::mutex_lock(
+                mc_addr_, /*shared=*/false,
+                [](void* lock) {
+                    return static_cast<stdsync::unique_lock<stdsync::mutex>*>(lock)
+                        ->try_lock();
+                },
+                &ul_, "mw::Mutex");
+            return;
+        }
+#endif
+        ul_.lock();
+    }
+    ~MutexLock() MW_RELEASE() {
+#if defined(MW_MODEL_CHECK)
+        // Runs before ul_'s destructor performs the real unlock; the checker
+        // does not yield in between, so no managed thread sees the window.
+        if (mc_addr_ != nullptr && mc::managed()) {
+            mc::mutex_unlock(mc_addr_, /*shared=*/false);
+        }
+#endif
+    }
 
     MutexLock(const MutexLock&) = delete;
     MutexLock& operator=(const MutexLock&) = delete;
@@ -209,13 +422,39 @@ private:
     // acquire, and the rank pop runs after the unlock.
     detail::RankGuard rank_;
     stdsync::unique_lock<stdsync::mutex> ul_;
+#if defined(MW_MODEL_CHECK)
+    const void* mc_addr_ = nullptr;
+#endif
 };
 
-/// RAII exclusive lock on a SharedMutex.
+/// RAII exclusive lock on a SharedMutex (cooperative under MW_MODEL_CHECK,
+/// exactly like MutexLock).
 class MW_SCOPED_CAPABILITY WriterLock {
 public:
-    explicit WriterLock(SharedMutex& mu) MW_ACQUIRE(mu) : rank_(mu.rank_), ul_(mu.m_) {}
-    ~WriterLock() MW_RELEASE() {}
+    explicit WriterLock(SharedMutex& mu) MW_ACQUIRE(mu)
+        : rank_(mu.rank_), ul_(mu.m_, stdsync::defer_lock) {
+#if defined(MW_MODEL_CHECK)
+        if (mc::managed()) {
+            mc_addr_ = &mu;
+            mc::mutex_lock(
+                mc_addr_, /*shared=*/false,
+                [](void* lock) {
+                    return static_cast<stdsync::unique_lock<stdsync::shared_mutex>*>(lock)
+                        ->try_lock();
+                },
+                &ul_, "mw::SharedMutex(writer)");
+            return;
+        }
+#endif
+        ul_.lock();
+    }
+    ~WriterLock() MW_RELEASE() {
+#if defined(MW_MODEL_CHECK)
+        if (mc_addr_ != nullptr && mc::managed()) {
+            mc::mutex_unlock(mc_addr_, /*shared=*/false);
+        }
+#endif
+    }
 
     WriterLock(const WriterLock&) = delete;
     WriterLock& operator=(const WriterLock&) = delete;
@@ -223,14 +462,40 @@ public:
 private:
     detail::RankGuard rank_;
     std::unique_lock<std::shared_mutex> ul_;
+#if defined(MW_MODEL_CHECK)
+    const void* mc_addr_ = nullptr;
+#endif
 };
 
-/// RAII shared (reader) lock on a SharedMutex.
+/// RAII shared (reader) lock on a SharedMutex (cooperative under
+/// MW_MODEL_CHECK; reader-reader concurrency is preserved in simulation
+/// because try_lock_shared succeeds alongside other readers).
 class MW_SCOPED_CAPABILITY ReaderLock {
 public:
     explicit ReaderLock(SharedMutex& mu) MW_ACQUIRE_SHARED(mu)
-        : rank_(mu.rank_), sl_(mu.m_) {}
-    ~ReaderLock() MW_RELEASE() {}
+        : rank_(mu.rank_), sl_(mu.m_, stdsync::defer_lock) {
+#if defined(MW_MODEL_CHECK)
+        if (mc::managed()) {
+            mc_addr_ = &mu;
+            mc::mutex_lock(
+                mc_addr_, /*shared=*/true,
+                [](void* lock) {
+                    return static_cast<stdsync::shared_lock<stdsync::shared_mutex>*>(lock)
+                        ->try_lock();
+                },
+                &sl_, "mw::SharedMutex(reader)");
+            return;
+        }
+#endif
+        sl_.lock();
+    }
+    ~ReaderLock() MW_RELEASE() {
+#if defined(MW_MODEL_CHECK)
+        if (mc_addr_ != nullptr && mc::managed()) {
+            mc::mutex_unlock(mc_addr_, /*shared=*/true);
+        }
+#endif
+    }
 
     ReaderLock(const ReaderLock&) = delete;
     ReaderLock& operator=(const ReaderLock&) = delete;
@@ -238,6 +503,9 @@ public:
 private:
     detail::RankGuard rank_;
     std::shared_lock<std::shared_mutex> sl_;
+#if defined(MW_MODEL_CHECK)
+    const void* mc_addr_ = nullptr;
+#endif
 };
 
 /// Condition variable bound to mw::Mutex. Waits take the RAII guard, so the
@@ -255,22 +523,82 @@ public:
     void notify_all() noexcept { cv_.notify_all(); }
 
     /// Block until pred() holds.
+    ///
+    /// Under MW_MODEL_CHECK a managed thread waits by releasing the lock,
+    /// yielding to the checker's scheduler, re-acquiring, and re-checking —
+    /// a spin model that covers every notify interleaving (including
+    /// spurious wakeups) at the cost of masking lost-notify bugs; the
+    /// per-schedule step budget converts a never-true predicate into a
+    /// reported livelock. See DESIGN.md §12.
     template <typename Predicate>
     void wait(MutexLock& lock, Predicate pred) {
+#if defined(MW_MODEL_CHECK)
+        if (mc::managed()) {
+            while (!pred()) {
+                mc_unlock_relock(lock);
+            }
+            return;
+        }
+#endif
         cv_.wait(lock.ul_, std::move(pred));
     }
 
     /// Block until pred() holds or `seconds` elapsed; returns pred()'s final
     /// value. seconds <= 0 evaluates pred once without blocking.
+    ///
+    /// Under MW_MODEL_CHECK (managed threads) the timeout is modeled as
+    /// expiring after a single yield — a legal timing the caller must
+    /// already handle — so timed waits cannot blow up the schedule space.
     template <typename Predicate>
     bool wait_for(MutexLock& lock, double seconds, Predicate pred) {
         if (seconds <= 0.0) return pred();
+#if defined(MW_MODEL_CHECK)
+        if (mc::managed()) {
+            if (pred()) return true;
+            mc_unlock_relock(lock);
+            return pred();
+        }
+#endif
         return cv_.wait_for(lock.ul_, std::chrono::duration<double>(seconds),
                             std::move(pred));
     }
 
 private:
+#if defined(MW_MODEL_CHECK)
+    /// One wait step of the managed spin model: release, yield, re-acquire.
+    /// The RankGuard stays pushed across the gap — same approximation the
+    /// real condition_variable wait path has always had.
+    static void mc_unlock_relock(MutexLock& lock) {
+        mc::mutex_unlock(lock.mc_addr_, /*shared=*/false);
+        lock.ul_.unlock();
+        mc::yield_point("condvar-wait");
+        mc::mutex_lock(
+            lock.mc_addr_, /*shared=*/false,
+            [](void* raw) {
+                return static_cast<stdsync::unique_lock<stdsync::mutex>*>(raw)
+                    ->try_lock();
+            },
+            &lock.ul_, "condvar-relock");
+    }
+#endif
+
     stdsync::condition_variable cv_;
 };
 
 }  // namespace mw
+
+// Non-atomic shared-memory access annotations for the model checker's race
+// detector. Place at raw reads/writes that a lock-free protocol publishes
+// via an mw::Atomic (e.g. ring-buffer slots): a pair of annotated accesses
+// from two managed threads with no happens-before edge between them fails
+// the schedule with both sites named. Compile to nothing outside
+// -DMW_MODEL_CHECK; `label` must be a string literal.
+#if defined(MW_MODEL_CHECK)
+#define MW_MC_RACE_READ(addr, label) ::mw::mc::race_read((addr), (label))
+#define MW_MC_RACE_WRITE(addr, label) ::mw::mc::race_write((addr), (label))
+#define MW_MC_YIELD(label) ::mw::mc::yield_point((label))
+#else
+#define MW_MC_RACE_READ(addr, label) (static_cast<void>(0))
+#define MW_MC_RACE_WRITE(addr, label) (static_cast<void>(0))
+#define MW_MC_YIELD(label) (static_cast<void>(0))
+#endif

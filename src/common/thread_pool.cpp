@@ -53,8 +53,8 @@ struct LoopState {
     std::size_t end = 0;
     std::size_t grain = 1;
     std::size_t nchunks = 0;
-    std::atomic<std::size_t> next_chunk{0};
-    std::atomic<std::size_t> chunks_done{0};
+    Atomic<std::size_t> next_chunk{0};
+    Atomic<std::size_t> chunks_done{0};
     Mutex mutex{LockRank::kPoolLoop};
     CondVar done_cv;
     std::exception_ptr first_error MW_GUARDED_BY(mutex);
@@ -64,7 +64,8 @@ struct LoopState {
 /// chunk; completion is tracked by `chunks_done`, not by who ran what.
 void run_chunks(const std::shared_ptr<LoopState>& state) {
     for (;;) {
-        const std::size_t c = state->next_chunk.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t c = state->next_chunk.fetch_add(
+            1, std::memory_order_relaxed);  // relaxed: chunk claim needs uniqueness only
         if (c >= state->nchunks) return;
         const std::size_t lo = state->begin + c * state->grain;
         const std::size_t hi = std::min(lo + state->grain, state->end);

@@ -6,9 +6,10 @@
 // same double-seconds convention.
 #pragma once
 
-#include <atomic>
 #include <chrono>
 #include <thread>
+
+#include "common/sync.hpp"
 
 namespace mw {
 
@@ -72,7 +73,7 @@ public:
     void advance(double dt) { now_.fetch_add(dt, std::memory_order_acq_rel); }
 
 private:
-    std::atomic<double> now_;
+    Atomic<double> now_;
 };
 
 /// Sleep the calling thread for `seconds` (no-op when <= 0).

@@ -134,7 +134,9 @@ Measurement Device::execute(const nn::Model& model, std::size_t batch, double si
 
     // Serialise on the device queue: a submission cannot start before the
     // previous one finished.
-    const double start = std::max(sim_time, busy_until_.load(std::memory_order_relaxed));
+    const double start = std::max(
+        sim_time,
+        busy_until_.load(std::memory_order_relaxed));  // relaxed: scalar timeline estimate
     const double clock_start = clock_ratio_at_locked(start);
 
     const nn::ModelCost cost = model.cost(batch);

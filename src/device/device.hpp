@@ -9,7 +9,6 @@
 // (see DESIGN.md §1).
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -142,7 +141,7 @@ private:
     // DVFS state.
     double clock_ratio_ MW_GUARDED_BY(mutex_);
     double last_active_end_ MW_GUARDED_BY(mutex_) = 0.0;
-    std::atomic<double> busy_until_{0.0};
+    Atomic<double> busy_until_{0.0};
 
     // Measurement noise.
     double noise_sigma_ MW_GUARDED_BY(mutex_) = 0.0;

@@ -87,12 +87,13 @@ void FaultInjector::before_execute(const std::string& device_name, double now,
         case Draw::kNone:
             return;
         case Draw::kDown:
-            down_rejections_.fetch_add(1, std::memory_order_relaxed);
+            down_rejections_.fetch_add(1,
+                                       std::memory_order_relaxed);  // relaxed: monotonic stat
             if (down_metric_ != nullptr) down_metric_->inc();
             MW_TRACE_INSTANT(obs::Phase::kFault, trace_id, now, "device-down");
             throw DeviceDownError("device `" + device_name + "` is down (injected)");
         case Draw::kTransient:
-            transients_.fetch_add(1, std::memory_order_relaxed);
+            transients_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat
             if (transients_metric_ != nullptr) transients_metric_->inc();
             MW_TRACE_INSTANT(obs::Phase::kFault, trace_id, now, "transient");
             throw TransientFault("transient kernel failure on `" + device_name +
@@ -110,7 +111,7 @@ void FaultInjector::after_execute(const std::string& device_name, device::Measur
                    state.rng.bernoulli(config_.straggler_p);
     }
     if (!straggle) return;
-    stragglers_.fetch_add(1, std::memory_order_relaxed);
+    stragglers_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     if (stragglers_metric_ != nullptr) stragglers_metric_->inc();
     const double stretched =
         m.start_time + (m.end_time - m.start_time) * config_.straggler_factor;

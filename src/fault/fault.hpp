@@ -15,7 +15,6 @@
 // timers of its own.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -97,13 +96,13 @@ public:
     // --- injection counters (also registered as mw_fault_* when a metrics
     // --- registry was supplied) ---
     [[nodiscard]] std::uint64_t transients_injected() const {
-        return transients_.load(std::memory_order_relaxed);
+        return transients_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t stragglers_injected() const {
-        return stragglers_.load(std::memory_order_relaxed);
+        return stragglers_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t down_rejections() const {
-        return down_rejections_.load(std::memory_order_relaxed);
+        return down_rejections_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
 
 private:
@@ -121,9 +120,9 @@ private:
     mutable Mutex mutex_{LockRank::kFaultInject};
     std::map<std::string, DeviceState> states_ MW_GUARDED_BY(mutex_);
 
-    std::atomic<std::uint64_t> transients_{0};
-    std::atomic<std::uint64_t> stragglers_{0};
-    std::atomic<std::uint64_t> down_rejections_{0};
+    Atomic<std::uint64_t> transients_{0};
+    Atomic<std::uint64_t> stragglers_{0};
+    Atomic<std::uint64_t> down_rejections_{0};
 
     // Optional registry-backed mirrors (nullptr when no registry given).
     obs::Counter* transients_metric_ = nullptr;

@@ -45,7 +45,7 @@ DeviceHealthTracker::DeviceHealth& DeviceHealthTracker::health_for(
 void DeviceHealthTracker::open_breaker(DeviceHealth& health, double now) {
     health.state = BreakerState::kOpen;
     health.reopen_at_s = now + config_.cooldown_s;
-    opens_.fetch_add(1, std::memory_order_relaxed);
+    opens_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     if (opens_metric_ != nullptr) opens_metric_->inc();
 }
 
@@ -69,7 +69,7 @@ void DeviceHealthTracker::on_success(const std::string& device_name, double late
             health.error_ewma = 0.0;
             health.observations = 1;
             closed_now = true;
-            closes_.fetch_add(1, std::memory_order_relaxed);
+            closes_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
             if (closes_metric_ != nullptr) closes_metric_->inc();
         }
     }
@@ -126,7 +126,8 @@ bool DeviceHealthTracker::allow(const std::string& device_name) {
                     health.state = BreakerState::kHalfOpen;
                     health.last_probe_s = now;
                     half_opened_now = true;
-                    half_opens_.fetch_add(1, std::memory_order_relaxed);
+                    half_opens_.fetch_add(1,
+                                          std::memory_order_relaxed);  // relaxed: monotonic stat
                     if (half_opens_metric_ != nullptr) half_opens_metric_->inc();
                     allowed = true;  // this caller is the re-probe
                 }
@@ -182,13 +183,13 @@ double DeviceHealthTracker::latency_ewma_s(const std::string& device_name) const
 
 void DeviceHealthTracker::note_retry(const std::string& device_name) {
     (void)device_name;
-    retries_.fetch_add(1, std::memory_order_relaxed);
+    retries_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     if (retries_metric_ != nullptr) retries_metric_->inc();
 }
 
 void DeviceHealthTracker::note_hedge(const std::string& device_name) {
     (void)device_name;
-    hedges_.fetch_add(1, std::memory_order_relaxed);
+    hedges_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     if (hedges_metric_ != nullptr) hedges_metric_->inc();
 }
 

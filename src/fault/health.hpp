@@ -88,16 +88,16 @@ public:
     void note_hedge(const std::string& device_name);
 
     [[nodiscard]] std::uint64_t retries() const {
-        return retries_.load(std::memory_order_relaxed);
+        return retries_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t hedges() const {
-        return hedges_.load(std::memory_order_relaxed);
+        return hedges_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t breaker_opens() const {
-        return opens_.load(std::memory_order_relaxed);
+        return opens_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t breaker_closes() const {
-        return closes_.load(std::memory_order_relaxed);
+        return closes_.load(std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
 
     [[nodiscard]] const HealthConfig& config() const { return config_; }
@@ -123,11 +123,11 @@ private:
     mutable Mutex mutex_{LockRank::kFaultHealth};
     std::map<std::string, DeviceHealth> table_ MW_GUARDED_BY(mutex_);
 
-    std::atomic<std::uint64_t> retries_{0};
-    std::atomic<std::uint64_t> hedges_{0};
-    std::atomic<std::uint64_t> opens_{0};
-    std::atomic<std::uint64_t> half_opens_{0};
-    std::atomic<std::uint64_t> closes_{0};
+    Atomic<std::uint64_t> retries_{0};
+    Atomic<std::uint64_t> hedges_{0};
+    Atomic<std::uint64_t> opens_{0};
+    Atomic<std::uint64_t> half_opens_{0};
+    Atomic<std::uint64_t> closes_{0};
 
     obs::Counter* opens_metric_ = nullptr;
     obs::Counter* half_opens_metric_ = nullptr;

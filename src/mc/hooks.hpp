@@ -1,0 +1,96 @@
+// mw::mc instrumentation hooks — the narrow waist between the sync wrappers
+// (common/sync.hpp) and the model-check scheduler (mc/mc.hpp).
+//
+// Under -DMW_MODEL_CHECK every mw::Atomic / mw::AtomicFlag operation and
+// every mw::Mutex / mw::SharedMutex acquisition calls into these functions.
+// They are no-ops unless the calling thread is *managed* — registered with
+// the currently running mc::check() execution — so production code, the
+// logger, and unrelated test threads behave exactly as in a normal build
+// even inside a model-check binary.
+//
+// This header is deliberately tiny and self-contained (no repo includes):
+// it is pulled into common/sync.hpp, which everything includes.
+#pragma once
+
+#include <cstddef>
+
+namespace mw::mc {
+
+/// What kind of instrumented operation is about to run (scheduling points
+/// and the happens-before bookkeeping both key off this).
+enum class Op : int {
+    kAtomicLoad,
+    kAtomicStore,
+    kAtomicRmw,   ///< exchange / fetch_add / fetch_sub / successful CAS
+    kMutexLock,
+    kMutexUnlock,
+    kSharedLock,
+    kSharedUnlock,
+    kYield,       ///< explicit yield (CondVar spin-wait re-check)
+    kRaceRead,    ///< instrumented non-atomic read (MW_MC_RACE_READ)
+    kRaceWrite,   ///< instrumented non-atomic write (MW_MC_RACE_WRITE)
+};
+
+/// Simplified C++ memory orders the clock tracker distinguishes.
+enum class Ordering : int {
+    kRelaxed,
+    kAcquire,
+    kRelease,
+    kAcqRel,   ///< acq_rel and seq_cst (the serialized run gives the total order)
+};
+
+/// True when the calling thread belongs to the active mc::check() execution.
+[[nodiscard]] bool managed() noexcept;
+
+/// Scheduling point + happens-before update for one atomic operation on the
+/// object at `addr`. Called BEFORE the underlying std::atomic op runs; the
+/// scheduler may switch to another managed thread here. `label` must be a
+/// string literal (stored, not copied) naming the site for failure traces.
+///
+/// None of the hooks below are noexcept: on a recorded failure (assertion,
+/// race, deadlock, step budget) the scheduler unwinds the managed thread by
+/// throwing its internal AbortSchedule exception through them.
+void atomic_point(const void* addr, Op op, Ordering order, const char* label);
+
+/// Happens-before clock effects AFTER the underlying op ran. `did_store` is
+/// false for loads and failed compare_exchange (which act as acquire loads
+/// at most); true for stores and successful RMWs.
+void atomic_applied(const void* addr, Op op, Ordering order, bool did_store);
+
+/// Cooperative mutex acquisition: blocks (by yielding to the scheduler)
+/// until `try_acquire` succeeds. `try_acquire` is retried only when the
+/// scheduler believes the primitive may be free, and must not block.
+/// Establishes the acquire happens-before edge on success.
+void mutex_lock(const void* addr, bool shared, bool (*try_acquire)(void*),
+                void* primitive, const char* label);
+
+/// Release happens-before edge + wake waiters. Call BEFORE the real unlock
+/// (the caller does not yield between this call and the unlock, so no
+/// managed thread can observe the window).
+void mutex_unlock(const void* addr, bool shared);
+
+/// Scheduling point for a CondVar spin-wait re-check (the model-check build
+/// turns condition waits into yield-and-recheck loops; see DESIGN.md §12).
+void yield_point(const char* label);
+
+/// Non-atomic shared-memory access instrumentation for the vector-clock
+/// race detector: a pair of accesses to `addr` from different managed
+/// threads with no happens-before edge between them fails the schedule.
+void race_read(const void* addr, const char* label);
+void race_write(const void* addr, const char* label);
+
+/// Assertion usable from inside managed threads and from the check() body:
+/// failure records the message + current schedule and aborts the schedule
+/// (not the process).
+void check_failed(const char* file, int line, const char* expr, const char* msg);
+
+}  // namespace mw::mc
+
+/// Model-check assertion: under a managed execution a failure aborts the
+/// current schedule and is reported with its replay trace; outside one it
+/// aborts the process like MW_ASSERT_MSG.
+#define MC_ASSERT_MSG(expr, msg)                                       \
+    do {                                                               \
+        if (!(expr)) ::mw::mc::check_failed(__FILE__, __LINE__, #expr, (msg)); \
+    } while (0)
+#define MC_ASSERT(expr) MC_ASSERT_MSG(expr, "model-check invariant violated")

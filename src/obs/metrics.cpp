@@ -12,8 +12,9 @@ void LogHistogram::add(double seconds) noexcept {
     const double clamped = std::max(seconds, kMinS);
     const double decades = std::log10(clamped / kMinS);
     const auto raw = static_cast<std::size_t>(decades * kBucketsPerDecade);
-    buckets_[std::min(raw, kBuckets - 1)].fetch_add(1, std::memory_order_relaxed);
-    count_.fetch_add(1, std::memory_order_relaxed);
+    buckets_[std::min(raw, kBuckets - 1)].fetch_add(
+        1, std::memory_order_relaxed);  // relaxed: monotonic stat
+    count_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat
 }
 
 double LogHistogram::percentile(double p) const noexcept {
@@ -22,7 +23,7 @@ double LogHistogram::percentile(double p) const noexcept {
     std::array<std::uint64_t, kBuckets> counts;
     std::uint64_t total = 0;
     for (std::size_t i = 0; i < kBuckets; ++i) {
-        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);  // relaxed: approximate read
         total += counts[i];
     }
     if (total == 0) return std::numeric_limits<double>::quiet_NaN();

@@ -10,7 +10,6 @@
 // bench harness, the demo, and any future component read one catalogue.
 #pragma once
 
-#include <atomic>
 #include <array>
 #include <cstddef>
 #include <cstdint>
@@ -27,14 +26,14 @@ namespace mw::obs {
 class Counter {
 public:
     void inc(std::uint64_t n = 1) noexcept {
-        value_.fetch_add(n, std::memory_order_relaxed);
+        value_.fetch_add(n, std::memory_order_relaxed);  // relaxed: monotonic stat, no data published
     }
     [[nodiscard]] std::uint64_t value() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(std::memory_order_relaxed);  // relaxed: approximate read is fine
     }
 
 private:
-    std::atomic<std::uint64_t> value_{0};
+    Atomic<std::uint64_t> value_{0};
 };
 
 /// Double-valued gauge (set or accumulate). Lock-free; add() is a CAS loop
@@ -42,19 +41,21 @@ private:
 /// library support.
 class Gauge {
 public:
-    void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+    void set(double v) noexcept {
+        value_.store(v, std::memory_order_relaxed);  // relaxed: scalar value, no data published
+    }
     void add(double delta) noexcept {
-        double cur = value_.load(std::memory_order_relaxed);
-        while (!value_.compare_exchange_weak(cur, cur + delta,
-                                             std::memory_order_relaxed)) {
+        double cur = value_.load(std::memory_order_relaxed);  // relaxed: CAS seed, retried
+        while (!value_.compare_exchange_weak(
+            cur, cur + delta, std::memory_order_relaxed)) {  // relaxed: scalar accumulate
         }
     }
     [[nodiscard]] double value() const noexcept {
-        return value_.load(std::memory_order_relaxed);
+        return value_.load(std::memory_order_relaxed);  // relaxed: approximate read is fine
     }
 
 private:
-    std::atomic<double> value_{0.0};
+    Atomic<double> value_{0.0};
 };
 
 /// Fixed log-spaced histogram: 1 us .. 1000 s, 20 buckets/decade. Cheap
@@ -72,7 +73,7 @@ public:
     void add(double seconds) noexcept;
 
     [[nodiscard]] std::size_t count() const noexcept {
-        return count_.load(std::memory_order_relaxed);
+        return count_.load(std::memory_order_relaxed);  // relaxed: approximate read is fine
     }
 
     /// p in [0, 100]. Returns quiet NaN when the histogram is empty — an
@@ -81,8 +82,8 @@ public:
     [[nodiscard]] double percentile(double p) const noexcept;
 
 private:
-    std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
-    std::atomic<std::size_t> count_{0};
+    std::array<Atomic<std::uint64_t>, kBuckets> buckets_{};
+    Atomic<std::size_t> count_{0};
 };
 
 enum class MetricKind { kCounter, kGauge, kHistogram };

@@ -8,11 +8,11 @@ namespace mw::obs {
 namespace {
 
 /// The process-wide sink the MW_TRACE_* macros consult.
-std::atomic<TraceRecorder*> g_installed{nullptr};
+Atomic<TraceRecorder*> g_installed{nullptr};
 
 /// Monotone recorder generation: a fresh TraceRecorder at a recycled address
 /// must not hit a stale thread-local ring cache.
-std::atomic<std::uint64_t> g_next_generation{1};
+Atomic<std::uint64_t> g_next_generation{1};
 
 /// Per-thread cache of "my ring inside the recorder of generation `gen`".
 struct TlsRingCache {
@@ -43,7 +43,8 @@ const char* phase_name(Phase phase) noexcept {
 
 TraceRecorder::TraceRecorder(TraceConfig config)
     : config_(config),
-      generation_(g_next_generation.fetch_add(1, std::memory_order_relaxed)) {
+      generation_(g_next_generation.fetch_add(
+          1, std::memory_order_relaxed)) {  // relaxed: unique value only, no data published
     MW_CHECK(config_.ring_capacity > 0, "ring_capacity must be positive");
 }
 
@@ -80,12 +81,13 @@ void TraceRecorder::record(Phase phase, std::uint64_t request_id, double t0, dou
     Ring& ring = ring_for_this_thread();
     // Single writer per ring (the owning thread), so a relaxed read of our own
     // published count is exact.
-    const std::size_t n = ring.published.load(std::memory_order_relaxed);
+    const std::size_t n = ring.published.load(std::memory_order_relaxed);  // relaxed: own ring, single writer
     if (n >= ring.slots.size()) {
-        ring.dropped.fetch_add(1, std::memory_order_relaxed);
+        ring.dropped.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat
         return;
     }
     Span& span = ring.slots[n];
+    MW_MC_RACE_WRITE(&span, "TraceRecorder ring slot (record)");
     span.phase = phase;
     span.tid = ring.tid;
     span.request_id = request_id;
@@ -103,6 +105,9 @@ std::vector<Span> TraceRecorder::snapshot() const {
         const MutexLock lock(mutex_);
         for (const auto& ring : rings_) {
             const std::size_t n = ring->published.load(std::memory_order_acquire);
+            for (std::size_t i = 0; i < n; ++i) {
+                MW_MC_RACE_READ(&ring->slots[i], "TraceRecorder ring slot (snapshot)");
+            }
             out.insert(out.end(), ring->slots.begin(),
                        ring->slots.begin() + static_cast<std::ptrdiff_t>(n));
         }
@@ -116,7 +121,7 @@ std::size_t TraceRecorder::dropped() const {
     const MutexLock lock(mutex_);
     std::size_t total = 0;
     for (const auto& ring : rings_) {
-        total += ring->dropped.load(std::memory_order_relaxed);
+        total += ring->dropped.load(std::memory_order_relaxed);  // relaxed: monotonic stat
     }
     return total;
 }

@@ -17,7 +17,6 @@
 // own injected mw::Clock / simulated timeline (mw-lint: wall-clock-in-obs).
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -70,9 +69,9 @@ private:
         Ring(std::size_t capacity, std::uint32_t tid_in)
             : slots(capacity), tid(tid_in) {}
 
-        std::vector<Span> slots;             ///< preallocated; written once each
-        std::atomic<std::size_t> published{0};  ///< slots [0, published) are final
-        std::atomic<std::size_t> dropped{0};
+        std::vector<Span> slots;          ///< preallocated; written once each
+        Atomic<std::size_t> published{0}; ///< slots [0, published) are final
+        Atomic<std::size_t> dropped{0};
         std::uint32_t tid;
     };
 

@@ -4,7 +4,6 @@
 // every available processing device.
 #pragma once
 
-#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -119,7 +118,7 @@ private:
     [[nodiscard]] std::shared_ptr<nn::Model> find_model(const std::string& model_name) const;
 
     device::DeviceRegistry* registry_;
-    std::atomic<fault::FaultInjector*> injector_{nullptr};
+    Atomic<fault::FaultInjector*> injector_{nullptr};
     mutable SharedMutex models_mutex_{LockRank::kDispatcher};
     std::map<std::string, std::shared_ptr<nn::Model>> models_ MW_GUARDED_BY(models_mutex_);
 };

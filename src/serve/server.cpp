@@ -100,7 +100,7 @@ std::future<Response> Server::submit(InferenceRequest request) {
     MW_CHECK(request.slo_s >= 0.0, "slo_s must be non-negative");
 
     Request r;
-    r.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    r.id = next_id_.fetch_add(1, std::memory_order_relaxed);  // relaxed: ids need uniqueness only
     r.model_name = std::move(request.model_name);
     r.samples = request.payload.shape()[0];
     r.policy = request.policy;

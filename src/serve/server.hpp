@@ -18,7 +18,6 @@
 // outside while the server is running.
 #pragma once
 
-#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <future>
@@ -144,10 +143,10 @@ private:
     std::unique_ptr<fault::DeviceHealthTracker> health_;  ///< resilience only
 
     Mutex scheduler_mutex_{LockRank::kScheduler};  ///< OnlineScheduler is not thread-safe
-    std::atomic<std::uint64_t> next_id_{1};
-    std::atomic<std::size_t> inflight_{0};
-    std::atomic<bool> running_{false};
-    std::atomic<bool> stopped_{false};
+    Atomic<std::uint64_t> next_id_{1};
+    Atomic<std::size_t> inflight_{0};
+    Atomic<bool> running_{false};
+    Atomic<bool> stopped_{false};
 
     std::unique_ptr<ThreadPool> pool_;
     std::vector<std::future<void>> workers_;

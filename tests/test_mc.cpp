@@ -1,0 +1,433 @@
+// Model-check suite: runs the mw::mc schedule explorer against the repo's
+// lock-free protocols (SPSC ring, breaker half-open gate, server lifecycle
+// flags, trace span ring) plus the mutation proofs the checker exists for —
+// a ring with weakened memory orders and a probe gate with its CAS replaced
+// by check-then-act must BOTH be caught, with schedules that replay
+// deterministically, while the unmutated protocols exhaust cleanly.
+//
+// Built only under -DMW_MODEL_CHECK=ON (the `model-check` CMake preset);
+// the bodies must be deterministic per schedule: fresh state every run, no
+// wall clock, no external randomness.
+//
+// Nightly sweep knobs (see .github/workflows/ci.yml, job mc-nightly):
+//   MW_MC_SEED=N        base seed for the RandomSweep tests (default 1)
+//   MW_MC_SCHEDULES=N   samples per sweep body (default 200)
+//   MW_MC_ARTIFACT=path on failure, append failing seed + trace + message
+#ifndef MW_MODEL_CHECK
+#error "test_mc.cpp requires -DMW_MODEL_CHECK=ON (use the model-check preset)"
+#endif
+
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/spsc_ring.hpp"
+#include "common/sync.hpp"
+#include "common/timer.hpp"
+#include "fault/health.hpp"
+#include "mc/mc.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using mw::mc::Options;
+using mw::mc::Result;
+using mw::mc::Sim;
+using mw::mc::Strategy;
+
+Options exhaustive(int preemption_bound = 2) {
+    Options options;
+    options.strategy = Strategy::kExhaustive;
+    options.preemption_bound = preemption_bound;
+    return options;
+}
+
+std::uint64_t env_u64(const char* name, std::uint64_t fallback) {
+    const char* raw = std::getenv(name);
+    if (raw == nullptr || *raw == '\0') return fallback;
+    return static_cast<std::uint64_t>(std::strtoull(raw, nullptr, 10));
+}
+
+/// Nightly-sweep plumbing: persist everything needed to reproduce a failing
+/// sample (the CI job uploads the file as an artifact).
+void dump_artifact(const char* test, const Result& result) {
+    const char* path = std::getenv("MW_MC_ARTIFACT");
+    if (path == nullptr || *path == '\0') return;
+    std::ofstream out(path, std::ios::app);
+    out << "test: " << test << "\n"
+        << "failing_seed: " << result.failing_seed << "\n"
+        << "failing_trace: " << result.failing_trace << "\n"
+        << "message: " << result.message << "\n---\n";
+}
+
+// ---------------------------------------------------------------------------
+// SPSC ring
+// ---------------------------------------------------------------------------
+
+/// Producer pushes 0,1,2 through a capacity-2 ring (so slot reuse is
+/// exercised); consumer drains what it can. Attempts are bounded — an
+/// unbounded spin would (correctly) trip the step budget on schedules where
+/// the peer never runs. Invariant: the popped values are an in-order prefix
+/// of the pushed sequence.
+template <typename Ring>
+void spsc_body(Sim& sim) {
+    auto ring = std::make_shared<Ring>(2);
+    sim.thread([ring] {
+        for (int i = 0; i < 3; ++i) {
+            for (int attempt = 0; attempt < 2; ++attempt) {
+                if (ring->try_push(int{i})) break;
+            }
+        }
+    });
+    sim.thread([ring] {
+        std::vector<int> got;
+        for (int attempt = 0; attempt < 6; ++attempt) {
+            int v = -1;
+            if (ring->try_pop(v)) got.push_back(v);
+        }
+        for (std::size_t j = 0; j < got.size(); ++j) {
+            MC_ASSERT_MSG(got[j] == static_cast<int>(j),
+                          "SPSC ring broke FIFO order");
+        }
+    });
+    sim.join_all();
+}
+
+void spsc_body_correct(Sim& sim) { spsc_body<mw::SpscRing<int>>(sim); }
+
+/// The mutation the checker must catch: indices published/consumed relaxed,
+/// so nothing orders the slot write against the slot read.
+using RelaxedRing =
+    mw::SpscRing<int, std::memory_order_relaxed, std::memory_order_relaxed>;
+void spsc_body_relaxed(Sim& sim) { spsc_body<RelaxedRing>(sim); }
+
+TEST(McSpscRing, ExhaustivePassesWithAcquireRelease) {
+    const Result r = mw::mc::check(exhaustive(), spsc_body_correct);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted) << "state space unexpectedly large: " << r.schedules;
+    EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(McSpscRing, RelaxedOrderMutationIsCaughtAndReplays) {
+    const Result r = mw::mc::check(exhaustive(), spsc_body_relaxed);
+    ASSERT_TRUE(r.failed) << "weakened ring escaped " << r.schedules << " schedules";
+    EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+    EXPECT_NE(r.message.find("SpscRing slot"), std::string::npos) << r.message;
+    ASSERT_FALSE(r.failing_trace.empty());
+
+    // The printed trace replays the exact schedule: same failure, same picks
+    // (messages embed heap addresses, which may vary between runs).
+    const Result again = mw::mc::replay(exhaustive(), r, spsc_body_relaxed);
+    ASSERT_TRUE(again.failed);
+    EXPECT_NE(again.message.find("data race"), std::string::npos) << again.message;
+    EXPECT_EQ(again.failing_trace, r.failing_trace);
+}
+
+// ---------------------------------------------------------------------------
+// Breaker probe gate (lock-free fixture) — mutation proof for the CAS
+// ---------------------------------------------------------------------------
+
+/// Lock-free model of the half-open admission decision: the open->half-open
+/// transition must admit exactly one probe. The correct variant claims the
+/// transition with a CAS; the mutated one uses load-then-store check-then-act
+/// (the bug you get by "simplifying" the CAS away).
+struct ProbeGate {
+    static constexpr int kOpen = 0;
+    static constexpr int kHalfOpen = 1;
+    mw::Atomic<int> state{kOpen};
+    mw::Atomic<int> probes{0};
+
+    bool try_admit_cas() {
+        int expected = kOpen;
+        if (state.compare_exchange_strong(expected, kHalfOpen,
+                                          std::memory_order_acq_rel)) {
+            probes.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+
+    bool try_admit_racy() {
+        if (state.load(std::memory_order_acquire) == kOpen) {
+            state.store(kHalfOpen, std::memory_order_release);
+            probes.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+        return false;
+    }
+};
+
+template <bool kUseCas>
+void probe_gate_body(Sim& sim) {
+    auto gate = std::make_shared<ProbeGate>();
+    for (int t = 0; t < 2; ++t) {
+        sim.thread([gate] {
+            if (kUseCas) {
+                (void)gate->try_admit_cas();
+            } else {
+                (void)gate->try_admit_racy();
+            }
+        });
+    }
+    sim.join_all();
+    MC_ASSERT_MSG(gate->probes.load(std::memory_order_relaxed) == 1,
+                  "half-open window admitted more than one probe");
+}
+
+TEST(McProbeGate, CasAdmitsExactlyOneAcrossAllSchedules) {
+    const Result r = mw::mc::check(exhaustive(), probe_gate_body<true>);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted);
+}
+
+TEST(McProbeGate, CheckThenActMutationIsCaughtAndReplays) {
+    const Result r = mw::mc::check(exhaustive(), probe_gate_body<false>);
+    ASSERT_TRUE(r.failed) << "check-then-act gate escaped " << r.schedules
+                          << " schedules";
+    EXPECT_NE(r.message.find("more than one probe"), std::string::npos)
+        << r.message;
+
+    const Result again = mw::mc::replay(exhaustive(), r, probe_gate_body<false>);
+    ASSERT_TRUE(again.failed);
+    EXPECT_NE(again.message.find("more than one probe"), std::string::npos)
+        << again.message;
+    EXPECT_EQ(again.failing_trace, r.failing_trace);
+}
+
+// ---------------------------------------------------------------------------
+// DeviceHealthTracker: the real component, half-open window race
+// ---------------------------------------------------------------------------
+
+/// Two threads race allow() the instant the cooldown elapses. The first
+/// transitions open -> half-open and is the probe; the second must see the
+/// fresh last_probe_s and be refused. Every explored schedule must admit
+/// exactly one caller.
+void breaker_half_open_body(Sim& sim) {
+    auto clock = std::make_shared<mw::ManualClock>(0.0);
+    mw::fault::HealthConfig config;
+    config.consecutive_failures_to_open = 3;
+    config.cooldown_s = 0.25;
+    config.probe_interval_s = 0.05;
+    auto tracker = std::make_shared<mw::fault::DeviceHealthTracker>(config, *clock);
+    for (int i = 0; i < 3; ++i) tracker->on_failure("gpu0");
+    MC_ASSERT(tracker->state("gpu0") == mw::fault::BreakerState::kOpen);
+    clock->advance(config.cooldown_s + 0.01);
+
+    auto admitted = std::make_shared<mw::Atomic<int>>(0);
+    for (int t = 0; t < 2; ++t) {
+        sim.thread([tracker, admitted] {
+            if (tracker->allow("gpu0")) {
+                admitted->fetch_add(1, std::memory_order_relaxed);
+            }
+        });
+    }
+    sim.join_all();
+    MC_ASSERT_MSG(admitted->load(std::memory_order_relaxed) == 1,
+                  "half-open breaker admitted != 1 probe");
+    MC_ASSERT(tracker->state("gpu0") == mw::fault::BreakerState::kHalfOpen);
+}
+
+TEST(McBreaker, HalfOpenWindowAdmitsExactlyOneProbe) {
+    const Result r = mw::mc::check(exhaustive(), breaker_half_open_body);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted) << "state space unexpectedly large: " << r.schedules;
+}
+
+// ---------------------------------------------------------------------------
+// Server lifecycle flags
+// ---------------------------------------------------------------------------
+
+/// Model of serve::Server's running_/stopped_ protocol (server.cpp): start()
+/// claims running_ with an exchange so only one caller boots the pool, and
+/// stop() claims stopped_ the same way so only one caller drains.
+struct ServerFlags {
+    mw::Atomic<bool> running{false};
+    mw::Atomic<bool> stopped{false};
+    mw::Atomic<int> boots{0};
+    mw::Atomic<int> drains{0};
+
+    void start() {
+        if (running.exchange(true, std::memory_order_acq_rel)) return;
+        boots.fetch_add(1, std::memory_order_relaxed);
+    }
+    void stop() {
+        if (stopped.exchange(true, std::memory_order_acq_rel)) return;
+        (void)running.exchange(false, std::memory_order_acq_rel);
+        drains.fetch_add(1, std::memory_order_relaxed);
+    }
+};
+
+void server_flags_body(Sim& sim) {
+    auto flags = std::make_shared<ServerFlags>();
+    sim.thread([flags] { flags->start(); });
+    sim.thread([flags] { flags->start(); });
+    sim.join_all();
+    MC_ASSERT_MSG(flags->boots.load(std::memory_order_relaxed) == 1,
+                  "two start() calls both booted");
+    MC_ASSERT(flags->running.load(std::memory_order_acquire));
+}
+
+void server_stop_body(Sim& sim) {
+    auto flags = std::make_shared<ServerFlags>();
+    flags->start();
+    sim.thread([flags] { flags->stop(); });
+    sim.thread([flags] { flags->stop(); });
+    sim.join_all();
+    MC_ASSERT_MSG(flags->drains.load(std::memory_order_relaxed) == 1,
+                  "two stop() calls both drained");
+    MC_ASSERT(!flags->running.load(std::memory_order_acquire));
+    MC_ASSERT(flags->stopped.load(std::memory_order_acquire));
+}
+
+TEST(McServerFlags, StartIsIdempotentAcrossAllSchedules) {
+    const Result r = mw::mc::check(exhaustive(), server_flags_body);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted);
+}
+
+TEST(McServerFlags, StopDrainsExactlyOnceAcrossAllSchedules) {
+    const Result r = mw::mc::check(exhaustive(), server_stop_body);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted);
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder span ring: record vs snapshot
+// ---------------------------------------------------------------------------
+
+/// One thread publishes spans into its per-thread ring while another
+/// snapshots. snapshot() must only read slots below the acquired published
+/// count — the MW_MC_RACE annotations in trace.cpp turn any overread into a
+/// reported race.
+void trace_ring_body(Sim& sim) {
+    mw::obs::TraceConfig config;
+    config.ring_capacity = 4;
+    auto recorder = std::make_shared<mw::obs::TraceRecorder>(config);
+    sim.thread([recorder] {
+        recorder->record(mw::obs::Phase::kSubmit, 1, 0.0, 0.1, "s1");
+        recorder->record(mw::obs::Phase::kComplete, 1, 0.1, 0.2, "s2");
+    });
+    sim.thread([recorder] {
+        const std::vector<mw::obs::Span> spans = recorder->snapshot();
+        MC_ASSERT_MSG(spans.size() <= 2, "snapshot saw unpublished spans");
+    });
+    sim.join_all();
+    MC_ASSERT(recorder->snapshot().size() == 2);
+    MC_ASSERT(recorder->dropped() == 0);
+}
+
+TEST(McTraceRing, SnapshotNeverReadsUnpublishedSlots) {
+    const Result r = mw::mc::check(exhaustive(), trace_ring_body);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted) << "state space unexpectedly large: " << r.schedules;
+}
+
+// ---------------------------------------------------------------------------
+// Engine behaviour: random sampling, seed replay, livelock detection
+// ---------------------------------------------------------------------------
+
+/// Classic lost update: load-then-store increments drop one when the two
+/// threads interleave between the load and the store.
+template <bool kUseFetchAdd>
+void counter_body(Sim& sim) {
+    auto counter = std::make_shared<mw::Atomic<int>>(0);
+    for (int t = 0; t < 2; ++t) {
+        sim.thread([counter] {
+            if (kUseFetchAdd) {
+                counter->fetch_add(1, std::memory_order_relaxed);
+            } else {
+                const int v = counter->load(std::memory_order_relaxed);
+                counter->store(v + 1, std::memory_order_relaxed);
+            }
+        });
+    }
+    sim.join_all();
+    MC_ASSERT_MSG(counter->load(std::memory_order_relaxed) == 2, "lost update");
+}
+
+TEST(McEngine, ExhaustiveFindsLostUpdateAndFetchAddFixesIt) {
+    const Result bad = mw::mc::check(exhaustive(1), counter_body<false>);
+    ASSERT_TRUE(bad.failed);
+    EXPECT_NE(bad.message.find("lost update"), std::string::npos) << bad.message;
+
+    const Result good = mw::mc::check(exhaustive(1), counter_body<true>);
+    EXPECT_FALSE(good.failed) << good.message;
+    EXPECT_TRUE(good.exhausted);
+}
+
+TEST(McEngine, RandomSamplingFindsBugAndSeedReplayIsDeterministic) {
+    Options options;
+    options.strategy = Strategy::kRandom;
+    options.seed = env_u64("MW_MC_SEED", 1);
+    options.max_schedules = 500;
+    const Result r = mw::mc::check(options, counter_body<false>);
+    ASSERT_TRUE(r.failed) << "random sampling missed the lost update in "
+                          << r.schedules << " samples";
+    ASSERT_NE(r.failing_seed, 0u);
+
+    // Replaying by effective seed alone (no trace) reproduces the failure on
+    // the identical schedule. Compare pick sequences, not messages — the
+    // message embeds heap addresses that legitimately vary between runs.
+    Options by_seed;
+    by_seed.strategy = Strategy::kReplay;
+    by_seed.replay_seed = r.failing_seed;
+    const Result again = mw::mc::check(by_seed, counter_body<false>);
+    ASSERT_TRUE(again.failed);
+    EXPECT_EQ(again.failing_trace, r.failing_trace);
+    EXPECT_NE(again.message.find("lost update"), std::string::npos) << again.message;
+}
+
+TEST(McEngine, SpinOnNeverPublishedFlagReportsStepBudgetLivelock) {
+    Options options = exhaustive();
+    options.max_steps = 200;
+    options.max_schedules = 4;
+    const Result r = mw::mc::check(options, [](Sim& sim) {
+        auto flag = std::make_shared<mw::Atomic<bool>>(false);
+        sim.thread([flag] {
+            while (!flag->load(std::memory_order_acquire)) {
+            }
+        });
+        sim.join_all();
+    });
+    ASSERT_TRUE(r.failed);
+    EXPECT_NE(r.message.find("step budget"), std::string::npos) << r.message;
+}
+
+// ---------------------------------------------------------------------------
+// Nightly random sweep (MW_MC_SEED / MW_MC_SCHEDULES from the environment)
+// ---------------------------------------------------------------------------
+
+struct SweepBody {
+    const char* name;
+    void (*body)(Sim&);
+};
+
+TEST(McNightly, RandomSweepOverAllProtocols) {
+    const SweepBody bodies[] = {
+        {"spsc_ring", spsc_body_correct},
+        {"probe_gate_cas", probe_gate_body<true>},
+        {"breaker_half_open", breaker_half_open_body},
+        {"server_flags_start", server_flags_body},
+        {"server_flags_stop", server_stop_body},
+        {"trace_ring", trace_ring_body},
+    };
+    Options options;
+    options.strategy = Strategy::kRandom;
+    options.seed = env_u64("MW_MC_SEED", 1);
+    options.max_schedules = env_u64("MW_MC_SCHEDULES", 200);
+    for (const SweepBody& sweep : bodies) {
+        const Result r = mw::mc::check(options, sweep.body);
+        if (r.failed) dump_artifact(sweep.name, r);
+        EXPECT_FALSE(r.failed)
+            << sweep.name << " failed under seed " << r.failing_seed
+            << " (replay with replay_seed or trace below)\n"
+            << r.message;
+    }
+}
+
+}  // namespace

@@ -25,6 +25,18 @@ Rules enforced over src/ (suppress a single line with
   raw-abort             no direct std::abort()/exit() outside
                         src/common/error.hpp — fatal paths go through the MW
                         macros so they print where and why.
+  raw-atomic            no std::atomic / std::atomic_flag / std::atomic_ref
+                        outside src/common/sync.hpp: every atomic is an
+                        mw::Atomic<T> / mw::AtomicFlag so model-check builds
+                        (-DMW_MODEL_CHECK) can interpose a scheduling point
+                        and happens-before tracking on every operation.
+  relaxed-order-justified
+                        every memory_order_relaxed use needs a trailing
+                        `// relaxed: <why it is safe>` justification on the
+                        same line. Relaxed is the order that silently drops
+                        synchronization; the comment forces the author to
+                        state the invariant that makes that fine (and gives
+                        the model checker's race reports a place to point).
   time-arith-confined   no raw std::chrono / clock reads outside
                         src/common/timer.hpp and src/common/sync.hpp: all
                         wall-clock measurement goes through Stopwatch and all
@@ -63,6 +75,12 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 ALLOW_RE = re.compile(r"//\s*mw-lint:\s*allow\(([a-z-]+)\)")
+
+RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
+RELAXED_JUSTIFIED_RE = re.compile(r"//\s*relaxed:")
+# The wrapper itself legitimately names the order (dispatch switch, CAS
+# failure-order demotion) without per-line justifications.
+RELAXED_EXCLUDED = ("src/common/sync.hpp",)
 
 
 def strip_noncode(text: str) -> str:
@@ -144,6 +162,13 @@ LINE_RULES = [
         ("src/common/error.hpp",),
     ),
     (
+        "raw-atomic",
+        re.compile(r"\bstd::atomic(?:_flag|_ref)?\b"),
+        "raw std::atomic — use mw::Atomic<T> / mw::AtomicFlag from common/sync.hpp "
+        "so model-check builds can instrument the operation",
+        ("src/common/sync.hpp",),
+    ),
+    (
         "time-arith-confined",
         re.compile(
             r"\bstd::chrono\b|\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b"
@@ -185,12 +210,19 @@ def relpath(path: str) -> str:
     return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
 
 
-def check_file(path: str) -> list[Finding]:
-    with open(path, encoding="utf-8") as f:
-        raw = f.read()
+def check_source(rel: str, raw: str, display_path: str | None = None) -> list[Finding]:
+    """Run every text rule over one translation unit. `rel` is the
+    repo-relative path (used for rule scoping); `display_path` is what the
+    findings print (defaults to `rel`, the self-test passes synthetic ones)."""
+    path = display_path if display_path is not None else rel
     raw_lines = raw.splitlines()
     code_lines = strip_noncode(raw).splitlines()
-    rel = relpath(path)
+
+    def allowed(lineno: int, rule: str) -> bool:
+        if lineno > len(raw_lines):
+            return False
+        allow = ALLOW_RE.search(raw_lines[lineno - 1])
+        return bool(allow and allow.group(1) == rule)
 
     findings: list[Finding] = []
     active = [
@@ -207,11 +239,34 @@ def check_file(path: str) -> list[Finding]:
         for lineno, code in enumerate(code_lines, start=1):
             if not pattern.search(code):
                 continue
-            allow = ALLOW_RE.search(raw_lines[lineno - 1]) if lineno <= len(raw_lines) else None
-            if allow and allow.group(1) == rule:
+            if allowed(lineno, rule):
                 continue
             findings.append(Finding(path, lineno, rule, message))
+
+    if not any(rel.endswith(suffix) for suffix in RELAXED_EXCLUDED):
+        for lineno, code in enumerate(code_lines, start=1):
+            if not RELAXED_RE.search(code):
+                continue
+            if lineno <= len(raw_lines) and RELAXED_JUSTIFIED_RE.search(raw_lines[lineno - 1]):
+                continue
+            if allowed(lineno, "relaxed-order-justified"):
+                continue
+            findings.append(
+                Finding(
+                    path,
+                    lineno,
+                    "relaxed-order-justified",
+                    "memory_order_relaxed without a trailing `// relaxed: <why>` "
+                    "justification on the same line",
+                )
+            )
     return findings
+
+
+def check_file(path: str) -> list[Finding]:
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    return check_source(relpath(path), raw, display_path=path)
 
 
 def find_compiler() -> str | None:
@@ -223,9 +278,13 @@ def find_compiler() -> str | None:
     return None
 
 
-def check_header_self_contained(header: str, cxx: str, include_dir: str) -> Finding | None:
+def check_header_self_contained(
+    header: str, cxx: str, include_dir: str, rel_include: str | None = None
+) -> Finding | None:
+    if rel_include is None:
+        rel_include = relpath(header)[len("src/") :]
     with tempfile.NamedTemporaryFile("w", suffix=".cpp", delete=False) as tu:
-        tu.write(f'#include "{relpath(header)[len("src/"):]}"\n')
+        tu.write(f'#include "{rel_include}"\n')
         tu_path = tu.name
     try:
         proc = subprocess.run(
@@ -242,11 +301,134 @@ def check_header_self_contained(header: str, cxx: str, include_dir: str) -> Find
     return None
 
 
+# --- self-test fixtures: (name, repo-relative path, source, expected rules) ---
+# Every rule gets at least one bad fixture (must fire), one good fixture
+# (must stay silent), and the suppression/justification escape hatch.
+SELF_TEST_FIXTURES = [
+    # raw-atomic
+    ("raw-atomic fires", "src/x/a.hpp", "std::atomic<int> v{0};\n", {"raw-atomic"}),
+    ("raw-atomic fires on atomic_flag", "src/x/a.hpp", "std::atomic_flag f;\n", {"raw-atomic"}),
+    ("raw-atomic fires on atomic_ref", "src/x/a.hpp", "std::atomic_ref<int> r{v};\n", {"raw-atomic"}),
+    ("raw-atomic silent on wrapper", "src/x/a.hpp", "mw::Atomic<int> v{0};\n", set()),
+    ("raw-atomic silent in sync.hpp", "src/common/sync.hpp", "stdsync::atomic<int> v{0};\n", set()),
+    ("raw-atomic silent in comment", "src/x/a.hpp", "// std::atomic<int> would be wrong\n", set()),
+    (
+        "raw-atomic allow() suppresses",
+        "src/x/a.hpp",
+        "std::atomic<int> v{0};  // mw-lint: allow(raw-atomic) interop shim\n",
+        set(),
+    ),
+    # relaxed-order-justified
+    (
+        "relaxed fires without justification",
+        "src/x/a.cpp",
+        "n_.fetch_add(1, std::memory_order_relaxed);\n",
+        {"relaxed-order-justified"},
+    ),
+    (
+        "relaxed silent with justification",
+        "src/x/a.cpp",
+        "n_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat\n",
+        set(),
+    ),
+    (
+        "relaxed allow() suppresses",
+        "src/x/a.cpp",
+        "n_.fetch_add(1, std::memory_order_relaxed);  // mw-lint: allow(relaxed-order-justified)\n",
+        set(),
+    ),
+    ("relaxed silent in sync.hpp", "src/common/sync.hpp",
+     "case stdsync::memory_order_relaxed: return mc::Ordering::kRelaxed;\n", set()),
+    ("relaxed silent in comment", "src/x/a.cpp", "// memory_order_relaxed is subtle\n", set()),
+    # naked-thread
+    ("naked-thread fires", "src/x/a.cpp", "std::thread t(fn);\n", {"naked-thread"}),
+    ("naked-thread silent in thread_pool", "src/common/thread_pool.cpp", "std::thread t(fn);\n", set()),
+    ("naked-thread silent on this_thread", "src/x/a.cpp", "std::this_thread::yield();\n", set()),
+    (
+        "naked-thread allow() suppresses",
+        "src/x/a.cpp",
+        "std::thread t(fn);  // mw-lint: allow(naked-thread) checker-owned\n",
+        set(),
+    ),
+    # raw-sync-primitive
+    ("raw-sync fires on mutex", "src/x/a.cpp", "std::mutex m;\n", {"raw-sync-primitive"}),
+    ("raw-sync fires on unique_lock", "src/x/a.cpp", "std::unique_lock<std::mutex> l(m);\n",
+     {"raw-sync-primitive"}),
+    ("raw-sync silent in sync.hpp", "src/common/sync.hpp", "std::mutex m;\n", set()),
+    ("raw-sync silent on wrappers", "src/x/a.cpp", "const MutexLock lock(mutex_);\n", set()),
+    # raw-assert
+    ("raw-assert fires", "src/x/a.cpp", "assert(x > 0);\n", {"raw-assert"}),
+    ("raw-assert fires on include", "src/x/a.cpp", "#include <cassert>\n", {"raw-assert"}),
+    ("raw-assert silent on MW_ASSERT", "src/x/a.cpp", "MW_ASSERT(x > 0);\n", set()),
+    # raw-abort
+    ("raw-abort fires", "src/x/a.cpp", "std::abort();\n", {"raw-abort"}),
+    ("raw-abort silent in error.hpp", "src/common/error.hpp", "std::abort();\n", set()),
+    # time-arith-confined
+    ("time-arith fires", "src/x/a.cpp", "auto t0 = std::chrono::steady_clock::now();\n",
+     {"time-arith-confined"}),
+    ("time-arith silent in timer.hpp", "src/common/timer.hpp",
+     "auto t0 = std::chrono::steady_clock::now();\n", set()),
+    ("time-arith silent on Stopwatch", "src/x/a.cpp", "Stopwatch sw;\n", set()),
+    # wall-clock prefix rules
+    ("wall-clock-in-serve fires", "src/serve/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-serve"}),
+    ("wall-clock-in-obs fires", "src/obs/a.cpp", "WallClock clock;\n", {"wall-clock-in-obs"}),
+    ("wall-clock-in-fault fires", "src/fault/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-fault"}),
+    ("wall-clock silent outside scoped dirs", "src/x/a.cpp", "WallClock clock;\n", set()),
+    # string-literal immunity
+    ("rules silent inside string literals", "src/x/a.cpp",
+     'const char* s = "std::mutex std::atomic";\n', set()),
+]
+
+SELF_TEST_GOOD_HEADER = "#pragma once\n#include <string>\ninline std::string mw_lint_ok() { return {}; }\n"
+SELF_TEST_BAD_HEADER = "#pragma once\ninline std::string mw_lint_broken() { return {}; }\n"
+
+
+def self_test() -> int:
+    """Run every rule against the embedded fixtures; exits non-zero if any
+    rule fires where it must not or stays silent where it must fire."""
+    failures = []
+    for name, rel, source, expected in SELF_TEST_FIXTURES:
+        got = {f.rule for f in check_source(rel, source)}
+        if got != expected:
+            failures.append(f"{name}: expected {sorted(expected) or '[]'}, got {sorted(got) or '[]'}")
+
+    cxx = find_compiler()
+    if cxx is None:
+        print("mw-lint --self-test: no C++ compiler; skipping header-self-contained fixtures",
+              file=sys.stderr)
+    else:
+        with tempfile.TemporaryDirectory() as tmp:
+            for fname, source, should_pass in (
+                ("selftest_good.hpp", SELF_TEST_GOOD_HEADER, True),
+                ("selftest_bad.hpp", SELF_TEST_BAD_HEADER, False),
+            ):
+                header = os.path.join(tmp, fname)
+                with open(header, "w", encoding="utf-8") as f:
+                    f.write(source)
+                finding = check_header_self_contained(header, cxx, tmp, rel_include=fname)
+                if should_pass and finding is not None:
+                    failures.append(f"header-self-contained: good header flagged: {finding.message}")
+                if not should_pass and finding is None:
+                    failures.append("header-self-contained: broken header not flagged")
+
+    if failures:
+        for failure in failures:
+            print(f"mw-lint --self-test FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"mw-lint --self-test: OK ({len(SELF_TEST_FIXTURES)} fixtures)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     parser.add_argument("paths", nargs="*", default=None, help="files or directories (default: src/)")
     parser.add_argument("--no-header-check", action="store_true", help="skip the self-containment compile check")
+    parser.add_argument("--self-test", action="store_true",
+                        help="check every rule against embedded good/bad fixtures and exit")
     args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     roots = args.paths or [os.path.join(REPO_ROOT, "src")]
     files: list[str] = []
