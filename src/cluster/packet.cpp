@@ -1,0 +1,270 @@
+#include "cluster/packet.hpp"
+
+#include <cstring>
+
+namespace mw::cluster {
+namespace {
+
+/// Append-only byte writer. Multi-byte integers are written LSB-first
+/// explicitly so the encoding is identical on every host.
+class Writer {
+public:
+    explicit Writer(std::size_t reserve) { bytes_.reserve(reserve); }
+
+    void u8(std::uint8_t v) { bytes_.push_back(v); }
+
+    void u32(std::uint32_t v) {
+        for (int i = 0; i < 4; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void u64(std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) bytes_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void f64(double v) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        u64(bits);
+    }
+
+    void str(const std::string& s, std::size_t cap, const char* what) {
+        MW_CHECK(s.size() <= cap,
+                 std::string("cluster packet: ") + what + " exceeds the wire cap");
+        u32(static_cast<std::uint32_t>(s.size()));
+        bytes_.insert(bytes_.end(), s.begin(), s.end());
+    }
+
+    /// Rank-2 tensor (or empty): rows, cols, then row-major float data.
+    void tensor(const Tensor& t, const char* what) {
+        if (t.empty()) {
+            u32(0);
+            u32(0);
+            return;
+        }
+        MW_CHECK(t.shape().rank() == 2,
+                 std::string("cluster packet: ") + what + " must be rank-2");
+        MW_CHECK(t.numel() <= kMaxPayloadElems,
+                 std::string("cluster packet: ") + what + " exceeds the wire cap");
+        u32(static_cast<std::uint32_t>(t.shape()[0]));
+        u32(static_cast<std::uint32_t>(t.shape()[1]));
+        const float* data = t.data();
+        for (std::size_t i = 0; i < t.numel(); ++i) {
+            std::uint32_t bits = 0;
+            std::memcpy(&bits, &data[i], sizeof(bits));
+            u32(bits);
+        }
+    }
+
+    [[nodiscard]] Frame take() { return std::move(bytes_); }
+
+private:
+    Frame bytes_;
+};
+
+/// Bounds-checked cursor over a frame. Every accessor throws PacketError
+/// instead of reading past the end.
+class Reader {
+public:
+    explicit Reader(const Frame& frame) : bytes_(frame) {}
+
+    [[nodiscard]] std::uint8_t u8() {
+        need(1, "u8");
+        return bytes_[pos_++];
+    }
+
+    [[nodiscard]] std::uint32_t u32() {
+        need(4, "u32");
+        std::uint32_t v = 0;
+        for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    [[nodiscard]] std::uint64_t u64() {
+        need(8, "u64");
+        std::uint64_t v = 0;
+        for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(bytes_[pos_++]) << (8 * i);
+        return v;
+    }
+
+    [[nodiscard]] double f64() {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    [[nodiscard]] std::string str(std::size_t cap, const char* what) {
+        const std::uint32_t len = u32();
+        if (len > cap) {
+            throw PacketError(std::string("cluster packet: ") + what +
+                              " length " + std::to_string(len) + " exceeds cap " +
+                              std::to_string(cap));
+        }
+        need(len, what);
+        std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+        pos_ += len;
+        return s;
+    }
+
+    [[nodiscard]] Tensor tensor(const char* what) {
+        const std::uint32_t rows = u32();
+        const std::uint32_t cols = u32();
+        if (rows == 0 || cols == 0) {
+            if (rows != cols) {
+                throw PacketError(std::string("cluster packet: ") + what +
+                                  " has a zero extent in a non-empty tensor");
+            }
+            return Tensor{};
+        }
+        const std::uint64_t elems =
+            static_cast<std::uint64_t>(rows) * static_cast<std::uint64_t>(cols);
+        if (elems > kMaxPayloadElems) {
+            throw PacketError(std::string("cluster packet: ") + what +
+                              " declares " + std::to_string(elems) +
+                              " elements, over the wire cap");
+        }
+        // Validate the declared size against the bytes actually present
+        // BEFORE allocating: a corrupt header must not drive a huge alloc.
+        need(elems * 4, what);
+        Tensor t(Shape{rows, cols});
+        float* data = t.data();
+        for (std::uint64_t i = 0; i < elems; ++i) {
+            std::uint32_t bits = 0;
+            for (int b = 0; b < 4; ++b) bits |= static_cast<std::uint32_t>(bytes_[pos_++]) << (8 * b);
+            std::memcpy(&data[i], &bits, sizeof(bits));
+        }
+        return t;
+    }
+
+    void expect_end(const char* what) const {
+        if (pos_ != bytes_.size()) {
+            throw PacketError(std::string("cluster packet: ") + what + " has " +
+                              std::to_string(bytes_.size() - pos_) + " trailing bytes");
+        }
+    }
+
+private:
+    void need(std::uint64_t n, const char* what) const {
+        if (static_cast<std::uint64_t>(bytes_.size() - pos_) < n) {
+            throw PacketError(std::string("cluster packet: truncated frame reading ") + what);
+        }
+    }
+
+    const Frame& bytes_;
+    std::size_t pos_ = 0;
+};
+
+void write_header(Writer& w, FrameType type) {
+    w.u32(kFrameMagic);
+    w.u8(kFrameVersion);
+    w.u8(static_cast<std::uint8_t>(type));
+}
+
+FrameType read_header(Reader& r) {
+    const std::uint32_t magic = r.u32();
+    if (magic != kFrameMagic) {
+        throw PacketError("cluster packet: bad magic");
+    }
+    const std::uint8_t version = r.u8();
+    if (version != kFrameVersion) {
+        throw PacketError("cluster packet: unsupported version " + std::to_string(version));
+    }
+    const std::uint8_t type = r.u8();
+    if (type != static_cast<std::uint8_t>(FrameType::kRequest) &&
+        type != static_cast<std::uint8_t>(FrameType::kResponse)) {
+        throw PacketError("cluster packet: unknown frame type " + std::to_string(type));
+    }
+    return static_cast<FrameType>(type);
+}
+
+}  // namespace
+
+Frame RequestPacket::serialize() const {
+    Writer w(64 + model_name.size() + payload.numel() * 4);
+    write_header(w, FrameType::kRequest);
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(policy));
+    w.f64(slo_s);
+    w.f64(sent_at_s);
+    w.str(model_name, kMaxNameBytes, "model name");
+    w.tensor(payload, "payload");
+    return w.take();
+}
+
+Frame ResponsePacket::serialize() const {
+    Writer w(128 + node_name.size() + device_name.size() + error.size() +
+             outputs.numel() * 4);
+    write_header(w, FrameType::kResponse);
+    w.u64(id);
+    w.u8(static_cast<std::uint8_t>(status));
+    w.u32(attempts);
+    w.u8(hedged ? 1 : 0);
+    w.f64(queue_s);
+    w.f64(execute_s);
+    w.f64(service_s);
+    w.f64(end_time_s);
+    w.f64(energy_j);
+    w.str(node_name, kMaxNameBytes, "node name");
+    w.str(device_name, kMaxNameBytes, "device name");
+    w.str(error, kMaxErrorBytes, "error text");
+    w.tensor(outputs, "outputs");
+    return w.take();
+}
+
+FrameType frame_type(const Frame& frame) {
+    Reader r(frame);
+    return read_header(r);
+}
+
+RequestPacket parse_request(const Frame& frame) {
+    Reader r(frame);
+    if (read_header(r) != FrameType::kRequest) {
+        throw PacketError("cluster packet: expected a request frame");
+    }
+    RequestPacket p;
+    p.id = r.u64();
+    const std::uint8_t policy = r.u8();
+    if (policy >= serve::kPolicyLanes) {
+        throw PacketError("cluster packet: unknown policy byte " + std::to_string(policy));
+    }
+    p.policy = static_cast<sched::Policy>(policy);
+    p.slo_s = r.f64();
+    p.sent_at_s = r.f64();
+    p.model_name = r.str(kMaxNameBytes, "model name");
+    if (p.model_name.empty()) {
+        throw PacketError("cluster packet: empty model name");
+    }
+    p.payload = r.tensor("payload");
+    r.expect_end("request");
+    return p;
+}
+
+ResponsePacket parse_response(const Frame& frame) {
+    Reader r(frame);
+    if (read_header(r) != FrameType::kResponse) {
+        throw PacketError("cluster packet: expected a response frame");
+    }
+    ResponsePacket p;
+    p.id = r.u64();
+    const std::uint8_t status = r.u8();
+    if (status > static_cast<std::uint8_t>(serve::RequestStatus::kFailed)) {
+        throw PacketError("cluster packet: unknown status byte " + std::to_string(status));
+    }
+    p.status = static_cast<serve::RequestStatus>(status);
+    p.attempts = r.u32();
+    p.hedged = r.u8() != 0;
+    p.queue_s = r.f64();
+    p.execute_s = r.f64();
+    p.service_s = r.f64();
+    p.end_time_s = r.f64();
+    p.energy_j = r.f64();
+    p.node_name = r.str(kMaxNameBytes, "node name");
+    p.device_name = r.str(kMaxNameBytes, "device name");
+    p.error = r.str(kMaxErrorBytes, "error text");
+    p.outputs = r.tensor("outputs");
+    r.expect_end("response");
+    return p;
+}
+
+}  // namespace mw::cluster

@@ -1,0 +1,88 @@
+// The cluster wire vocabulary: RequestPacket / ResponsePacket and their
+// binary frame encoding. Frames are what the simulated Transport carries
+// between router and nodes — a fixed header (magic, version, type) followed
+// by length-prefixed fields and a row-major float payload. Encoding is
+// explicit little-endian-free (byte-wise) so a frame is a pure byte vector
+// with no aliasing or alignment assumptions.
+//
+// Parsing is defensive by construction: every read goes through a
+// bounds-checked cursor, every length and dimension is validated against
+// hard caps BEFORE any allocation, and malformed input (truncated frame,
+// oversized name, absurd tensor dims, unknown enum byte) throws PacketError
+// — never UB. The asan-ubsan property tests in tests/test_cluster.cpp
+// truncate and corrupt frames at every offset to hold this line.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sched/policy.hpp"
+#include "serve/request.hpp"
+#include "tensor/tensor.hpp"
+
+namespace mw::cluster {
+
+/// A serialized packet as carried by the Transport.
+using Frame = std::vector<std::uint8_t>;
+
+/// Thrown for any malformed, truncated, or out-of-bounds frame.
+class PacketError : public Error {
+public:
+    using Error::Error;
+};
+
+inline constexpr std::uint32_t kFrameMagic = 0x4d574350;  // "MWCP"
+inline constexpr std::uint8_t kFrameVersion = 1;
+
+enum class FrameType : std::uint8_t {
+    kRequest = 1,
+    kResponse = 2,
+};
+
+/// Hard caps a parser enforces before allocating anything.
+inline constexpr std::size_t kMaxNameBytes = 256;
+inline constexpr std::size_t kMaxErrorBytes = 4096;
+inline constexpr std::size_t kMaxPayloadElems = 1u << 24;  ///< 16M floats = 64 MiB
+
+/// What the router sends to a node: one inference request.
+struct RequestPacket {
+    std::uint64_t id = 0;  ///< router-assigned cluster-wide correlator
+    std::string model_name;
+    sched::Policy policy = sched::Policy::kMaxThroughput;
+    double slo_s = 0.0;
+    double sent_at_s = 0.0;  ///< router clock at (re)send, for link accounting
+    Tensor payload;          ///< rank-2 (samples, sample_elems)
+
+    [[nodiscard]] Frame serialize() const;
+};
+
+/// What a node sends back: the terminal outcome of one request.
+struct ResponsePacket {
+    std::uint64_t id = 0;
+    serve::RequestStatus status = serve::RequestStatus::kFailed;
+    std::string node_name;    ///< the node that served (or refused) it
+    std::string device_name;  ///< the scheduler's pick (kCompleted only)
+    std::string error;        ///< diagnostics when kFailed
+    double queue_s = 0.0;     ///< node-side admission -> dispatch
+    double execute_s = 0.0;   ///< device execution latency (incl. device-queue wait)
+    double service_s = 0.0;   ///< pure device busy time (end - start), for capacity accounting
+    double end_time_s = 0.0;  ///< device-timeline completion (kCompleted only)
+    double energy_j = 0.0;
+    std::uint32_t attempts = 1;  ///< node-side dispatch tries
+    bool hedged = false;
+    Tensor outputs;  ///< empty unless kCompleted
+
+    [[nodiscard]] Frame serialize() const;
+};
+
+/// Classify a frame from its header alone. Throws PacketError if the frame
+/// is too short or the magic/version/type bytes are wrong.
+[[nodiscard]] FrameType frame_type(const Frame& frame);
+
+/// Decode; throws PacketError on any malformed input.
+[[nodiscard]] RequestPacket parse_request(const Frame& frame);
+[[nodiscard]] ResponsePacket parse_response(const Frame& frame);
+
+}  // namespace mw::cluster

@@ -8,6 +8,10 @@ namespace mw {
 
 const char* lock_rank_name(LockRank rank) noexcept {
     switch (rank) {
+        case LockRank::kClusterRouter: return "cluster-router";
+        case LockRank::kClusterTransport: return "cluster-transport";
+        case LockRank::kClusterNode: return "cluster-node";
+        case LockRank::kNetFault: return "net-fault";
         case LockRank::kScheduler: return "scheduler";
         case LockRank::kRegistry: return "registry";
         case LockRank::kDispatcher: return "dispatcher";

@@ -96,11 +96,24 @@ namespace stdsync = ::std;
 ///   serve-queue -> admission               (RequestQueue::remove_if invokes
 ///                                           the deadline predicate under the
 ///                                           queue lock)
+///   cluster-router -> cluster-transport -> net-fault
+///                                          (Router::submit keeps its pending
+///                                           table locked across the send so a
+///                                           response cannot race the insert)
+///   cluster-node -> serve-queue -> ...     (Node::handle_frame holds its
+///                                           completion queue across
+///                                           Server::submit)
 /// Everything else is acquired with nothing held. New mutexes slot in at the
 /// loosest rank that keeps their acquisition chains monotone; leaf locks that
 /// are never held across calls into other components go late (logger last,
-/// so any locked region may log).
+/// so any locked region may log). The cluster tier sits ABOVE (i.e. ranks
+/// below) the whole single-node stack: a cluster lock may be held while
+/// entering serve, never the reverse.
 enum class LockRank : int {
+    kClusterRouter = 2,    ///< cluster::Router pending-request table
+    kClusterTransport = 4, ///< cluster::Transport in-flight frame heap
+    kClusterNode = 6,      ///< cluster::Node completion queue
+    kNetFault = 8,         ///< fault::NetFaultInjector link streams/partition
     kScheduler = 10,       ///< serve::Server's OnlineScheduler serialisation
     kRegistry = 20,        ///< device::DeviceRegistry device table
     kDispatcher = 30,      ///< sched::Dispatcher model table

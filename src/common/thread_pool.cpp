@@ -112,11 +112,20 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
     }
     run_chunks(state);
 
-    MutexLock lock(state->mutex);
-    state->done_cv.wait(lock, [&] {
-        return state->chunks_done.load(std::memory_order_acquire) == state->nchunks;
-    });
-    if (state->first_error) std::rethrow_exception(state->first_error);
+    std::exception_ptr first_error;
+    {
+        MutexLock lock(state->mutex);
+        state->done_cv.wait(lock, [&] {
+            return state->chunks_done.load(std::memory_order_acquire) == state->nchunks;
+        });
+        first_error = std::move(state->first_error);
+    }
+    // Rethrow from a local with the lock released: the exception (and its
+    // message storage) must not stay owned by LoopState at throw time — a
+    // late-starting helper drops the last shared_ptr on a pool thread, and
+    // destroying the stored exception there races the caller still reading
+    // what() of the in-flight rethrow.
+    if (first_error) std::rethrow_exception(first_error);
 }
 
 ThreadPool& ThreadPool::global() {

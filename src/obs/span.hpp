@@ -31,9 +31,13 @@ enum class Phase : std::uint8_t {
     kRetry,     ///< dispatcher re-routes failed work to the next candidate
     kHedge,     ///< straggler hedge: duplicate dispatch issued (instant)
     kBreaker,   ///< health breaker transition: open / half-open / close
+    kRoute,     ///< cluster router picked a replica node (instant; label = node)
+    kSerialize, ///< request/response packed into a wire frame (instant)
+    kLink,      ///< frame in flight on a simulated link (send -> delivery)
+    kRemoteExec,///< node-side span: frame received -> response handed back
 };
 
-inline constexpr std::size_t kPhaseCount = 11;
+inline constexpr std::size_t kPhaseCount = 15;
 
 /// The phases every fault-free served request traverses (the first seven).
 /// Traces of healthy runs contain exactly these; the fault phases join them

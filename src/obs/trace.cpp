@@ -37,6 +37,10 @@ const char* phase_name(Phase phase) noexcept {
         case Phase::kRetry: return "retry";
         case Phase::kHedge: return "hedge";
         case Phase::kBreaker: return "breaker";
+        case Phase::kRoute: return "route";
+        case Phase::kSerialize: return "serialize";
+        case Phase::kLink: return "link";
+        case Phase::kRemoteExec: return "remote-exec";
     }
     return "unknown";
 }

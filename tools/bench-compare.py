@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Bench regression gate: compare a BENCH_serving.json against the committed
-baseline and fail (exit 1) when sustained QPS dropped more than the allowed
-fraction.
+"""Bench regression gate: compare freshly measured bench JSON against the
+committed baselines and fail (exit 1) when sustained QPS dropped more than
+the allowed fraction in ANY gated pair.
 
-Only QPS regressions gate the build — queue wait, batch size and energy are
-printed for context but machine-to-machine variance makes them too noisy to
-gate on. The QPS threshold is generous (20% by default) for the same reason:
-the gate exists to catch "someone serialized the hot path", not 2% jitter.
+Only QPS regressions gate the build — queue wait, batch size, energy, and
+the distributed scaling/kill ratios are printed for context but
+machine-to-machine variance makes them too noisy to gate on. The QPS
+threshold is generous (20% by default) for the same reason: the gate exists
+to catch "someone serialized the hot path", not 2% jitter.
 
 Usage:
+  # one pair (legacy positional form)
   tools/bench-compare.py BASELINE.json CURRENT.json [--max-qps-drop 0.20]
+  # several benches in one invocation, each gated independently
+  tools/bench-compare.py --gate bench/baselines/BENCH_serving.json:serving.json \
+                         --gate bench/baselines/BENCH_distributed.json:distributed.json
   tools/bench-compare.py --self-test
 
---self-test fabricates a 25% QPS regression from a synthetic baseline and
-verifies the gate actually fires — CI runs it before trusting the real gate.
+--self-test fabricates a 25% QPS regression from a synthetic baseline and a
+distributed-shaped pair within tolerance, and verifies the gate fires on the
+former and passes the latter — CI runs it before trusting the real gate.
 """
 
 import argparse
@@ -40,22 +46,28 @@ def compare(baseline_path, current_path, max_qps_drop):
     base = load(baseline_path)
     cur = load(current_path)
 
+    print(f"== {baseline_path} vs {current_path} ==")
     rows = [
         ("sustained_qps", "QPS"),
         ("queue_wait_p95_s", "s"),
         ("mean_batch", "req/batch"),
         ("energy_per_request_j", "J/req"),
+        ("single_node_qps", "QPS"),
+        ("scaling_8x", "x"),
     ]
     print(f"{'metric':24} {'baseline':>14} {'current':>14} {'delta':>8}")
     for key, unit in rows:
+        if key not in base and key not in cur:
+            continue
         b, c = base.get(key, 0.0), cur.get(key, 0.0)
         print(f"{key:24} {b:14.4g} {c:14.4g} {fmt_delta(b, c):>8}  ({unit})")
     for side, data in (("baseline", base), ("current", cur)):
         deg = data.get("degraded", {})
         if deg:
+            ratio = deg.get("recovered_ratio", deg.get("killed_ratio", 0))
             print(f"degraded ({side}): healthy {deg.get('healthy_qps', 0):.0f}, "
                   f"killed {deg.get('killed_qps', 0):.0f}, "
-                  f"recovered ratio {deg.get('recovered_ratio', 0):.2f}")
+                  f"ratio {ratio:.2f}")
 
     base_qps = base["sustained_qps"]
     cur_qps = cur["sustained_qps"]
@@ -71,40 +83,85 @@ def compare(baseline_path, current_path, max_qps_drop):
     return 0
 
 
+def compare_all(pairs, max_qps_drop):
+    failures = 0
+    for index, (baseline_path, current_path) in enumerate(pairs):
+        if index:
+            print()
+        failures += compare(baseline_path, current_path, max_qps_drop)
+    if len(pairs) > 1:
+        print(f"\n{len(pairs) - failures}/{len(pairs)} gates passed")
+    return 1 if failures else 0
+
+
 def self_test(max_qps_drop):
-    baseline = {
+    serving = {
         "sustained_qps": 100000.0,
         "queue_wait_p95_s": 0.002,
         "mean_batch": 20.0,
         "energy_per_request_j": 3e-5,
     }
-    regressed = dict(baseline, sustained_qps=baseline["sustained_qps"] * 0.75)
-    ok = dict(baseline, sustained_qps=baseline["sustained_qps"] * 0.9)
+    distributed = {
+        "sustained_qps": 640000.0,
+        "single_node_qps": 82000.0,
+        "scaling_8x": 7.8,
+        "degraded": {"healthy_qps": 640000.0, "killed_qps": 540000.0,
+                     "killed_ratio": 0.84},
+    }
+    regressed = dict(serving, sustained_qps=serving["sustained_qps"] * 0.75)
+    ok_serving = dict(serving, sustained_qps=serving["sustained_qps"] * 0.9)
+    ok_distributed = dict(distributed,
+                          sustained_qps=distributed["sustained_qps"] * 0.95)
 
-    def run(current):
-        with tempfile.NamedTemporaryFile("w", suffix=".json") as bf, \
-                tempfile.NamedTemporaryFile("w", suffix=".json") as cf:
-            json.dump(baseline, bf)
-            bf.flush()
-            json.dump(current, cf)
-            cf.flush()
-            return compare(bf.name, cf.name, max_qps_drop)
+    def run(case_pairs):
+        files = []
+        try:
+            pairs = []
+            for base, cur in case_pairs:
+                pair = []
+                for data in (base, cur):
+                    f = tempfile.NamedTemporaryFile("w", suffix=".json",
+                                                    delete=False)
+                    json.dump(data, f)
+                    f.close()
+                    files.append(f.name)
+                    pair.append(f.name)
+                pairs.append(tuple(pair))
+            return compare_all(pairs, max_qps_drop)
+        finally:
+            import os
+            for name in files:
+                os.unlink(name)
 
     print("== self-test: 25% regression must FAIL ==")
-    if run(regressed) != 1:
+    if run([(serving, regressed)]) != 1:
         sys.exit("self-test FAILED: a 25% QPS regression passed the gate")
-    print("\n== self-test: 10% drop must PASS ==")
-    if run(ok) != 0:
-        sys.exit("self-test FAILED: a 10% QPS drop tripped the 20% gate")
-    print("\nself-test OK: the gate fires on a 25% regression "
-          "and passes a 10% drop")
+    print("\n== self-test: multi-gate with one regressing pair must FAIL ==")
+    if run([(distributed, ok_distributed), (serving, regressed)]) != 1:
+        sys.exit("self-test FAILED: a regressing pair slipped through "
+                 "a multi-gate run")
+    print("\n== self-test: serving 10% drop + distributed 5% drop must PASS ==")
+    if run([(serving, ok_serving), (distributed, ok_distributed)]) != 0:
+        sys.exit("self-test FAILED: in-tolerance drops tripped the 20% gate")
+    print("\nself-test OK: the gate fires on a 25% regression (alone and "
+          "among passing pairs) and passes in-tolerance drops")
     return 0
+
+
+def parse_gate(spec):
+    baseline, sep, current = spec.partition(":")
+    if not sep or not baseline or not current:
+        sys.exit(f"error: --gate expects BASELINE.json:CURRENT.json, got {spec!r}")
+    return baseline, current
 
 
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
     parser.add_argument("current", nargs="?", help="freshly measured JSON")
+    parser.add_argument("--gate", action="append", default=[],
+                        metavar="BASELINE:CURRENT",
+                        help="gate a baseline/current pair; repeatable")
     parser.add_argument("--max-qps-drop", type=float, default=0.20,
                         help="maximum allowed fractional QPS drop (default 0.20)")
     parser.add_argument("--self-test", action="store_true",
@@ -113,9 +170,14 @@ def main():
 
     if args.self_test:
         sys.exit(self_test(args.max_qps_drop))
-    if not args.baseline or not args.current:
-        parser.error("baseline and current are required (or use --self-test)")
-    sys.exit(compare(args.baseline, args.current, args.max_qps_drop))
+    pairs = [parse_gate(spec) for spec in args.gate]
+    if args.baseline and args.current:
+        pairs.insert(0, (args.baseline, args.current))
+    elif args.baseline or args.current:
+        parser.error("baseline and current must be given together")
+    if not pairs:
+        parser.error("give BASELINE CURRENT, --gate pairs, or --self-test")
+    sys.exit(compare_all(pairs, args.max_qps_drop))
 
 
 if __name__ == "__main__":

@@ -59,6 +59,11 @@ Rules enforced over src/ (suppress a single line with
                         chaos run is a pure function of its seed — breaker
                         cooldowns and half-open probes replay deterministically
                         under a ManualClock.
+  wall-clock-in-cluster src/cluster/ only: same ban. Link latencies, request
+                        deadlines, hedge timers and partition windows all live
+                        on the injected mw::Clock; one Stopwatch in the tier
+                        would let wall time leak into delivery order and make
+                        partition-chaos runs unreproducible.
 """
 
 from __future__ import annotations
@@ -202,6 +207,14 @@ PREFIX_RULES = [
         "fault injection and health tracking read time only through the "
         "injected mw::Clock — wall time would make fault schedules, breaker "
         "cooldowns and chaos seeds non-reproducible under a ManualClock",
+    ),
+    (
+        "wall-clock-in-cluster",
+        "src/cluster/",
+        re.compile(r"\bStopwatch\b|\bWallClock\b"),
+        "cluster code (transport, router, nodes) reads time only through the "
+        "injected mw::Clock — link latency, deadlines and partitions must "
+        "replay identically under a ManualClock",
     ),
 ]
 
@@ -373,6 +386,18 @@ SELF_TEST_FIXTURES = [
     ("wall-clock-in-serve fires", "src/serve/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-serve"}),
     ("wall-clock-in-obs fires", "src/obs/a.cpp", "WallClock clock;\n", {"wall-clock-in-obs"}),
     ("wall-clock-in-fault fires", "src/fault/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-fault"}),
+    ("wall-clock-in-cluster fires on Stopwatch", "src/cluster/a.cpp", "Stopwatch sw;\n",
+     {"wall-clock-in-cluster"}),
+    ("wall-clock-in-cluster fires on WallClock", "src/cluster/a.hpp", "WallClock clock;\n",
+     {"wall-clock-in-cluster"}),
+    ("wall-clock-in-cluster silent on injected Clock", "src/cluster/a.cpp",
+     "const Clock* clock_;\n", set()),
+    (
+        "wall-clock-in-cluster allow() suppresses",
+        "src/cluster/a.cpp",
+        "Stopwatch sw;  // mw-lint: allow(wall-clock-in-cluster) bench-only diag\n",
+        set(),
+    ),
     ("wall-clock silent outside scoped dirs", "src/x/a.cpp", "WallClock clock;\n", set()),
     # string-literal immunity
     ("rules silent inside string literals", "src/x/a.cpp",
