@@ -1,0 +1,25 @@
+#pragma once
+// Resolves where demo artifacts (traces, metrics exports) land. Priority:
+//   1. the MW_DEMO_OUTPUT_DIR environment variable (CI points this at its
+//      artifact staging directory),
+//   2. the MW_DEMO_OUTPUT_DIR_DEFAULT compile definition baked in by
+//      examples/CMakeLists.txt (the example's own build directory),
+//   3. the current working directory.
+// Keeps `git status` clean after running a demo from the source tree.
+#include <cstdlib>
+#include <string>
+
+namespace mw::demo {
+
+inline std::string output_path(const std::string& filename) {
+    const char* dir = std::getenv("MW_DEMO_OUTPUT_DIR");
+#ifdef MW_DEMO_OUTPUT_DIR_DEFAULT
+    if (dir == nullptr || *dir == '\0') dir = MW_DEMO_OUTPUT_DIR_DEFAULT;
+#endif
+    if (dir == nullptr || *dir == '\0') return filename;
+    std::string path(dir);
+    if (path.back() != '/') path += '/';
+    return path + filename;
+}
+
+}  // namespace mw::demo

@@ -5,7 +5,8 @@
 // half-open probe re-admit it. Prints the router's accounting and the
 // per-node frame counters, and exports the trace (distributed_demo.trace.json
 // — open in chrome://tracing or https://ui.perfetto.dev) plus the
-// mw_cluster_* metrics as Prometheus text. Exits 0 only when the terminal
+// mw_cluster_* metrics as Prometheus text. Artifacts land in the build tree
+// by default; set MW_DEMO_OUTPUT_DIR to redirect. Exits 0 only when the terminal
 // accounting balances, the healed node actually serves again, AND the trace
 // contains the cluster phases (route, serialize, link, remote-exec)
 // correlated by request id.
@@ -16,6 +17,8 @@
 #include <set>
 #include <string>
 #include <vector>
+
+#include "demo_output.hpp"
 
 #include "cluster/node.hpp"
 #include "cluster/router.hpp"
@@ -185,14 +188,15 @@ int main() {
         }
     }
     trace_ok = trace_ok && !correlated_ids.empty();
-    if (!obs::write_chrome_trace_file("distributed_demo.trace.json", recorder) ||
-        !obs::write_prometheus_file("distributed_demo.metrics.prom",
-                                    demo.router->metrics())) {
+    const std::string trace_path = demo::output_path("distributed_demo.trace.json");
+    const std::string prom_path = demo::output_path("distributed_demo.metrics.prom");
+    if (!obs::write_chrome_trace_file(trace_path, recorder) ||
+        !obs::write_prometheus_file(prom_path, demo.router->metrics())) {
         std::printf("failed to write observability exports\n");
         trace_ok = false;
     } else {
-        std::printf("wrote distributed_demo.trace.json (chrome://tracing), "
-                    "distributed_demo.metrics.prom\n");
+        std::printf("wrote %s (chrome://tracing), %s\n", trace_path.c_str(),
+                    prom_path.c_str());
     }
 #else
     std::printf("\n(tracing hooks compiled out: MW_OBS=OFF)\n");

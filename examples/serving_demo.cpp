@@ -4,11 +4,15 @@
 // installed, print the per-policy stats, and export the request-path trace
 // (Chrome trace_event JSON — open serving_demo.trace.json in
 // chrome://tracing or https://ui.perfetto.dev) plus the metrics registry as
-// Prometheus text and CSV. Exits 0 only when the request accounting balances
+// Prometheus text and CSV. Artifacts land in the build tree by default;
+// set MW_DEMO_OUTPUT_DIR to redirect. Exits 0 only when the request accounting balances
 // AND the trace contains every pipeline phase correlated by request id.
 #include <cstdio>
 #include <set>
+#include <string>
 #include <vector>
+
+#include "demo_output.hpp"
 
 #include "common/format.hpp"
 #include "common/thread_pool.hpp"
@@ -131,14 +135,17 @@ int main() {
         std::printf("trace INCOMPLETE: expected all %zu request-path phases\n",
                     obs::kRequestPathPhaseCount);
     }
-    if (!obs::write_chrome_trace_file("serving_demo.trace.json", recorder) ||
-        !obs::write_prometheus_file("serving_demo.metrics.prom", server.metrics()) ||
-        !obs::write_csv_file("serving_demo.metrics.csv", server.metrics())) {
+    const std::string trace_path = demo::output_path("serving_demo.trace.json");
+    const std::string prom_path = demo::output_path("serving_demo.metrics.prom");
+    const std::string csv_path = demo::output_path("serving_demo.metrics.csv");
+    if (!obs::write_chrome_trace_file(trace_path, recorder) ||
+        !obs::write_prometheus_file(prom_path, server.metrics()) ||
+        !obs::write_csv_file(csv_path, server.metrics())) {
         std::printf("failed to write observability exports\n");
         trace_ok = false;
     } else {
-        std::printf("wrote serving_demo.trace.json (chrome://tracing), "
-                    "serving_demo.metrics.prom, serving_demo.metrics.csv\n");
+        std::printf("wrote %s (chrome://tracing), %s, %s\n", trace_path.c_str(),
+                    prom_path.c_str(), csv_path.c_str());
     }
 #else
     std::printf("\n(tracing hooks compiled out: MW_OBS=OFF)\n");

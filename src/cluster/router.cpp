@@ -223,6 +223,8 @@ std::future<ClusterResponse> Router::submit(serve::InferenceRequest request) {
                 Frame wire = entry.frame;
                 pending_.emplace(id, std::move(entry));
                 MW_TRACE_INSTANT(obs::Phase::kRoute, id, now, node->c_str());
+                // mw-analyze: allow(blocking-under-lock) simulated transport queues on the
+                // injected clock; the lock is held so a reply cannot race the pending insert
                 transport_->send(config_.name, *node, std::move(wire), id);
             }
         }
@@ -317,6 +319,8 @@ void Router::maintenance_loop() {
                         rerouted_metric_->inc();
                         MW_TRACE_INSTANT(obs::Phase::kRoute, it->first, now,
                                          ("re:" + *retry).c_str());
+                        // mw-analyze: allow(blocking-under-lock) simulated transport, held
+                        // deliberately: the reroute must land in pending_ before any reply
                         transport_->send(config_.name, *retry, entry.frame,
                                          it->first);
                         ++it;
@@ -338,6 +342,8 @@ void Router::maintenance_loop() {
                         health_.note_hedge(*mate);
                         MW_TRACE_INSTANT(obs::Phase::kHedge, it->first, now,
                                          mate->c_str());
+                        // mw-analyze: allow(blocking-under-lock) simulated transport, held
+                        // deliberately: the hedge must land in pending_ before any reply
                         transport_->send(config_.name, *mate, entry.frame,
                                          it->first);
                     } else {

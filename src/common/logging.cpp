@@ -35,6 +35,8 @@ Level level() {
 void emit(Level lvl, std::string_view msg) {
     if (lvl < level()) return;
     const MutexLock lock(g_sink_mutex);
+    // mw-analyze: allow(blocking-under-lock) serializing this exact write is the
+    // sink lock's whole purpose; nothing else ever nests under kLogger
     std::fprintf(stderr, "[mw %s] %.*s\n", level_tag(lvl), static_cast<int>(msg.size()),
                  msg.data());
 }

@@ -109,6 +109,12 @@ namespace stdsync = ::std;
 /// so any locked region may log). The cluster tier sits ABOVE (i.e. ranks
 /// below) the whole single-node stack: a cluster lock may be held while
 /// entering serve, never the reverse.
+///
+/// mw-analyze:rank-table — this enum is the machine-readable lock order:
+/// `tools/analyze` (mw-analyze) parses the enumerators and values below and
+/// verifies at build time that every held-while-acquiring edge in the whole
+/// program strictly increases in rank. Renaming or renumbering entries
+/// changes what that checker enforces.
 enum class LockRank : int {
     kClusterRouter = 2,    ///< cluster::Router pending-request table
     kClusterTransport = 4, ///< cluster::Transport in-flight frame heap

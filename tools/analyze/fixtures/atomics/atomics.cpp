@@ -1,0 +1,16 @@
+// Fixture: atomic discipline. Raw std atomics are banned outside
+// common/sync.hpp; memory_order_relaxed needs a same-line `// relaxed:`
+// justification; mw-analyze: allow(...) silences a site explicitly.
+class Counters {
+public:
+    void bump() {
+        hits_.store(1, std::memory_order_relaxed);  // expect(relaxed-order-justified)
+        hits_.store(2, std::memory_order_relaxed);  // relaxed: monotonic counter, readers tolerate staleness
+        hits_.store(3, std::memory_order_relaxed);  // mw-analyze: allow(relaxed-order-justified) fixture suppression
+    }
+
+private:
+    std::atomic<int> hits_{0};  // expect(raw-atomic)
+    std::atomic_flag busy_;     // expect(raw-atomic)
+    mw::Atomic<int> fine_{0};   // the instrumented wrapper is the sanctioned spelling
+};

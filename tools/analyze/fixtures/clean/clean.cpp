@@ -1,0 +1,33 @@
+// Fixture: a representative clean file — monotone nesting, a guard whose
+// scope closes before a sleep, justified relaxed ordering, wrapper atomics.
+// Expected findings: none. This is the false-positive tripwire.
+enum class LockRank { kOuter = 10, kInner = 20 };
+
+class Store {
+public:
+    void put() {
+        MutexLock outer(outer_);
+        MutexLock inner(inner_);
+        size_ = size_ + 1;
+    }
+
+    int size() {
+        ReaderLock lock(inner_);
+        return size_;
+    }
+
+    void flush() {
+        {
+            WriterLock lock(inner_);
+            size_ = 0;
+        }
+        sleep_for_seconds(0.01);  // guard already released: silent
+        dirty_.store(0, std::memory_order_relaxed);  // relaxed: flag, no ordering needed
+    }
+
+private:
+    Mutex outer_{LockRank::kOuter};
+    SharedMutex inner_{LockRank::kInner};
+    int size_ = 0;
+    mw::Atomic<int> dirty_{0};
+};

@@ -1,0 +1,17 @@
+// Fixture: clock confinement. src/serve/ is clock-injected — any Stopwatch
+// or WallClock reference is a finding unless explicitly allowed.
+class Ticker {
+public:
+    double elapsed() {
+        Stopwatch sw;  // expect(clock-confinement)
+        return read(sw);
+    }
+
+    double shim() {
+        WallClock wall;  // mw-analyze: allow(clock-confinement) fixture composition-root shim
+        return 0.0;
+    }
+
+private:
+    double read(const Stopwatch& sw);  // expect(clock-confinement)
+};

@@ -1,0 +1,25 @@
+// Fixture: cross-TU lock-order inversion, the case per-function Thread
+// Safety Analysis cannot see. This TU only ever acquires kAlpha then (via
+// Beta::poke, defined in beta.cpp) kBeta — locally plausible on its own.
+enum class LockRank { kAlpha = 10, kBeta = 20 };
+
+class Beta;
+
+class Alpha {
+public:
+    void ping();
+    void reenter();
+
+private:
+    Mutex mu_{LockRank::kAlpha};
+    Beta* peer_ = nullptr;
+};
+
+void Alpha::ping() {
+    MutexLock lock(mu_);
+    peer_->poke();  // holds kAlpha while Beta::poke takes kBeta: fine alone
+}
+
+void Alpha::reenter() {
+    MutexLock lock(mu_);
+}

@@ -1,0 +1,23 @@
+// Fixture, second TU: Beta::pong holds kBeta while re-entering Alpha, which
+// takes kAlpha — inverting alpha.cpp's order. Neither file misorders its OWN
+// guards, so only the whole-program graph exposes the deadlock.
+class Alpha;
+
+class Beta {
+public:
+    void poke();
+    void pong();
+
+private:
+    Mutex mu_{LockRank::kBeta};
+    Alpha* peer_ = nullptr;
+};
+
+void Beta::poke() {
+    MutexLock lock(mu_);
+}
+
+void Beta::pong() {
+    MutexLock lock(mu_);
+    peer_->reenter();  // expect(lock-order-rank) expect(lock-order-cycle)
+}

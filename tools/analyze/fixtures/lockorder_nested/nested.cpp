@@ -1,0 +1,34 @@
+// Fixture: intra-function nested acquisition order. good() nests in
+// increasing rank order and must stay silent; bad() holds the highest rank
+// and then takes a lower one; twice() nests two mutexes of EQUAL rank, the
+// self-deadlock shape the runtime validator aborts on.
+enum class LockRank { kLow = 10, kMid = 20, kHigh = 30 };
+
+class Pair {
+public:
+    void good() {
+        MutexLock a(low_);
+        MutexLock b(mid_);
+    }
+
+    void bad() {
+        MutexLock a(high_);
+        MutexLock b(mid_);  // expect(lock-order-rank)
+    }
+
+    void twice() {
+        MutexLock a(mid_);
+        MutexLock b(mid_twin_);  // expect(lock-order-rank)
+    }
+
+    void sequential() {
+        { MutexLock a(mid_); }
+        { MutexLock b(mid_twin_); }  // not nested: no finding
+    }
+
+private:
+    Mutex low_{LockRank::kLow};
+    Mutex mid_{LockRank::kMid};
+    Mutex mid_twin_{LockRank::kMid};
+    Mutex high_{LockRank::kHigh};
+};

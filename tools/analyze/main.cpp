@@ -1,0 +1,108 @@
+// mw-analyze: whole-program static analysis for the manyworlds tree.
+//
+//   mw-analyze --root <repo>        analyze <repo>/src, human-readable output
+//   mw-analyze --root <repo> --json machine-readable findings + summary
+//   mw-analyze --self-test          run the golden fixtures
+//
+// Exit codes: 0 clean, 1 findings (or fixture mismatch), 2 usage/setup error.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "analysis.hpp"
+#include "selftest.hpp"
+
+namespace {
+
+const char kUsage[] =
+    "usage: mw-analyze [--root DIR] [--json] [--edges] [--self-test] [--fixtures DIR]\n"
+    "\n"
+    "Whole-program checks over DIR/src (or DIR when no src/ exists):\n"
+    "  lock-order-rank          every held-while-acquiring edge must strictly\n"
+    "                           increase LockRank (src/common/sync.hpp)\n"
+    "  lock-order-cycle         the derived lock graph must be acyclic, across TUs\n"
+    "  blocking-under-lock      no sleeps / stdio / Transport::send under a guard\n"
+    "  raw-atomic               atomics go through mw::Atomic, not std::atomic\n"
+    "  relaxed-order-justified  memory_order_relaxed needs a `// relaxed:` note\n"
+    "  clock-confinement        no Stopwatch/WallClock in clock-injected tiers\n"
+    "\n"
+    "Suppress one finding with a same-line comment: // mw-analyze: allow(<check>)\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string root = ".";
+    std::string fixtures =
+#ifdef MW_ANALYZE_FIXTURES
+        MW_ANALYZE_FIXTURES;
+#else
+        "tools/analyze/fixtures";
+#endif
+    bool json = false;
+    bool self_test = false;
+    bool dump_edges = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else if (arg == "--fixtures" && i + 1 < argc) {
+            fixtures = argv[++i];
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--edges") {
+            dump_edges = true;
+        } else if (arg == "--self-test") {
+            self_test = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::fputs(kUsage, stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "mw-analyze: unknown argument `%s`\n%s", arg.c_str(), kUsage);
+            return 2;
+        }
+    }
+    if (self_test) return mwa::run_self_test(fixtures);
+
+    std::string err;
+    mwa::AnalyzerConfig cfg = mwa::default_config();
+    mwa::Program prog = mwa::load_program(root, cfg, &err);
+    if (!err.empty()) {
+        std::fprintf(stderr, "mw-analyze: %s\n", err.c_str());
+        return 2;
+    }
+    if (prog.files.empty()) {
+        std::fprintf(stderr, "mw-analyze: no C++ sources under %s\n", root.c_str());
+        return 2;
+    }
+    if (prog.ranks.empty()) {
+        // A real tree without a LockRank table means the scan is mis-rooted —
+        // refuse rather than silently passing with vacuous lock checks.
+        std::fprintf(stderr,
+                     "mw-analyze: no LockRank enum found under %s "
+                     "(expected src/common/sync.hpp); refusing a vacuous run\n",
+                     root.c_str());
+        return 2;
+    }
+    const mwa::AnalysisResult res = mwa::analyze(prog, cfg);
+    if (dump_edges) {
+        for (const mwa::EdgeInfo& e : res.edge_list) {
+            std::printf("%s -> %s   via %s\n", e.from.c_str(), e.to.c_str(), e.chain.c_str());
+        }
+    }
+    if (json) {
+        std::fputs(mwa::to_json(prog, res).c_str(), stdout);
+    } else {
+        for (const mwa::Finding& f : res.findings) {
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.check.c_str(),
+                        f.message.c_str());
+        }
+        std::printf(
+            "mw-analyze: %zu finding(s), %zu suppressed — %zu files, %zu functions, "
+            "%zu mutexes, %zu ranks, %zu lock edges, %zu unresolved guards, "
+            "%zu ambiguous calls\n",
+            res.findings.size(), res.suppressed, prog.files.size(), prog.functions.size(),
+            prog.mutexes.size(), prog.ranks.entries.size(), res.edges, prog.unresolved_guards,
+            prog.ambiguous_calls);
+    }
+    return res.findings.empty() ? 0 : 1;
+}

@@ -1,0 +1,739 @@
+#include "scanner.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <set>
+
+namespace mwa {
+namespace {
+
+const std::set<std::string> kQualifierKw = {
+    "const",    "constexpr", "mutable",  "static",   "inline",       "volatile",
+    "extern",   "typename",  "unsigned", "signed",   "thread_local", "register",
+    "virtual",  "explicit",  "friend",   "auto",
+};
+
+// Keywords that can legally precede a call expression: `return foo();`.
+const std::set<std::string> kExprContextKw = {
+    "return", "else", "do", "case", "throw", "co_return", "co_await", "co_yield",
+};
+
+// Identifiers followed by `(` that are never calls we care about.
+const std::set<std::string> kControlKw = {
+    "if",      "for",        "while",    "switch",           "catch",
+    "sizeof",  "alignof",    "decltype", "noexcept",         "static_assert",
+    "typeid",  "alignas",    "new",      "delete",           "static_cast",
+    "assert",  "defined",    "int",      "double",           "float",
+    "bool",    "char",       "long",     "short",            "unsigned",
+    "signed",  "void",       "return",   "co_return",        "throw",
+};
+
+const std::set<std::string> kGuardTypes = {"MutexLock", "ReaderLock", "WriterLock"};
+
+// Smart-pointer-like templates where `x->m()` dispatches to the ELEMENT type.
+// Everything else templated (vector, map, deque, ...) keeps the outer name,
+// which is foreign to the program and so produces no call edges — calling
+// `states_.emplace(...)` on a std::map must not resolve to some class that
+// happens to define emplace().
+const std::set<std::string> kTransparentTemplates = {"unique_ptr", "shared_ptr", "weak_ptr",
+                                                     "optional"};
+
+struct Ctx {
+    const LexedFile* file = nullptr;
+    const std::vector<Token>* toks = nullptr;
+    std::size_t i = 0;
+    Program* prog = nullptr;
+
+    bool done() const { return i >= toks->size(); }
+    const Token& cur() const { return (*toks)[i]; }
+    const Token* peek(int k) const {
+        const std::size_t j = i + static_cast<std::size_t>(k);
+        return j < toks->size() ? &(*toks)[j] : nullptr;
+    }
+    bool is_punct(const char* p) const {
+        return !done() && cur().kind == Tok::kPunct && cur().text == p;
+    }
+    bool is_ident() const { return !done() && cur().kind == Tok::kIdent; }
+    bool is_ident(const char* name) const { return is_ident() && cur().text == name; }
+};
+
+bool tok_is(const Token* t, const char* p) {
+    return t != nullptr && t->kind == Tok::kPunct && t->text == p;
+}
+bool tok_ident(const Token* t) { return t != nullptr && t->kind == Tok::kIdent; }
+
+// Consume a balanced (..) / {..} / [..] group; `c.i` must sit on the opener.
+// Optionally collects the interior tokens (opener/closer excluded).
+void skip_group(Ctx& c, const char* open, const char* close,
+                std::vector<Token>* interior = nullptr) {
+    int depth = 0;
+    while (!c.done()) {
+        if (c.is_punct(open)) {
+            ++depth;
+        } else if (c.is_punct(close)) {
+            --depth;
+            if (depth == 0) {
+                ++c.i;
+                return;
+            }
+        } else if (interior != nullptr && depth >= 1) {
+            interior->push_back(c.cur());
+        }
+        ++c.i;
+    }
+}
+
+void skip_to_semi(Ctx& c) {
+    while (!c.done()) {
+        if (c.is_punct(";")) {
+            ++c.i;
+            return;
+        }
+        if (c.is_punct("{")) {  // don't run past a body we failed to parse
+            skip_group(c, "{", "}");
+            if (c.is_punct(";")) ++c.i;
+            return;
+        }
+        ++c.i;
+    }
+}
+
+// Skip a template header `< ... >`. Tolerant: bails at `;` or `{` so a
+// misparse cannot swallow the rest of the file. Treats ">>" as two closers.
+void skip_template_header(Ctx& c) {
+    if (!c.is_punct("<")) return;
+    int depth = 0;
+    while (!c.done()) {
+        if (c.is_punct("<")) {
+            ++depth;
+        } else if (c.is_punct(">")) {
+            if (--depth == 0) {
+                ++c.i;
+                return;
+            }
+        } else if (c.is_punct(">>")) {
+            depth -= 2;
+            if (depth <= 0) {
+                ++c.i;
+                return;
+            }
+        } else if (c.is_punct(";") || c.is_punct("{")) {
+            return;
+        }
+        ++c.i;
+    }
+}
+
+std::string last_ident(const std::vector<Token>& toks) {
+    for (auto it = toks.rbegin(); it != toks.rend(); ++it) {
+        if (it->kind == Tok::kIdent) return it->text;
+    }
+    return "";
+}
+
+// From the declaration head (everything before the deciding punctuator),
+// split out the declared name (last identifier) and its type. The type is
+// the last top-level identifier before the name — except for transparent
+// wrappers, where it is the element:
+//   `std::unique_ptr<obs::MetricsRegistry> registry_` -> "MetricsRegistry"
+//   `std::map<std::string, DeviceState> states_`      -> "map"
+//   `Transport* net_`                                 -> "Transport"
+void split_head(const std::vector<Token>& head, std::string* name, std::string* type) {
+    int name_idx = -1;
+    for (int k = static_cast<int>(head.size()) - 1; k >= 0; --k) {
+        if (head[static_cast<std::size_t>(k)].kind == Tok::kIdent) {
+            name_idx = k;
+            break;
+        }
+    }
+    if (name_idx < 0) return;
+    *name = head[static_cast<std::size_t>(name_idx)].text;
+    int depth = 0;
+    std::string outer;
+    std::string inner;
+    for (int k = 0; k < name_idx; ++k) {
+        const Token& t = head[static_cast<std::size_t>(k)];
+        if (t.kind == Tok::kPunct) {
+            if (t.text == "<") ++depth;
+            if (t.text == ">") --depth;
+            if (t.text == ">>") depth -= 2;
+            continue;
+        }
+        if (t.kind != Tok::kIdent || kQualifierKw.count(t.text) != 0) continue;
+        if (depth == 0) {
+            outer = t.text;
+        } else {
+            inner = t.text;
+        }
+    }
+    if (!inner.empty() && kTransparentTemplates.count(outer) != 0) {
+        *type = inner;
+    } else {
+        *type = outer;
+    }
+}
+
+long parse_rank_value(const std::vector<Token>& interior, std::string* rank_name) {
+    // Look for `LockRank :: kFoo` (or a bare `kFoo` enumerator).
+    for (std::size_t k = 0; k < interior.size(); ++k) {
+        const Token& t = interior[k];
+        if (t.kind == Tok::kIdent && t.text.size() > 1 && t.text[0] == 'k' &&
+            std::isupper(static_cast<unsigned char>(t.text[1]))) {
+            if (t.text == "LockRank") continue;
+            *rank_name = t.text;
+            return 0;
+        }
+    }
+    return -1;
+}
+
+void record_variable(Ctx& c, const std::string& cls, const std::vector<Token>& head,
+                     const std::vector<Token>& init, int line) {
+    std::string name;
+    std::string type;
+    split_head(head, &name, &type);
+    if (name.empty()) return;
+    if (type == "Mutex" || type == "SharedMutex") {
+        MutexDecl m;
+        m.cls = cls;
+        m.name = name;
+        m.shared = type == "SharedMutex";
+        m.file = c.file->path;
+        m.line = line;
+        parse_rank_value(init, &m.rank);
+        c.prog->mutexes.push_back(m);
+        return;
+    }
+    if (!type.empty()) c.prog->members.push_back({cls, name, type});
+}
+
+void parse_enum(Ctx& c) {
+    ++c.i;  // 'enum'
+    if (c.is_ident("class") || c.is_ident("struct")) ++c.i;
+    std::string name;
+    if (c.is_ident()) {
+        name = c.cur().text;
+        ++c.i;
+    }
+    while (!c.done() && !c.is_punct("{") && !c.is_punct(";")) ++c.i;
+    if (c.is_punct(";")) {
+        ++c.i;
+        return;
+    }
+    if (!c.is_punct("{")) return;
+    if (name != "LockRank") {
+        skip_group(c, "{", "}");
+        if (c.is_punct(";")) ++c.i;
+        return;
+    }
+    ++c.i;  // '{'
+    long next_value = 0;
+    while (!c.done() && !c.is_punct("}")) {
+        if (!c.is_ident()) {
+            ++c.i;
+            continue;
+        }
+        RankEntry e;
+        e.name = c.cur().text;
+        e.file = c.file->path;
+        e.line = c.cur().line;
+        ++c.i;
+        if (c.is_punct("=")) {
+            ++c.i;
+            if (!c.done() && c.cur().kind == Tok::kNumber) {
+                e.value = std::strtol(c.cur().text.c_str(), nullptr, 0);
+                ++c.i;
+            }
+        } else {
+            e.value = next_value;
+        }
+        next_value = e.value + 1;
+        c.prog->ranks.entries.push_back(e);
+        c.prog->ranks.value[e.name] = e.value;
+        while (!c.done() && !c.is_punct(",") && !c.is_punct("}")) ++c.i;
+        if (c.is_punct(",")) ++c.i;
+    }
+    if (c.is_punct("}")) ++c.i;
+    if (c.is_punct(";")) ++c.i;
+}
+
+// --- function bodies -------------------------------------------------------
+
+bool tok_is_ptr_ref(const Token* t) {
+    return tok_is(t, "*") || tok_is(t, "&") || tok_is(t, "&&");
+}
+
+// Try to match a local variable declaration starting at c.i:
+//   IDENT (:: IDENT)* <...>? [*&]* IDENT2  followed by  = ; ( { :
+// Records IDENT2 -> last type identifier and advances c.i to IDENT2 so the
+// initializer expression is still scanned for calls. Returns false (and
+// leaves c.i untouched) if the shape doesn't match.
+bool try_local_decl(Ctx& c, FunctionInfo& fn) {
+    std::size_t j = c.i;
+    const auto& toks = *c.toks;
+    std::string type;
+    bool saw_type = false;
+    while (j < toks.size() && toks[j].kind == Tok::kIdent) {
+        if (kControlKw.count(toks[j].text) != 0 || kExprContextKw.count(toks[j].text) != 0)
+            return false;
+        if (kQualifierKw.count(toks[j].text) == 0) {
+            type = toks[j].text;
+            saw_type = true;
+        }
+        ++j;
+        if (j < toks.size() && tok_is(&toks[j], "::")) {
+            ++j;
+            continue;
+        }
+        break;
+    }
+    if (!saw_type || j >= toks.size()) return false;
+    // Optional template arguments on the type: transparent wrappers take the
+    // element type (unique_ptr<Device> -> Device), containers keep the outer
+    // (foreign) name so their methods never resolve to program classes.
+    if (tok_is(&toks[j], "<")) {
+        const std::string outer = type;
+        std::string inner;
+        int depth = 0;
+        while (j < toks.size()) {
+            if (tok_is(&toks[j], "<")) {
+                ++depth;
+            } else if (tok_is(&toks[j], ">")) {
+                if (--depth == 0) {
+                    ++j;
+                    break;
+                }
+            } else if (tok_is(&toks[j], ">>")) {
+                depth -= 2;
+                if (depth <= 0) {
+                    ++j;
+                    break;
+                }
+            } else if (toks[j].kind == Tok::kIdent && kQualifierKw.count(toks[j].text) == 0) {
+                inner = toks[j].text;
+            } else if (tok_is(&toks[j], ";") || tok_is(&toks[j], "{")) {
+                return false;
+            }
+            ++j;
+        }
+        if (!inner.empty() && kTransparentTemplates.count(outer) != 0) type = inner;
+    }
+    while (j < toks.size() && (tok_is_ptr_ref(&toks[j]) ||
+                               (toks[j].kind == Tok::kIdent && toks[j].text == "const"))) {
+        ++j;
+    }
+    if (j >= toks.size() || toks[j].kind != Tok::kIdent) return false;
+    const std::string var = toks[j].text;
+    const Token* after = j + 1 < toks.size() ? &toks[j + 1] : nullptr;
+    if (!(tok_is(after, "=") || tok_is(after, ";") || tok_is(after, "(") ||
+          tok_is(after, "{") || tok_is(after, ":"))) {
+        return false;
+    }
+    fn.locals[var] = type;
+    c.i = j;  // leave IDENT2 to be consumed by the main loop
+    return true;
+}
+
+void scan_block(Ctx& c, FunctionInfo& fn, std::vector<bool>& alive);
+
+// c.i sits on a '[' that is NOT a subscript: a lambda introducer or an
+// attribute. Consume the bracket group, any parameter list and specifiers; a
+// following '{' is a lambda body, scanned with NO outer guards live — the
+// common case in this codebase is deferred execution (pool submits, transport
+// callbacks), where attributing the enclosing guards would fabricate edges.
+// The cost: a lambda invoked synchronously under a lock is not charged with
+// that lock (documented in DESIGN.md §14).
+void handle_lambda_or_attribute(Ctx& c, FunctionInfo& fn) {
+    skip_group(c, "[", "]");
+    if (c.is_punct("(")) skip_group(c, "(", ")");
+    while (c.is_ident("mutable") || c.is_ident("noexcept")) ++c.i;
+    if (c.is_punct("->")) {
+        ++c.i;
+        while (c.is_ident() || c.is_punct("::") || c.is_punct("*") || c.is_punct("&")) ++c.i;
+        if (c.is_punct("<")) skip_template_header(c);
+    }
+    if (c.is_punct("{")) {
+        ++c.i;
+        std::vector<bool> inner(fn.guards.size(), false);
+        scan_block(c, fn, inner);
+    }
+}
+
+// Scan one brace-delimited block of a function body. Entered with c.i on the
+// first token AFTER '{'; returns after the matching '}'. Guards declared
+// inside die when the block closes.
+void scan_block(Ctx& c, FunctionInfo& fn, std::vector<bool>& alive) {
+    const std::size_t first_new = fn.guards.size();
+    while (!c.done()) {
+        if (c.is_punct("}")) {
+            ++c.i;
+            break;
+        }
+        if (c.is_punct("{")) {
+            ++c.i;
+            scan_block(c, fn, alive);
+            continue;
+        }
+        if (c.is_punct("[")) {
+            const Token* prev = c.i > 0 ? &(*c.toks)[c.i - 1] : nullptr;
+            if (tok_ident(prev) || tok_is(prev, ")") || tok_is(prev, "]")) {
+                ++c.i;  // subscript — its contents are scanned as usual
+            } else {
+                handle_lambda_or_attribute(c, fn);
+            }
+            continue;
+        }
+        if (!c.is_ident()) {
+            ++c.i;
+            continue;
+        }
+        const Token& t = c.cur();
+        // Guard declaration: [const already skipped] G NAME ( expr ) ;
+        if (kGuardTypes.count(t.text) != 0 && tok_ident(c.peek(1)) &&
+            (tok_is(c.peek(2), "(") || tok_is(c.peek(2), "{"))) {
+            const int line = t.line;
+            const bool reader = t.text == "ReaderLock";
+            c.i += 2;  // onto the opener
+            std::vector<Token> expr;
+            if (c.is_punct("(")) {
+                skip_group(c, "(", ")", &expr);
+            } else {
+                skip_group(c, "{", "}", &expr);
+            }
+            GuardSite g;
+            g.mutex_expr = last_ident(expr);
+            g.reader = reader;
+            g.line = line;
+            for (std::size_t gi = 0; gi < fn.guards.size(); ++gi) {
+                if (alive[gi]) g.live_guards.push_back(gi);
+            }
+            fn.guards.push_back(g);
+            alive.push_back(true);
+            continue;
+        }
+        if (t.text == "const") {  // irrelevant to every pattern below
+            ++c.i;
+            continue;
+        }
+        if (try_local_decl(c, fn)) continue;
+        // Call site: IDENT followed by '('.
+        if (tok_is(c.peek(1), "(") && kControlKw.count(t.text) == 0) {
+            const Token* prev = c.i > 0 ? &(*c.toks)[c.i - 1] : nullptr;
+            CallSite call;
+            call.name = t.text;
+            call.line = t.line;
+            bool is_call = true;
+            if (tok_is(prev, ".") || tok_is(prev, "->")) {
+                call.member_call = true;
+                const Token* recv = c.i >= 2 ? &(*c.toks)[c.i - 2] : nullptr;
+                if (tok_ident(recv)) call.recv = recv->text;
+            } else if (tok_is(prev, "::")) {
+                const Token* qual = c.i >= 2 ? &(*c.toks)[c.i - 2] : nullptr;
+                if (tok_ident(qual)) call.qualifier = qual->text;
+            } else if (tok_ident(prev) || tok_is(prev, ">") || tok_is_ptr_ref(prev)) {
+                // `Type name(...)` declaration — unless prev is an expression
+                // keyword (`return foo()`); casts are filtered by kControlKw.
+                if (!(prev->kind == Tok::kIdent && kExprContextKw.count(prev->text) != 0)) {
+                    is_call = false;
+                }
+            }
+            if (is_call) {
+                for (std::size_t g = 0; g < fn.guards.size(); ++g) {
+                    if (alive[g]) call.live_guards.push_back(g);
+                }
+                fn.calls.push_back(call);
+            }
+            ++c.i;  // the '(' and its arguments are scanned normally
+            continue;
+        }
+        ++c.i;
+    }
+    for (std::size_t g = first_new; g < fn.guards.size(); ++g) alive[g] = false;
+}
+
+// --- declarations ----------------------------------------------------------
+
+// Derive the owning class and name from the identifier chain immediately
+// before the parameter list: `Server::dispatch` -> ("Server", "dispatch"),
+// `Router::~Router` -> ("Router", "~Router"), bare `submit` -> (ctx, "submit").
+void name_from_chain(const std::vector<Token>& head, const std::string& ctx_cls,
+                     std::string* cls, std::string* name) {
+    int k = static_cast<int>(head.size()) - 1;
+    auto at = [&head](int idx) -> const Token& {
+        return head[static_cast<std::size_t>(idx)];
+    };
+    if (k < 0) return;
+    std::string n;
+    if (at(k).kind == Tok::kIdent) {
+        n = at(k).text;
+        --k;
+        if (k >= 0 && tok_is(&at(k), "~")) {
+            n = "~" + n;
+            --k;
+        }
+    } else {
+        return;
+    }
+    *name = n;
+    *cls = ctx_cls;
+    if (k >= 1 && tok_is(&at(k), "::") && at(k - 1).kind == Tok::kIdent) {
+        *cls = at(k - 1).text;
+    }
+}
+
+void parse_declaration(Ctx& c, const std::string& cls);
+
+void scan_region(Ctx& c, const std::string& cls, bool stop_at_close);
+
+void parse_class(Ctx& c, const std::string& outer) {
+    ++c.i;  // 'class' / 'struct'
+    std::string name;
+    if (c.is_punct("[")) skip_group(c, "[", "]");  // attributes
+    if (c.is_ident()) {
+        name = c.cur().text;
+        ++c.i;
+    }
+    // Base clause / 'final' / TSA macros — run to the body or a fwd decl.
+    while (!c.done() && !c.is_punct("{") && !c.is_punct(";")) {
+        if (c.is_punct("(")) {
+            skip_group(c, "(", ")");
+            continue;
+        }
+        ++c.i;
+    }
+    if (c.is_punct(";")) {
+        ++c.i;
+        return;
+    }
+    if (!c.is_punct("{")) return;
+    if (!name.empty()) c.prog->classes.insert(name);
+    ++c.i;
+    scan_region(c, name.empty() ? outer : name, true);
+    skip_to_semi(c);  // `};` (possibly with trailing declarators we ignore)
+}
+
+void parse_declaration(Ctx& c, const std::string& cls) {
+    std::vector<Token> head;
+    const int start_line = c.cur().line;
+    while (!c.done()) {
+        if (c.is_punct(";")) {
+            record_variable(c, cls, head, {}, start_line);
+            ++c.i;
+            return;
+        }
+        if (c.is_punct("=")) {
+            record_variable(c, cls, head, {}, start_line);
+            ++c.i;  // initializer tokens are re-scanned harmlessly
+            return;
+        }
+        if (c.is_punct("{")) {
+            // Brace-initialized variable: `Mutex mu{LockRank::kX};`
+            std::vector<Token> init;
+            skip_group(c, "{", "}", &init);
+            record_variable(c, cls, head, init, start_line);
+            if (c.is_punct(";")) ++c.i;
+            return;
+        }
+        if (c.is_punct("(")) {
+            std::string fn_cls;
+            std::string fn_name;
+            name_from_chain(head, cls, &fn_cls, &fn_name);
+            // Mutex members use paren-init too: `Mutex mu_(LockRank::kX);`
+            std::string head_name;
+            std::string head_type;
+            split_head(head, &head_name, &head_type);
+            if (head_type == "Mutex" || head_type == "SharedMutex") {
+                std::vector<Token> init;
+                skip_group(c, "(", ")", &init);
+                record_variable(c, cls, head, init, start_line);
+                if (c.is_punct(";")) ++c.i;
+                return;
+            }
+            skip_group(c, "(", ")");  // parameter list
+            // Post-qualifiers: const/noexcept/override/... and TSA macros.
+            while (!c.done()) {
+                if (c.is_ident() && (c.cur().text == "const" || c.cur().text == "noexcept" ||
+                                     c.cur().text == "override" || c.cur().text == "final" ||
+                                     c.cur().text == "try" ||
+                                     c.cur().text.rfind("MW_", 0) == 0)) {
+                    ++c.i;
+                    if (c.is_punct("(")) skip_group(c, "(", ")");
+                    continue;
+                }
+                if (c.is_punct("->")) {  // trailing return type
+                    ++c.i;
+                    while (!c.done() &&
+                           (c.is_ident() || c.is_punct("::") || c.is_punct("*") ||
+                            c.is_punct("&"))) {
+                        ++c.i;
+                    }
+                    if (c.is_punct("<")) skip_template_header(c);
+                    continue;
+                }
+                break;
+            }
+            if (c.is_punct(";")) {  // pure declaration (or paren-init member)
+                ++c.i;
+                return;
+            }
+            if (c.is_punct("=")) {  // `= default`, `= delete`, `= 0`
+                skip_to_semi(c);
+                return;
+            }
+            if (c.is_punct(":")) {
+                // Constructor init list: run to the body `{`. The body brace
+                // follows a `)` or `}` (a completed initializer); a `{` after
+                // an identifier is a `member{init}` group to consume.
+                ++c.i;
+                std::string prev = ":";
+                while (!c.done()) {
+                    if (c.is_punct("(")) {
+                        skip_group(c, "(", ")");
+                        prev = ")";
+                        continue;
+                    }
+                    if (c.is_punct("{")) {
+                        if (prev == ")" || prev == "}") break;  // the body
+                        skip_group(c, "{", "}");
+                        prev = "}";
+                        continue;
+                    }
+                    if (c.is_punct(";")) return;  // misparse — bail
+                    prev = c.cur().text;
+                    ++c.i;
+                }
+            }
+            if (c.is_punct("{")) {
+                ++c.i;
+                FunctionInfo fn;
+                fn.cls = fn_cls;
+                fn.name = fn_name;
+                fn.file = c.file->path;
+                fn.line = start_line;
+                std::vector<bool> alive;
+                scan_block(c, fn, alive);
+                c.prog->functions.push_back(fn);
+                return;
+            }
+            // Unrecognized shape — make progress without derailing.
+            skip_to_semi(c);
+            return;
+        }
+        if (c.is_punct("<")) {
+            // Template arguments inside the head (`std::vector<T> x;`).
+            const std::size_t before = c.i;
+            skip_template_header(c);
+            for (std::size_t k = before; k < c.i; ++k) head.push_back((*c.toks)[k]);
+            continue;
+        }
+        // TSA attribute macros in member declarations:
+        // `std::size_t size_ MW_GUARDED_BY(mutex_) = 0;`
+        if (c.is_ident() && c.cur().text.rfind("MW_", 0) == 0 && tok_is(c.peek(1), "(")) {
+            ++c.i;
+            skip_group(c, "(", ")");
+            continue;
+        }
+        head.push_back(c.cur());
+        ++c.i;
+    }
+}
+
+void scan_region(Ctx& c, const std::string& cls, bool stop_at_close) {
+    while (!c.done()) {
+        if (c.is_punct("}")) {
+            ++c.i;
+            if (stop_at_close) return;
+            continue;
+        }
+        if (c.is_punct("{")) {
+            ++c.i;
+            scan_region(c, cls, true);
+            continue;
+        }
+        if (c.is_ident()) {
+            const std::string& t = c.cur().text;
+            if (t == "namespace") {
+                ++c.i;
+                while (c.is_ident() || c.is_punct("::")) ++c.i;
+                if (c.is_punct("{")) {
+                    ++c.i;
+                    scan_region(c, cls, true);  // namespaces are transparent
+                } else {
+                    skip_to_semi(c);  // namespace alias
+                }
+                continue;
+            }
+            if (t == "template") {
+                ++c.i;
+                skip_template_header(c);
+                continue;
+            }
+            if (t == "using" || t == "typedef" || t == "static_assert" || t == "friend") {
+                skip_to_semi(c);
+                continue;
+            }
+            if (t == "enum") {
+                parse_enum(c);
+                continue;
+            }
+            if (t == "class" || t == "struct") {
+                // `class X;` fwd decls and full definitions both handled;
+                // elaborated uses (`struct T x;`) degrade to a fwd-decl skip.
+                parse_class(c, cls);
+                continue;
+            }
+            if (t == "public" || t == "private" || t == "protected") {
+                ++c.i;
+                if (c.is_punct(":")) ++c.i;
+                continue;
+            }
+            if (t == "extern") {
+                ++c.i;
+                if (!c.done() && c.cur().kind == Tok::kString) ++c.i;
+                if (c.is_punct("{")) {
+                    ++c.i;
+                    scan_region(c, cls, true);
+                }
+                continue;
+            }
+            parse_declaration(c, cls);
+            continue;
+        }
+        ++c.i;
+    }
+}
+
+// Restrict a file to its LockRank enum (for sync.hpp).
+void scan_rank_table(Ctx& c) {
+    while (!c.done()) {
+        if (c.is_ident("enum")) {
+            const Token* k1 = c.peek(1);
+            const Token* k2 = c.peek(2);
+            const bool is_lockrank =
+                (tok_ident(k1) && k1->text == "LockRank") ||
+                (tok_ident(k1) && (k1->text == "class" || k1->text == "struct") &&
+                 tok_ident(k2) && k2->text == "LockRank");
+            if (is_lockrank) {
+                parse_enum(c);
+                continue;
+            }
+        }
+        ++c.i;
+    }
+}
+
+}  // namespace
+
+void scan_file(const LexedFile& file, Program& prog, bool rank_table_only) {
+    Ctx c;
+    c.file = &file;
+    c.toks = &file.tokens;
+    c.prog = &prog;
+    if (rank_table_only) {
+        scan_rank_table(c);
+    } else {
+        scan_region(c, "", false);
+    }
+}
+
+}  // namespace mwa

@@ -1,0 +1,20 @@
+// mw-analyze: declaration scanner. Turns the token stream of every source
+// file into the Program model: the LockRank table, mutex members with their
+// declared ranks, class/member/local type tables, and function bodies with
+// their guard sites and call sites (each call annotated with the guards live
+// around it).
+#pragma once
+
+#include <string>
+
+#include "lexer.hpp"
+#include "model.hpp"
+
+namespace mwa {
+
+/// Scan one lexed file into `prog`. `rank_table_only` restricts the scan to
+/// the LockRank enum (used for src/common/sync.hpp, whose wrapper classes
+/// would otherwise pollute the guard/call tables).
+void scan_file(const LexedFile& file, Program& prog, bool rank_table_only);
+
+}  // namespace mwa

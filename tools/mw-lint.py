@@ -25,18 +25,6 @@ Rules enforced over src/ (suppress a single line with
   raw-abort             no direct std::abort()/exit() outside
                         src/common/error.hpp — fatal paths go through the MW
                         macros so they print where and why.
-  raw-atomic            no std::atomic / std::atomic_flag / std::atomic_ref
-                        outside src/common/sync.hpp: every atomic is an
-                        mw::Atomic<T> / mw::AtomicFlag so model-check builds
-                        (-DMW_MODEL_CHECK) can interpose a scheduling point
-                        and happens-before tracking on every operation.
-  relaxed-order-justified
-                        every memory_order_relaxed use needs a trailing
-                        `// relaxed: <why it is safe>` justification on the
-                        same line. Relaxed is the order that silently drops
-                        synchronization; the comment forces the author to
-                        state the invariant that makes that fine (and gives
-                        the model checker's race reports a place to point).
   time-arith-confined   no raw std::chrono / clock reads outside
                         src/common/timer.hpp and src/common/sync.hpp: all
                         wall-clock measurement goes through Stopwatch and all
@@ -45,25 +33,13 @@ Rules enforced over src/ (suppress a single line with
                         conversion points.
   header-self-contained IWYU-lite: every header in src/ must compile on its
                         own (checked with `$CXX -fsyntax-only`).
-  wall-clock-in-serve   src/serve/ only: no Stopwatch / WallClock references.
-                        The serving layer reads time exclusively through its
-                        injected mw::Clock so tests can drive batching windows
-                        and SLO deadlines with a ManualClock and the scheduler
-                        sees one coherent sim-time.
-  wall-clock-in-obs     src/obs/ only: same ban. The trace recorder and
-                        exporters never read clocks; timestamps arrive from
-                        the recording components, so traces stay on the one
-                        injected timeline.
-  wall-clock-in-fault   src/fault/ only: same ban. The FaultInjector and
-                        DeviceHealthTracker take an injected mw::Clock so a
-                        chaos run is a pure function of its seed — breaker
-                        cooldowns and half-open probes replay deterministically
-                        under a ManualClock.
-  wall-clock-in-cluster src/cluster/ only: same ban. Link latencies, request
-                        deadlines, hedge timers and partition windows all live
-                        on the injected mw::Clock; one Stopwatch in the tier
-                        would let wall time leak into delivery order and make
-                        partition-chaos runs unreproducible.
+
+Retired rules (now enforced token-aware by `mw-analyze`, tools/analyze/):
+  raw-atomic, relaxed-order-justified — atomic discipline moved to the
+  analyzer, which lexes rather than regexes and shares its suppression
+  mechanism with the lock-order checks.
+  wall-clock-in-{serve,obs,fault,cluster} — generalized into mw-analyze's
+  declarative clock-confinement table (one rule, four directory prefixes).
 """
 
 from __future__ import annotations
@@ -80,12 +56,6 @@ import tempfile
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 ALLOW_RE = re.compile(r"//\s*mw-lint:\s*allow\(([a-z-]+)\)")
-
-RELAXED_RE = re.compile(r"\bmemory_order_relaxed\b")
-RELAXED_JUSTIFIED_RE = re.compile(r"//\s*relaxed:")
-# The wrapper itself legitimately names the order (dispatch switch, CAS
-# failure-order demotion) without per-line justifications.
-RELAXED_EXCLUDED = ("src/common/sync.hpp",)
 
 
 def strip_noncode(text: str) -> str:
@@ -167,13 +137,6 @@ LINE_RULES = [
         ("src/common/error.hpp",),
     ),
     (
-        "raw-atomic",
-        re.compile(r"\bstd::atomic(?:_flag|_ref)?\b"),
-        "raw std::atomic — use mw::Atomic<T> / mw::AtomicFlag from common/sync.hpp "
-        "so model-check builds can instrument the operation",
-        ("src/common/sync.hpp",),
-    ),
-    (
         "time-arith-confined",
         re.compile(
             r"\bstd::chrono\b|\bsteady_clock\b|\bsystem_clock\b|\bhigh_resolution_clock\b"
@@ -183,41 +146,6 @@ LINE_RULES = [
         ("src/common/timer.hpp", "src/common/sync.hpp"),
     ),
 ]
-
-# (rule, path prefix the rule applies to, pattern, message)
-PREFIX_RULES = [
-    (
-        "wall-clock-in-serve",
-        "src/serve/",
-        re.compile(r"\bStopwatch\b|\bWallClock\b"),
-        "serve code reads time through its injected mw::Clock only — "
-        "construct the server with a WallClock at the composition root instead",
-    ),
-    (
-        "wall-clock-in-obs",
-        "src/obs/",
-        re.compile(r"\bStopwatch\b|\bWallClock\b"),
-        "obs never reads a clock — every span timestamp is passed in by the "
-        "recording component from its own injected mw::Clock / sim timeline",
-    ),
-    (
-        "wall-clock-in-fault",
-        "src/fault/",
-        re.compile(r"\bStopwatch\b|\bWallClock\b"),
-        "fault injection and health tracking read time only through the "
-        "injected mw::Clock — wall time would make fault schedules, breaker "
-        "cooldowns and chaos seeds non-reproducible under a ManualClock",
-    ),
-    (
-        "wall-clock-in-cluster",
-        "src/cluster/",
-        re.compile(r"\bStopwatch\b|\bWallClock\b"),
-        "cluster code (transport, router, nodes) reads time only through the "
-        "injected mw::Clock — link latency, deadlines and partitions must "
-        "replay identically under a ManualClock",
-    ),
-]
-
 
 def relpath(path: str) -> str:
     return os.path.relpath(path, REPO_ROOT).replace(os.sep, "/")
@@ -243,11 +171,6 @@ def check_source(rel: str, raw: str, display_path: str | None = None) -> list[Fi
         for rule, pattern, message, excluded in LINE_RULES
         if not any(rel.endswith(suffix) for suffix in excluded)
     ]
-    active += [
-        (rule, pattern, message)
-        for rule, prefix, pattern, message in PREFIX_RULES
-        if rel.startswith(prefix)
-    ]
     for rule, pattern, message in active:
         for lineno, code in enumerate(code_lines, start=1):
             if not pattern.search(code):
@@ -255,24 +178,6 @@ def check_source(rel: str, raw: str, display_path: str | None = None) -> list[Fi
             if allowed(lineno, rule):
                 continue
             findings.append(Finding(path, lineno, rule, message))
-
-    if not any(rel.endswith(suffix) for suffix in RELAXED_EXCLUDED):
-        for lineno, code in enumerate(code_lines, start=1):
-            if not RELAXED_RE.search(code):
-                continue
-            if lineno <= len(raw_lines) and RELAXED_JUSTIFIED_RE.search(raw_lines[lineno - 1]):
-                continue
-            if allowed(lineno, "relaxed-order-justified"):
-                continue
-            findings.append(
-                Finding(
-                    path,
-                    lineno,
-                    "relaxed-order-justified",
-                    "memory_order_relaxed without a trailing `// relaxed: <why>` "
-                    "justification on the same line",
-                )
-            )
     return findings
 
 
@@ -318,41 +223,10 @@ def check_header_self_contained(
 # Every rule gets at least one bad fixture (must fire), one good fixture
 # (must stay silent), and the suppression/justification escape hatch.
 SELF_TEST_FIXTURES = [
-    # raw-atomic
-    ("raw-atomic fires", "src/x/a.hpp", "std::atomic<int> v{0};\n", {"raw-atomic"}),
-    ("raw-atomic fires on atomic_flag", "src/x/a.hpp", "std::atomic_flag f;\n", {"raw-atomic"}),
-    ("raw-atomic fires on atomic_ref", "src/x/a.hpp", "std::atomic_ref<int> r{v};\n", {"raw-atomic"}),
-    ("raw-atomic silent on wrapper", "src/x/a.hpp", "mw::Atomic<int> v{0};\n", set()),
-    ("raw-atomic silent in sync.hpp", "src/common/sync.hpp", "stdsync::atomic<int> v{0};\n", set()),
-    ("raw-atomic silent in comment", "src/x/a.hpp", "// std::atomic<int> would be wrong\n", set()),
-    (
-        "raw-atomic allow() suppresses",
-        "src/x/a.hpp",
-        "std::atomic<int> v{0};  // mw-lint: allow(raw-atomic) interop shim\n",
-        set(),
-    ),
-    # relaxed-order-justified
-    (
-        "relaxed fires without justification",
-        "src/x/a.cpp",
-        "n_.fetch_add(1, std::memory_order_relaxed);\n",
-        {"relaxed-order-justified"},
-    ),
-    (
-        "relaxed silent with justification",
-        "src/x/a.cpp",
-        "n_.fetch_add(1, std::memory_order_relaxed);  // relaxed: monotonic stat\n",
-        set(),
-    ),
-    (
-        "relaxed allow() suppresses",
-        "src/x/a.cpp",
-        "n_.fetch_add(1, std::memory_order_relaxed);  // mw-lint: allow(relaxed-order-justified)\n",
-        set(),
-    ),
-    ("relaxed silent in sync.hpp", "src/common/sync.hpp",
-     "case stdsync::memory_order_relaxed: return mc::Ordering::kRelaxed;\n", set()),
-    ("relaxed silent in comment", "src/x/a.cpp", "// memory_order_relaxed is subtle\n", set()),
+    # retired rules must stay silent (enforcement moved to mw-analyze)
+    ("retired raw-atomic stays silent", "src/x/a.hpp", "std::atomic<int> v{0};\n", set()),
+    ("retired relaxed-order stays silent", "src/x/a.cpp",
+     "n_.fetch_add(1, std::memory_order_relaxed);\n", set()),
     # naked-thread
     ("naked-thread fires", "src/x/a.cpp", "std::thread t(fn);\n", {"naked-thread"}),
     ("naked-thread silent in thread_pool", "src/common/thread_pool.cpp", "std::thread t(fn);\n", set()),
@@ -382,23 +256,11 @@ SELF_TEST_FIXTURES = [
     ("time-arith silent in timer.hpp", "src/common/timer.hpp",
      "auto t0 = std::chrono::steady_clock::now();\n", set()),
     ("time-arith silent on Stopwatch", "src/x/a.cpp", "Stopwatch sw;\n", set()),
-    # wall-clock prefix rules
-    ("wall-clock-in-serve fires", "src/serve/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-serve"}),
-    ("wall-clock-in-obs fires", "src/obs/a.cpp", "WallClock clock;\n", {"wall-clock-in-obs"}),
-    ("wall-clock-in-fault fires", "src/fault/a.cpp", "Stopwatch sw;\n", {"wall-clock-in-fault"}),
-    ("wall-clock-in-cluster fires on Stopwatch", "src/cluster/a.cpp", "Stopwatch sw;\n",
-     {"wall-clock-in-cluster"}),
-    ("wall-clock-in-cluster fires on WallClock", "src/cluster/a.hpp", "WallClock clock;\n",
-     {"wall-clock-in-cluster"}),
-    ("wall-clock-in-cluster silent on injected Clock", "src/cluster/a.cpp",
-     "const Clock* clock_;\n", set()),
-    (
-        "wall-clock-in-cluster allow() suppresses",
-        "src/cluster/a.cpp",
-        "Stopwatch sw;  // mw-lint: allow(wall-clock-in-cluster) bench-only diag\n",
-        set(),
-    ),
-    ("wall-clock silent outside scoped dirs", "src/x/a.cpp", "WallClock clock;\n", set()),
+    # retired wall-clock prefix rules must stay silent (moved to mw-analyze
+    # clock-confinement)
+    ("retired wall-clock-in-serve stays silent", "src/serve/a.cpp", "Stopwatch sw;\n", set()),
+    ("retired wall-clock-in-cluster stays silent", "src/cluster/a.hpp", "WallClock clock;\n",
+     set()),
     # string-literal immunity
     ("rules silent inside string literals", "src/x/a.cpp",
      'const char* s = "std::mutex std::atomic";\n', set()),
