@@ -1,9 +1,15 @@
 // google-benchmark microbenchmarks of the real inference kernels that every
-// device executes (GEMM, convolution, pooling, full-model forward passes).
-// These measure this machine's actual silicon — they back the "results are
-// computed for real" half of the runtime, not the simulated testbed timing.
+// device executes (GEMM, convolution, pooling, full-model forward passes),
+// plus the serving hot path's ring primitives — there the interesting number
+// is the cross-core handoff rate, and the padded-vs-unpadded pair puts a
+// figure on what the alignas(kCacheLineBytes) separation of the producer
+// and consumer cursors buys (DESIGN.md §15).
 #include <benchmark/benchmark.h>
 
+#include <thread>
+
+#include "common/spsc_ring.hpp"
+#include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -15,6 +21,74 @@
 namespace {
 
 using namespace mw;
+
+/// Bench-local ring identical in protocol to mw::SpscRing but with the
+/// cursors and slots packed together — the layout the alignas fix replaced.
+/// Kept here (not as a template knob on the real ring) so production code
+/// cannot instantiate the false-sharing variant.
+class UnpaddedSpscRing {
+public:
+    explicit UnpaddedSpscRing(std::size_t capacity)
+        : buffer_(capacity + 1), capacity_(capacity + 1) {}
+
+    [[nodiscard]] bool try_push(int value) {
+        const std::size_t head = head_.load(std::memory_order_relaxed);
+        const std::size_t next = (head + 1) % capacity_;
+        if (next == tail_.load(std::memory_order_acquire)) return false;
+        buffer_[head] = value;
+        head_.store(next, std::memory_order_release);
+        return true;
+    }
+
+    [[nodiscard]] bool try_pop(int& out) {
+        const std::size_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail == head_.load(std::memory_order_acquire)) return false;
+        out = buffer_[tail];
+        tail_.store((tail + 1) % capacity_, std::memory_order_release);
+        return true;
+    }
+
+private:
+    Atomic<std::size_t> head_{0};  // deliberately adjacent: shares a line
+    Atomic<std::size_t> tail_{0};  // with head_ and the first slots
+    std::vector<int> buffer_;
+    std::size_t capacity_;
+};
+
+/// Cross-core handoff: a producer thread pushes as fast as the ring accepts
+/// while the bench thread pops. Items/s is the sustained transfer rate; the
+/// padded mw::SpscRing vs the packed layout above isolates the false-sharing
+/// cost the alignas separation removes.
+template <typename Ring>
+void spsc_handoff(benchmark::State& state) {
+    Ring ring(1024);
+    Atomic<bool> stop{false};
+    std::thread producer([&] {
+        int i = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            if (ring.try_push(i)) ++i;
+        }
+    });
+    std::int64_t popped = 0;
+    for (auto _ : state) {
+        int v = 0;
+        if (ring.try_pop(v)) {
+            benchmark::DoNotOptimize(v);
+            ++popped;
+        }
+    }
+    stop.store(true, std::memory_order_release);
+    producer.join();
+    state.SetItemsProcessed(popped);
+}
+
+void BM_SpscRing(benchmark::State& state) { spsc_handoff<SpscRing<int>>(state); }
+BENCHMARK(BM_SpscRing);
+
+void BM_SpscRingUnpadded(benchmark::State& state) {
+    spsc_handoff<UnpaddedSpscRing>(state);
+}
+BENCHMARK(BM_SpscRingUnpadded);
 
 void BM_GemmBt(benchmark::State& state) {
     const auto m = static_cast<std::size_t>(state.range(0));

@@ -20,14 +20,23 @@
 // QPS surviving the kill via breaker exclusion and recovering after the
 // half-open re-probe.
 //
+// Part 5 is the lock-free hot path (DESIGN.md §15): closed-loop ticket
+// clients against the sharded work-stealing rings vs the same traffic
+// against the legacy mutexed queue at equal workers. Its ticket-path QPS is
+// the headline `sustained_qps` the CI gate compares.
+//
 // Flags: --quick shortens every window (the CI gate mode); --json PATH
-// writes the headline numbers as BENCH_serving.json for tools/bench-compare.
+// writes the headline numbers as BENCH_serving.json for tools/bench-compare;
+// --contend runs only the hot-vs-legacy comparison with more workers than
+// hardware cores (the TSan CI leg: maximum steal/preemption interleaving).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/format.hpp"
@@ -166,6 +175,73 @@ void print_policy_table(const char* label, const LoadResult& r) {
                 t.rejected_full + t.evicted, t.shed);
 }
 
+/// Part 5: closed-loop ticket clients on the lock-free hot path. Each client
+/// keeps a bounded window of outstanding tickets (submit_ticket / try_result
+/// / release), so steady state performs no heap allocation end to end and
+/// the measured QPS is what the server sustains, not what a pacer offered.
+LoadResult run_ticket_load(World& world, const serve::ServerConfig& config,
+                           const TrafficSpec& traffic, double duration_s,
+                           std::size_t clients) {
+    constexpr std::size_t kWindow = 64;
+    WallClock clock;
+    serve::Server server(*world.scheduler, world.dispatcher, clock, config);
+    MW_CHECK(server.hot_path_active(), "ticket load needs the hot path active");
+    const auto pool = make_payload_pool(traffic, 64);
+
+    Atomic<std::size_t> offered{0};
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    const double start = clock.now();
+    for (std::size_t c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            std::vector<serve::Ticket> window;
+            window.reserve(kWindow);
+            serve::TicketResult result;
+            std::size_t submitted = 0;
+            std::size_t next = c;
+            const auto reap = [&](std::size_t down_to) {
+                while (window.size() > down_to) {
+                    bool progressed = false;
+                    for (std::size_t j = 0; j < window.size();) {
+                        if (server.try_result(window[j], result)) {
+                            server.release(window[j]);
+                            window[j] = window.back();
+                            window.pop_back();
+                            progressed = true;
+                        } else {
+                            ++j;
+                        }
+                    }
+                    if (!progressed) sleep_for_seconds(20e-6);
+                }
+            };
+            while (clock.now() - start < duration_s) {
+                while (window.size() < kWindow) {
+                    const Tensor& payload = pool[next % pool.size()];
+                    ++next;
+                    const auto policy =
+                        traffic.mixed_policies
+                            ? static_cast<sched::Policy>(next % serve::kPolicyLanes)
+                            : sched::Policy::kMaxThroughput;
+                    const auto out = server.submit_ticket(
+                        traffic.model, payload.span(),
+                        traffic.samples_per_request, policy);
+                    ++submitted;
+                    if (!out.admitted) break;  // shed: reap and retry
+                    window.push_back(out.ticket);
+                }
+                reap(kWindow / 2);
+            }
+            reap(0);
+            offered.fetch_add(submitted, std::memory_order_relaxed);
+        });
+    }
+    for (std::thread& t : threads) t.join();
+    const double elapsed = clock.now() - start;
+    server.stop();
+    return {server.stats(), elapsed, offered.load(std::memory_order_relaxed)};
+}
+
 /// Part 4: one resilient server through a kill/revive cycle. Closed-loop
 /// clients (bounded outstanding window) so each window's QPS reflects what
 /// the fleet sustains, not what an open-loop pacer offered.
@@ -251,14 +327,57 @@ DegradedResult run_degraded(World& world, double window_s) {
     return out;
 }
 
-/// The headline numbers the CI regression gate compares.
+/// The headline numbers the CI regression gate compares. `sustained_qps` is
+/// the hot ticket-path number; `legacy_qps` (the pre-hot-path serving stack
+/// on identical traffic and workers) is printed for context.
 struct BenchSummary {
     double sustained_qps = 0.0;
     double queue_wait_p95_s = 0.0;
+    double queue_wait_p99_s = 0.0;
     double mean_batch = 0.0;
     double energy_per_request_j = 0.0;
+    double legacy_qps = 0.0;
     DegradedResult degraded;
 };
+
+/// The hot-vs-legacy comparison (part 5, and the whole bench under
+/// --contend): identical traffic, identical worker count, the only delta is
+/// HotPathConfig::enabled and the client interface it unlocks.
+std::pair<LoadResult, LoadResult> run_hot_vs_legacy(World& world,
+                                                    std::size_t workers,
+                                                    double duration_s,
+                                                    std::size_t clients) {
+    const TrafficSpec tiny{"simple", 4, 8, true};
+    serve::ServerConfig hot;
+    hot.workers = workers;
+    hot.queue_capacity = 1024;
+    hot.admission.policy = serve::BackpressurePolicy::kRejectNewest;
+    hot.batching = {.enabled = true, .max_requests = 32, .max_samples = 4096,
+                    .max_wait_s = 0.002};
+    hot.hot_path.stats_flush_batches = 32;  // amortise shard flushes under contention
+    serve::ServerConfig legacy = hot;
+    legacy.hot_path.enabled = false;
+
+    std::printf("\nlock-free hot path vs legacy queue on %s, %zu workers, "
+                "%zu closed-loop clients:\n",
+                tiny.model, workers, clients);
+    const auto legacy_result = run_load(world, legacy, tiny, 1e9, duration_s);
+    const double legacy_qps =
+        static_cast<double>(legacy_result.snapshot.totals().completed) /
+        legacy_result.elapsed_s;
+    const auto hot_result = run_ticket_load(world, hot, tiny, duration_s, clients);
+    const double hot_qps =
+        static_cast<double>(hot_result.snapshot.totals().completed) /
+        hot_result.elapsed_s;
+    const auto& hot_lane = hot_result.snapshot.of(sched::Policy::kMaxThroughput);
+    std::printf("  legacy (mutexed queue, futures):   %9.0f QPS\n", legacy_qps);
+    std::printf("  hot (sharded rings, tickets):      %9.0f QPS  (%.2fx)\n", hot_qps,
+                legacy_qps > 0.0 ? hot_qps / legacy_qps : 0.0);
+    std::printf("  hot queue wait: p95 %s, p99 %s (bounded by the closed loop)\n",
+                format_duration(hot_lane.queue_p95_s).c_str(),
+                format_duration(hot_lane.queue_p99_s).c_str());
+    return {hot_result, legacy_result};
+}
 
 void write_json(const char* path, const BenchSummary& s) {
     std::FILE* f = std::fopen(path, "w");
@@ -270,8 +389,10 @@ void write_json(const char* path, const BenchSummary& s) {
                  "{\n"
                  "  \"sustained_qps\": %.3f,\n"
                  "  \"queue_wait_p95_s\": %.9f,\n"
+                 "  \"queue_wait_p99_s\": %.9f,\n"
                  "  \"mean_batch\": %.3f,\n"
                  "  \"energy_per_request_j\": %.9f,\n"
+                 "  \"legacy_qps\": %.3f,\n"
                  "  \"degraded\": {\n"
                  "    \"healthy_qps\": %.3f,\n"
                  "    \"killed_qps\": %.3f,\n"
@@ -279,9 +400,10 @@ void write_json(const char* path, const BenchSummary& s) {
                  "    \"recovered_ratio\": %.4f\n"
                  "  }\n"
                  "}\n",
-                 s.sustained_qps, s.queue_wait_p95_s, s.mean_batch,
-                 s.energy_per_request_j, s.degraded.healthy_qps,
-                 s.degraded.killed_qps, s.degraded.recovered_qps,
+                 s.sustained_qps, s.queue_wait_p95_s, s.queue_wait_p99_s,
+                 s.mean_batch, s.energy_per_request_j, s.legacy_qps,
+                 s.degraded.healthy_qps, s.degraded.killed_qps,
+                 s.degraded.recovered_qps,
                  s.degraded.healthy_qps > 0.0
                      ? s.degraded.recovered_qps / s.degraded.healthy_qps
                      : 0.0);
@@ -293,14 +415,18 @@ void write_json(const char* path, const BenchSummary& s) {
 
 int main(int argc, char** argv) {
     bool quick = false;
+    bool contend = false;
     const char* json_path = nullptr;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--quick") == 0) {
             quick = true;
+        } else if (std::strcmp(argv[i], "--contend") == 0) {
+            contend = true;
         } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else {
-            std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+            std::fprintf(stderr, "usage: %s [--quick] [--contend] [--json PATH]\n",
+                         argv[0]);
             return 2;
         }
     }
@@ -313,6 +439,19 @@ int main(int argc, char** argv) {
 
     std::printf("building world (profiling + scheduler training)...\n");
     World world;
+
+    // --- --contend: hot-vs-legacy only, oversubscribed -------------------
+    // Workers beyond the hardware cores force preemption inside every ring
+    // and steal window; the TSan CI leg runs exactly this configuration, so
+    // the schedules the sanitizer sees are the most hostile ones.
+    if (contend) {
+        const std::size_t cores = std::thread::hardware_concurrency();
+        const std::size_t workers = (cores > 0 ? cores : 4) + 2;
+        std::printf("\ncontention mode: %zu workers on %zu hardware cores\n",
+                    workers, cores);
+        (void)run_hot_vs_legacy(world, workers, quick ? 0.5 : 1.5, workers);
+        return 0;
+    }
 
     // --- Part 1: offered-load sweep, batching off ----------------------
     // mnist-small is compute-heavy, so three workers saturate quickly and
@@ -359,13 +498,23 @@ int main(int argc, char** argv) {
     std::printf("sustained QPS: %.0f -> %.0f (%.1fx) at equal workers\n", off_qps, on_qps,
                 off_qps > 0.0 ? on_qps / off_qps : 0.0);
 
-    // Headline numbers for the CI regression gate, from the batched run.
+    // --- Part 5: lock-free hot path vs legacy queue ----------------------
+    // Same tiny model and worker count; ticket clients on sharded rings vs
+    // the mutexed queue. This is the CI gate's headline sustained_qps.
+    const auto [hot, legacy] = run_hot_vs_legacy(world, 3, maxrate_s, 4);
+
+    // Headline numbers for the CI regression gate, from the hot ticket run.
     BenchSummary summary;
     {
-        const auto totals = on.snapshot.totals();
-        summary.sustained_qps = on_qps;
-        const double p95 = on.snapshot.of(sched::Policy::kMaxThroughput).queue_p95_s;
-        summary.queue_wait_p95_s = std::isnan(p95) ? 0.0 : p95;
+        const auto totals = hot.snapshot.totals();
+        summary.sustained_qps =
+            static_cast<double>(totals.completed) / hot.elapsed_s;
+        summary.legacy_qps =
+            static_cast<double>(legacy.snapshot.totals().completed) /
+            legacy.elapsed_s;
+        const auto& lane = hot.snapshot.of(sched::Policy::kMaxThroughput);
+        summary.queue_wait_p95_s = std::isnan(lane.queue_p95_s) ? 0.0 : lane.queue_p95_s;
+        summary.queue_wait_p99_s = std::isnan(lane.queue_p99_s) ? 0.0 : lane.queue_p99_s;
         summary.mean_batch =
             totals.batches_executed > 0
                 ? static_cast<double>(totals.coalesced_requests) /

@@ -1,0 +1,129 @@
+// EpochCell: a two-slot, reader-refcounted RCU cell for publishing immutable
+// snapshots to lock-free readers (ROADMAP item 2: the scheduler's
+// epoch-snapshotted state lives in one of these).
+//
+// Shape: two slots, each holding an owned `const T*` plus a reader count.
+// `active_` names the slot readers should use. A reader pins the active slot
+// by incrementing its count, re-reads `active_`, and retries if the slot was
+// flipped away in between — so a successful pin guarantees the writer's
+// drain loop will observe the reader. Writers serialise on a mutex (cold
+// path: snapshots are published every few hundred batches), install the new
+// snapshot into the INACTIVE slot after draining its stragglers, and flip
+// `active_`. Reclamation is therefore deferred by exactly one publish: the
+// pointer freed by publish N is the one installed by publish N-2, whose slot
+// went inactive at publish N-1 and has drained by the time N reuses it.
+//
+// The seq_cst pair — reader's pin increment + re-check vs writer's flip +
+// drain load — is a Dekker handshake: if the reader's re-check still sees
+// the old slot active, its increment precedes the flip in the total order
+// and the writer's drain must see it. Weakening either side lets a reader
+// hold a freed snapshot; the memory-order template parameters exist ONLY so
+// the model-check mutation proof can demonstrate exactly that (see
+// tests/test_mc.cpp and DESIGN.md §15). Production code uses the defaults.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/sync.hpp"
+
+namespace mw {
+
+template <typename T,
+          std::memory_order PinOrder = std::memory_order_seq_cst,
+          std::memory_order FlipOrder = std::memory_order_seq_cst>
+class EpochCell {
+public:
+    /// RAII pin on the snapshot that was active at acquisition. The payload
+    /// stays valid (and immutable) for the guard's lifetime, across any
+    /// number of concurrent publishes.
+    class ReadGuard {
+    public:
+        ReadGuard(const ReadGuard&) = delete;
+        ReadGuard& operator=(const ReadGuard&) = delete;
+        ReadGuard(ReadGuard&& other) noexcept : cell_(other.cell_), slot_(other.slot_) {
+            other.cell_ = nullptr;
+        }
+        ReadGuard& operator=(ReadGuard&&) = delete;
+        ~ReadGuard() {
+            if (cell_ != nullptr) {
+                cell_->slots_[slot_].readers.fetch_sub(1, std::memory_order_release);
+            }
+        }
+
+        [[nodiscard]] const T& operator*() const { return *get(); }
+        [[nodiscard]] const T* operator->() const { return get(); }
+        [[nodiscard]] const T* get() const {
+            const T* ptr = cell_->slots_[slot_].ptr;
+            MW_MC_RACE_READ(ptr, "EpochCell payload");
+            return ptr;
+        }
+
+    private:
+        friend class EpochCell;
+        ReadGuard(const EpochCell* cell, std::size_t slot) : cell_(cell), slot_(slot) {}
+
+        const EpochCell* cell_;
+        std::size_t slot_;
+    };
+
+    explicit EpochCell(std::unique_ptr<const T> initial) {
+        MW_CHECK(initial != nullptr, "EpochCell: initial snapshot must be non-null");
+        slots_[0].ptr = initial.release();
+    }
+
+    EpochCell(const EpochCell&) = delete;
+    EpochCell& operator=(const EpochCell&) = delete;
+
+    ~EpochCell() {
+        delete slots_[0].ptr;
+        delete slots_[1].ptr;
+    }
+
+    /// Lock-free reader entry: pin the active snapshot. Retries only while a
+    /// concurrent flip lands between the load and the pin (at most once per
+    /// publish, and publishes are rare).
+    [[nodiscard]] ReadGuard read() const {
+        for (;;) {
+            const std::size_t idx = active_.load(std::memory_order_seq_cst);
+            slots_[idx].readers.fetch_add(1, PinOrder);
+            if (active_.load(std::memory_order_seq_cst) == idx) {
+                return ReadGuard(this, idx);
+            }
+            slots_[idx].readers.fetch_sub(1, std::memory_order_release);
+            MW_MC_YIELD("epoch-cell-repin");
+        }
+    }
+
+    /// Writer entry: install `next` as the new active snapshot. Serialised on
+    /// an internal mutex; the spin below only drains readers that pinned the
+    /// slot before it went inactive one publish ago, so the wait is bounded
+    /// by the longest reader critical section (a single decide() call).
+    void publish(std::unique_ptr<const T> next) {
+        MW_CHECK(next != nullptr, "EpochCell: published snapshot must be non-null");
+        MutexLock lock(publish_mutex_);  // mw-analyze: allow(lock-free-confinement) cold writer path
+        const std::size_t idx = active_.load(std::memory_order_relaxed) ^ 1U;  // relaxed: active_ only flips under publish_mutex_
+        while (slots_[idx].readers.load(std::memory_order_acquire) != 0) {
+            MW_MC_YIELD("epoch-cell-drain");
+        }
+        if (slots_[idx].ptr != nullptr) {
+            MW_MC_RACE_WRITE(slots_[idx].ptr, "EpochCell payload");
+        }
+        delete slots_[idx].ptr;
+        slots_[idx].ptr = next.release();
+        active_.store(idx, FlipOrder);
+    }
+
+private:
+    struct Slot {
+        const T* ptr = nullptr;
+        mutable Atomic<std::size_t> readers{0};
+    };
+
+    Slot slots_[2];
+    Atomic<std::size_t> active_{0};
+    Mutex publish_mutex_{LockRank::kSnapshotPublish};  // mw-analyze: allow(lock-free-confinement)
+};
+
+}  // namespace mw

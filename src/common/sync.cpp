@@ -13,6 +13,7 @@ const char* lock_rank_name(LockRank rank) noexcept {
         case LockRank::kClusterNode: return "cluster-node";
         case LockRank::kNetFault: return "net-fault";
         case LockRank::kScheduler: return "scheduler";
+        case LockRank::kSnapshotPublish: return "snapshot-publish";
         case LockRank::kRegistry: return "registry";
         case LockRank::kDispatcher: return "dispatcher";
         case LockRank::kFaultInject: return "fault-inject";

@@ -121,6 +121,7 @@ enum class LockRank : int {
     kClusterNode = 6,      ///< cluster::Node completion queue
     kNetFault = 8,         ///< fault::NetFaultInjector link streams/partition
     kScheduler = 10,       ///< serve::Server's OnlineScheduler serialisation
+    kSnapshotPublish = 15, ///< EpochCell writer serialisation (scheduler snapshots)
     kRegistry = 20,        ///< device::DeviceRegistry device table
     kDispatcher = 30,      ///< sched::Dispatcher model table
     kFaultInject = 35,     ///< fault::FaultInjector per-device fault streams

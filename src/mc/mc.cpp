@@ -600,14 +600,25 @@ bool advance_frames(std::vector<Frame>& frames, int preemption_bound) {
 
 bool managed() noexcept { return t_self != nullptr; }
 
+/// A schedule aborts by throwing AbortSchedule through the body's frames, so
+/// destructors of RAII protocol guards (e.g. EpochCell::ReadGuard, whose
+/// release is an instrumented fetch_sub) run while that exception is in
+/// flight. A schedule point taken then would throw a second AbortSchedule
+/// mid-unwind and terminate the process — skip instrumentation on unwind
+/// paths instead. The real operation still executes; only the yield, clock
+/// bookkeeping, and race check are skipped, and the schedule is already
+/// being torn down (or, for a body's own exception, about to be failed by
+/// the thread wrapper), so no coverage is lost.
+bool unwinding() noexcept { return std::uncaught_exceptions() > 0; }
+
 void atomic_point(const void* addr, Op op, Ordering /*order*/,
                   const char* label) {
-    if (t_self == nullptr) return;
+    if (t_self == nullptr || unwinding()) return;
     t_self->exec->schedule_point(op, addr, label);
 }
 
 void atomic_applied(const void* addr, Op op, Ordering order, bool did_store) {
-    if (t_self == nullptr) return;
+    if (t_self == nullptr || unwinding()) return;
     t_self->exec->apply_atomic(addr, op, order, did_store);
 }
 
@@ -623,17 +634,17 @@ void mutex_unlock(const void* addr, bool shared) {
 }
 
 void yield_point(const char* label) {
-    if (t_self == nullptr) return;
+    if (t_self == nullptr || unwinding()) return;
     t_self->exec->schedule_point(Op::kYield, nullptr, label);
 }
 
 void race_read(const void* addr, const char* label) {
-    if (t_self == nullptr) return;
+    if (t_self == nullptr || unwinding()) return;
     t_self->exec->race_access(addr, /*is_write=*/false, label);
 }
 
 void race_write(const void* addr, const char* label) {
-    if (t_self == nullptr) return;
+    if (t_self == nullptr || unwinding()) return;
     t_self->exec->race_access(addr, /*is_write=*/true, label);
 }
 

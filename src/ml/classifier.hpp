@@ -27,6 +27,20 @@ public:
     /// Predict the class of one feature row.
     [[nodiscard]] virtual int predict(std::span<const double> row) const = 0;
 
+    /// Allocation-free predict for hot paths: `scratch` is caller-owned
+    /// working memory of at least `scratch_size()` doubles. The default
+    /// forwards to predict() (which may allocate); models with internal
+    /// temporaries override both to stay heap-free per call.
+    [[nodiscard]] virtual int predict_with_scratch(std::span<const double> row,
+                                                   std::span<double> scratch) const {
+        (void)scratch;
+        return predict(row);
+    }
+
+    /// Doubles of scratch predict_with_scratch() needs (0 when predict()
+    /// itself is allocation-free).
+    [[nodiscard]] virtual std::size_t scratch_size() const { return 0; }
+
     /// Fresh untrained copy with the same hyperparameters.
     [[nodiscard]] virtual std::unique_ptr<Classifier> clone() const = 0;
 

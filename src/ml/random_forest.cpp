@@ -79,6 +79,17 @@ int RandomForest::predict(std::span<const double> row) const {
         std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
 }
 
+int RandomForest::predict_with_scratch(std::span<const double> row,
+                                       std::span<double> scratch) const {
+    MW_CHECK(!trees_.empty(), "predict before fit");
+    MW_CHECK(scratch.size() >= classes_, "predict_with_scratch: scratch too small");
+    const std::span<double> votes = scratch.first(classes_);
+    std::fill(votes.begin(), votes.end(), 0.0);
+    for (const auto& tree : trees_) votes[static_cast<std::size_t>(tree.predict(row))] += 1.0;
+    return static_cast<int>(
+        std::distance(votes.begin(), std::max_element(votes.begin(), votes.end())));
+}
+
 ClassifierPtr RandomForest::clone() const {
     return std::make_unique<RandomForest>(config_, pool_);
 }

@@ -26,6 +26,9 @@ public:
 
     void fit(const MlDataset& data) override;
     [[nodiscard]] int predict(std::span<const double> row) const override;
+    [[nodiscard]] int predict_with_scratch(std::span<const double> row,
+                                           std::span<double> scratch) const override;
+    [[nodiscard]] std::size_t scratch_size() const override { return classes_; }
     [[nodiscard]] ClassifierPtr clone() const override;
     [[nodiscard]] std::string name() const override { return "random-forest"; }
 

@@ -1,0 +1,61 @@
+// Per-worker metric shards: local, unsynchronised accumulators that batch
+// updates to registry-owned series and flush them in one atomic RMW each
+// (ROADMAP item 2: the serving hot path must not touch shared counter cache
+// lines per request). A shard is owned by exactly one thread; flush() is the
+// only moment it touches the shared series. Deltas buffered in an unflushed
+// shard are invisible to snapshots — callers flush at batch boundaries and
+// at worker exit, so totals are exact once the owner is done.
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.hpp"
+
+namespace mw::obs {
+
+/// Thread-local batching front for a Counter. Not thread-safe by design —
+/// one owner thread accumulates, flush() publishes.
+class CounterShard {
+public:
+    CounterShard() = default;
+    explicit CounterShard(Counter* target) : target_(target) {}
+
+    void inc(std::uint64_t n = 1) noexcept { pending_ += n; }
+
+    /// Publish the buffered delta as a single atomic add.
+    void flush() noexcept {
+        if (pending_ == 0) return;
+        target_->inc(pending_);
+        pending_ = 0;
+    }
+
+    [[nodiscard]] std::uint64_t pending() const noexcept { return pending_; }
+
+private:
+    Counter* target_ = nullptr;
+    std::uint64_t pending_ = 0;
+};
+
+/// Thread-local batching front for an accumulating Gauge (one CAS loop per
+/// flush instead of one per sample).
+class GaugeShard {
+public:
+    GaugeShard() = default;
+    explicit GaugeShard(Gauge* target) : target_(target) {}
+
+    void add(double delta) noexcept { pending_ += delta; }
+
+    void flush() noexcept {
+        if (pending_ == 0.0) return;
+        target_->add(pending_);
+        pending_ = 0.0;
+    }
+
+    [[nodiscard]] double pending() const noexcept { return pending_; }
+
+private:
+    Gauge* target_ = nullptr;
+    double pending_ = 0.0;
+};
+
+}  // namespace mw::obs

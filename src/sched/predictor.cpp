@@ -30,6 +30,14 @@ std::string DevicePredictor::predict_row(std::span<const double> features) const
     return device_names_[label];
 }
 
+int DevicePredictor::predict_label(std::span<const double> features,
+                                   std::span<double> scratch) const {
+    const int label = classifier_->predict_with_scratch(features, scratch);
+    MW_CHECK(label >= 0 && static_cast<std::size_t>(label) < device_names_.size(),
+             "classifier produced an out-of-range device label");
+    return label;
+}
+
 namespace {
 constexpr std::size_t kPolicyCount = 3;
 }

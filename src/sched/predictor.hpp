@@ -28,6 +28,15 @@ public:
     /// Predict from an already-extracted feature row.
     [[nodiscard]] std::string predict_row(std::span<const double> features) const;
 
+    /// Allocation-free predict for the serving hot path: returns the label
+    /// index into device_names(). `scratch` must hold >= scratch_size()
+    /// doubles (caller-owned working memory for the classifier).
+    [[nodiscard]] int predict_label(std::span<const double> features,
+                                    std::span<double> scratch) const;
+
+    /// Doubles of scratch predict_label() needs.
+    [[nodiscard]] std::size_t scratch_size() const { return classifier_->scratch_size(); }
+
     [[nodiscard]] const ml::Classifier& classifier() const { return *classifier_; }
     [[nodiscard]] ml::Classifier& classifier() { return *classifier_; }
     [[nodiscard]] const std::vector<std::string>& device_names() const { return device_names_; }

@@ -11,14 +11,95 @@ namespace mw::sched {
 OnlineScheduler::OnlineScheduler(Dispatcher& dispatcher, DevicePredictor predictor,
                                  SchedulerDataset training_data, SchedulerConfig config)
     : dispatcher_(&dispatcher),
-      predictor_(std::move(predictor)),
+      predictor_(std::make_shared<const DevicePredictor>(std::move(predictor))),
       data_(std::move(training_data)),
       config_(config),
       rng_(config.seed) {
     MW_CHECK(config_.explore_probability >= 0.0 && config_.explore_probability <= 1.0,
              "explore_probability must be in [0,1]");
-    MW_CHECK(predictor_.device_names() == data_.device_names,
+    MW_CHECK(predictor_->device_names() == data_.device_names,
              "predictor/training-data device order mismatch");
+}
+
+const SchedulerSnapshot::ModelEntry* SchedulerSnapshot::find_model(
+    std::string_view model_name) const {
+    const auto it = std::lower_bound(
+        models.begin(), models.end(), model_name,
+        [](const ModelEntry& e, std::string_view name) { return e.name < name; });
+    if (it == models.end() || it->name != model_name) return nullptr;
+    return &*it;
+}
+
+SchedulerSnapshot::Decision SchedulerSnapshot::decide(std::string_view model_name,
+                                                      Policy policy, std::size_t batch,
+                                                      std::span<double> scratch,
+                                                      std::uint32_t excluded_mask) const {
+    MW_CHECK(batch > 0, "request batch must be positive");
+    MW_CHECK(scratch.size() >= scratch_size(), "snapshot decide: scratch too small");
+    const ModelEntry* entry = find_model(model_name);
+    if (entry == nullptr) {
+        throw StateError("snapshot decide: unknown model `" + std::string(model_name) + "`");
+    }
+    Decision decision;
+    decision.gpu_was_warm = gpu_warm;
+
+    const std::span<double> row = scratch.first(kFeatureCount);
+    std::copy(entry->base.begin(), entry->base.end(), row.begin());
+    row[0] = static_cast<double>(policy);
+    row[8] = static_cast<double>(batch);
+    row[9] = gpu_warm ? 1.0 : 0.0;
+    const int label = predictor->predict_label(row, scratch.subspan(kFeatureCount));
+
+    if ((excluded_mask >> static_cast<std::uint32_t>(label) & 1U) == 0U) {
+        decision.device = devices[static_cast<std::size_t>(label)];
+        return decision;
+    }
+    // The predicted device is circuit-broken: fall back to the least-busy
+    // allowed device with the model deployed (mirrors the mutex-path
+    // fallback in OnlineScheduler::decide).
+    const device::Device* fallback = nullptr;
+    for (std::size_t i = 0; i < devices.size(); ++i) {
+        if ((excluded_mask >> i & 1U) != 0U) continue;
+        if ((entry->deployed_mask >> i & 1U) == 0U) continue;
+        if (fallback == nullptr || devices[i]->busy_until() < fallback->busy_until()) {
+            fallback = devices[i];
+        }
+    }
+    if (fallback == nullptr) {
+        throw StateError("snapshot decide: every device serving `" + std::string(model_name) +
+                         "` is health-excluded");
+    }
+    decision.device = fallback;
+    decision.rerouted = true;
+    return decision;
+}
+
+std::unique_ptr<const SchedulerSnapshot> OnlineScheduler::build_snapshot(double now) const {
+    auto snap = std::make_unique<SchedulerSnapshot>();
+    snap->gpu_warm = probe_gpu_state(now);
+    snap->predictor = predictor_;
+    for (const std::string& name : predictor_->device_names()) {
+        snap->devices.push_back(&dispatcher_->registry().at(name));
+    }
+    for (const std::string& model_name : dispatcher_->model_names()) {
+        SchedulerSnapshot::ModelEntry entry;
+        entry.name = model_name;
+        // Template row: structural features resolved now, slots 0/8/9 are
+        // per-request (batch 1 / policy 0 / idle placeholders here).
+        const std::vector<double> base = extract_features(
+            Policy::kMaxThroughput, dispatcher_->desc(model_name), 1, false);
+        std::copy(base.begin(), base.end(), entry.base.begin());
+        for (std::size_t i = 0; i < snap->devices.size(); ++i) {
+            if (snap->devices[i]->has_model(model_name)) {
+                entry.deployed_mask |= (1U << i);
+            }
+        }
+        snap->models.push_back(std::move(entry));
+    }
+    std::sort(snap->models.begin(), snap->models.end(),
+              [](const SchedulerSnapshot::ModelEntry& a,
+                 const SchedulerSnapshot::ModelEntry& b) { return a.name < b.name; });
+    return snap;
 }
 
 bool OnlineScheduler::probe_gpu_state(double now) const {
@@ -36,7 +117,7 @@ ScheduleDecision OnlineScheduler::decide(const ScheduleRequest& request, double 
     decision.gpu_was_warm = probe_gpu_state(now);
     decision.features = extract_features(request.policy, dispatcher_->desc(request.model_name),
                                          request.batch, decision.gpu_was_warm);
-    decision.device_name = predictor_.predict_row(decision.features);
+    decision.device_name = predictor_->predict_row(decision.features);
     ++decisions_;
     return decision;
 }
@@ -78,7 +159,7 @@ ScheduleOutcome OnlineScheduler::submit(const ScheduleRequest& request, double n
         ++explorations_;
         double best_score = -1e300;
         std::optional<device::Measurement> best;
-        for (const auto& name : predictor_.device_names()) {
+        for (const auto& name : predictor_->device_names()) {
             device::Device& dev = dispatcher_->registry().at(name);
             const device::Measurement m = dev.profile(request.model_name, request.batch, now);
             const double score = policy_score(request.policy, m);
@@ -123,7 +204,12 @@ std::size_t OnlineScheduler::retrain() {
         }
     }
     feedback_.clear();
-    predictor_.fit(data_);
+    // Refit into a FRESH predictor and swap the shared_ptr: published
+    // SchedulerSnapshots keep the old one alive, so lock-free readers never
+    // see a classifier mutate under them.
+    DevicePredictor fresh(predictor_->classifier().clone(), predictor_->device_names());
+    fresh.fit(data_);
+    predictor_ = std::make_shared<const DevicePredictor>(std::move(fresh));
     ++retrains_;
     log::info("scheduler retrained on {} feedback rows (dataset now {})", folded,
               data_.data.size());

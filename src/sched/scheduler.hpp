@@ -11,11 +11,16 @@
 // (e.g. thermal throttling) at run time.
 #pragma once
 
+#include <array>
+#include <cstdint>
 #include <deque>
+#include <memory>
 #include <optional>
+#include <string_view>
 
 #include "common/stats.hpp"
 #include "sched/dispatcher.hpp"
+#include "sched/features.hpp"
 #include "sched/predictor.hpp"
 
 namespace mw::sched {
@@ -58,6 +63,56 @@ struct SchedulerConfig {
     std::uint64_t seed = 1;
 };
 
+/// Immutable scheduler state, built under the scheduler's external lock and
+/// published RCU-style (via mw::EpochCell) so serving workers can decide
+/// devices with no lock and no allocation. Everything a decision needs is
+/// resolved at publish time: per-model feature-row templates, the trained
+/// predictor (shared ownership — retrain swaps a fresh predictor instead of
+/// mutating under readers), device pointers in label order, per-model
+/// deployment masks, and the GPU warm probe. The warm bit is therefore as
+/// stale as the publish period; DESIGN.md §15 discusses the bound.
+struct SchedulerSnapshot {
+    struct ModelEntry {
+        std::string name;
+        /// extract_features() output with slots 0 (policy), 8 (batch) and
+        /// 9 (gpu state) left for decide() to fill per request.
+        std::array<double, kFeatureCount> base{};
+        /// Bit i set when devices[i] has this model loaded.
+        std::uint32_t deployed_mask = 0;
+    };
+
+    /// Result of a lock-free decision. `device` points at a registry-owned
+    /// Device (stable for the registry's lifetime); its name() is a stable
+    /// std::string usable without copying while the registry lives.
+    struct Decision {
+        const device::Device* device = nullptr;
+        bool gpu_was_warm = false;
+        bool rerouted = false;
+    };
+
+    std::vector<ModelEntry> models;  ///< sorted by name (binary search)
+    std::shared_ptr<const DevicePredictor> predictor;
+    std::vector<device::Device*> devices;  ///< label order of `predictor`
+    bool gpu_warm = false;
+
+    /// Doubles of caller-owned scratch decide() needs.
+    [[nodiscard]] std::size_t scratch_size() const {
+        return kFeatureCount + predictor->scratch_size();
+    }
+
+    /// Lock-free, allocation-free device decision. `excluded_mask` bit i
+    /// excludes devices[i] (circuit-broken); an excluded prediction falls
+    /// back to the least-busy allowed device with the model deployed
+    /// (busy_until() is a lock-free read of live state) and sets `rerouted`.
+    /// Throws StateError for an unknown model or when every deployed device
+    /// is excluded.
+    [[nodiscard]] Decision decide(std::string_view model_name, Policy policy,
+                                  std::size_t batch, std::span<double> scratch,
+                                  std::uint32_t excluded_mask = 0) const;
+
+    [[nodiscard]] const ModelEntry* find_model(std::string_view model_name) const;
+};
+
 /// Fig. 5: the online scheduler.
 class OnlineScheduler {
 public:
@@ -86,11 +141,19 @@ public:
     RunResult run(const ScheduleRequest& request, const Tensor& input, double now);
 
     /// Fold the accumulated feedback buffer into the training set and refit
-    /// the predictor. Returns the number of rows folded in.
+    /// the predictor. Trains a fresh predictor and swaps it in (the previous
+    /// one stays alive inside any published SchedulerSnapshot that still
+    /// references it). Returns the number of rows folded in.
     std::size_t retrain();
 
+    /// Build an immutable snapshot of the current scheduler state for
+    /// lock-free decide() on the serving hot path. Call under the same
+    /// external synchronisation as decide()/retrain(); publish the result
+    /// through an mw::EpochCell.
+    [[nodiscard]] std::unique_ptr<const SchedulerSnapshot> build_snapshot(double now) const;
+
     // --- introspection ---
-    [[nodiscard]] const DevicePredictor& predictor() const { return predictor_; }
+    [[nodiscard]] const DevicePredictor& predictor() const { return *predictor_; }
     [[nodiscard]] std::size_t decisions() const { return decisions_; }
     [[nodiscard]] std::size_t explorations() const { return explorations_; }
     [[nodiscard]] std::size_t retrains() const { return retrains_; }
@@ -102,7 +165,7 @@ private:
     [[nodiscard]] bool probe_gpu_state(double now) const;
 
     Dispatcher* dispatcher_;
-    DevicePredictor predictor_;
+    std::shared_ptr<const DevicePredictor> predictor_;
     SchedulerDataset data_;
     SchedulerConfig config_;
     Rng rng_;

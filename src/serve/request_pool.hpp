@@ -1,0 +1,237 @@
+// RequestPool: a preallocated arena of HotRequest nodes with a lock-free
+// Treiber-stack freelist — the zero-allocation backbone of the serving hot
+// path (ROADMAP item 2). Every request the ticket API or the future API
+// submits lives in one of these nodes from admission to completion; the
+// steady state recycles nodes without touching the heap (payload/output
+// buffers and the model-name string reuse their capacity across laps).
+//
+// Ownership rules (DESIGN.md §15):
+//   - acquire() hands out an exclusive node; whoever holds it writes freely.
+//   - Pushing the node into the ShardedRequestQueue transfers ownership to
+//     whichever worker pops it.
+//   - The worker fills the response fields and publishes them with a release
+//     store of `state = kReady`; a ticket holder acquires them with an
+//     acquire load, then release()s the node.
+//   - Future-API (compat) nodes are released by the worker itself right
+//     after fulfilling the promise — the client never sees the node.
+//
+// ABA safety: the freelist head packs a 32-bit generation with the 32-bit
+// node index and every push bumps the generation, so a CAS that observes a
+// recycled head cannot confuse two pushes of the same node. The per-node
+// `gen` counter additionally versions tickets: a stale Ticket (node already
+// recycled) is detected instead of reading another request's response.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/sync.hpp"
+#include "device/measurement.hpp"
+#include "sched/policy.hpp"
+#include "serve/request.hpp"
+
+namespace mw::serve {
+
+/// Lifecycle of a pooled request node.
+enum class HotState : std::uint32_t {
+    kFree = 0,     ///< on the freelist
+    kQueued = 1,   ///< owned by submit/queue/worker; response not yet valid
+    kReady = 2,    ///< response fields published; ticket holder may read
+};
+
+/// A pooled, recycled request/response node. POD-ish on purpose: the only
+/// allocating members (model_name, payload/output buffers, the compat
+/// promise) either reuse capacity across laps or are confined to the
+/// documented compat path.
+struct HotRequest {
+    // --- identity / pool bookkeeping ---
+    std::uint32_t index = 0;           ///< slot index in the pool
+    Atomic<std::uint32_t> gen{0};      ///< bumped on release; versions tickets
+    Atomic<std::uint32_t> next_free{0};  ///< freelist link (index of next node)
+    Atomic<HotState> state{HotState::kFree};
+
+    // --- request fields (written by the submitter, read by one worker) ---
+    std::uint64_t id = 0;
+    std::string model_name;  ///< assign() reuses capacity after the first lap
+    std::size_t samples = 0;
+    sched::Policy policy = sched::Policy::kMaxThroughput;
+    double slo_s = 0.0;
+    double arrival_s = 0.0;
+    AlignedFloatPtr payload;            ///< reused across laps
+    std::size_t payload_capacity = 0;   ///< floats allocated in `payload`
+    std::size_t payload_elems = 0;      ///< floats valid this lap
+
+    // --- response fields (written by a worker, published via state) ---
+    RequestStatus status = RequestStatus::kFailed;
+    const std::string* device_name = nullptr;  ///< registry-owned; stable
+    AlignedFloatPtr output;             ///< reused across laps
+    std::size_t output_capacity = 0;
+    std::size_t output_elems = 0;
+    device::Measurement measurement;    ///< strings reuse capacity across laps
+    std::string error;                  ///< failure diagnostics (reused)
+    double queue_s = 0.0;
+    double execute_s = 0.0;
+    std::size_t coalesced = 1;
+    std::size_t attempts = 1;
+    bool hedged = false;
+
+    // --- compat path only (future API); allocates, documented ---
+    std::optional<std::promise<Response>> promise;
+
+    /// Copy a payload into the node, growing the reused buffer only when the
+    /// request is larger than anything this node has carried before.
+    void set_payload(std::span<const float> data) {
+        if (data.size() > payload_capacity) {
+            payload = aligned_alloc_floats(data.size());
+            payload_capacity = data.size();
+        }
+        std::copy(data.begin(), data.end(), payload.get());
+        payload_elems = data.size();
+    }
+
+    /// Worker-side: buffer for `elems` output floats (grow-only, reused).
+    [[nodiscard]] float* output_buffer(std::size_t elems) {
+        if (elems > output_capacity) {
+            output = aligned_alloc_floats(elems);
+            output_capacity = elems;
+        }
+        output_elems = elems;
+        return output.get();
+    }
+};
+
+/// Client-side handle to an in-flight ticket submission. Valid until
+/// release()d; a stale ticket is detected (gen mismatch) rather than
+/// misread.
+struct Ticket {
+    std::uint32_t slot = 0;
+    std::uint32_t gen = 0;
+    std::uint64_t id = 0;
+};
+
+/// What a ticket resolves to: response PODs plus a view of the output rows
+/// (valid until the ticket is release()d).
+struct TicketResult {
+    RequestStatus status = RequestStatus::kFailed;
+    const std::string* device_name = nullptr;
+    std::span<const float> outputs;
+    const device::Measurement* measurement = nullptr;
+    std::string_view error;
+    double queue_s = 0.0;
+    double execute_s = 0.0;
+    std::size_t coalesced = 1;
+    std::size_t attempts = 1;
+    bool hedged = false;
+
+    [[nodiscard]] bool ok() const { return status == RequestStatus::kCompleted; }
+};
+
+/// Fixed-size lock-free arena of HotRequest nodes.
+///
+/// Thread safety: acquire()/release() may be called from any thread
+/// concurrently; each node is exclusively owned between the two.
+class RequestPool {
+public:
+    explicit RequestPool(std::size_t capacity)
+        : nodes_(std::make_unique<HotRequest[]>(capacity)), capacity_(capacity) {
+        MW_CHECK(capacity > 0 && capacity <= kMaxNodes,
+                 "RequestPool: capacity must be in [1, 2^31]");
+        for (std::size_t i = 0; i < capacity; ++i) {
+            nodes_[i].index = static_cast<std::uint32_t>(i);
+            nodes_[i].next_free.store(static_cast<std::uint32_t>(i + 1),
+                                      std::memory_order_relaxed);  // relaxed: pre-publication init
+        }
+        nodes_[capacity - 1].next_free.store(kNil, std::memory_order_relaxed);  // relaxed: pre-publication init
+        head_.store(pack(0, 0), std::memory_order_release);
+    }
+
+    RequestPool(const RequestPool&) = delete;
+    RequestPool& operator=(const RequestPool&) = delete;
+
+    /// Pop a free node, or nullptr when the pool is exhausted (the caller
+    /// sheds — pool exhaustion is backpressure, not an error).
+    [[nodiscard]] HotRequest* acquire() {
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            const std::uint32_t idx = unpack_index(head);
+            if (idx == kNil) return nullptr;
+            HotRequest& node = nodes_[idx];
+            const std::uint32_t next = node.next_free.load(std::memory_order_acquire);
+            if (head_.compare_exchange_weak(head, pack(next, unpack_gen(head) + 1),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                node.state.store(HotState::kQueued, std::memory_order_relaxed);  // relaxed: node is exclusively ours until queued
+                live_.fetch_add(1, std::memory_order_relaxed);  // relaxed: occupancy gauge only
+                return &node;
+            }
+        }
+    }
+
+    /// Return a node to the freelist. Bumps the node generation first so any
+    /// outstanding Ticket for this lap turns stale atomically.
+    void release(HotRequest* node) {
+        MW_DCHECK(node != nullptr, "release(nullptr)");
+        node->gen.fetch_add(1, std::memory_order_release);
+        node->promise.reset();
+        node->state.store(HotState::kFree, std::memory_order_relaxed);  // relaxed: freelist push below publishes the node
+        std::uint64_t head = head_.load(std::memory_order_acquire);
+        for (;;) {
+            node->next_free.store(unpack_index(head), std::memory_order_relaxed);  // relaxed: the head CAS publishes the link
+            if (head_.compare_exchange_weak(head, pack(node->index, unpack_gen(head) + 1),
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+                live_.fetch_sub(1, std::memory_order_relaxed);  // relaxed: occupancy gauge only
+                return;
+            }
+        }
+    }
+
+    /// Node behind a ticket, or nullptr when the ticket is stale (the node
+    /// has been released and recycled).
+    [[nodiscard]] HotRequest* resolve(const Ticket& ticket) {
+        if (ticket.slot >= capacity_) return nullptr;
+        HotRequest& node = nodes_[ticket.slot];
+        if (node.gen.load(std::memory_order_acquire) != ticket.gen) return nullptr;
+        return &node;
+    }
+
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+    /// Nodes currently out of the freelist (approximate while threads churn).
+    [[nodiscard]] std::size_t live() const {
+        return live_.load(std::memory_order_acquire);
+    }
+
+    /// Direct node access (shutdown drain / tests).
+    [[nodiscard]] HotRequest& node(std::size_t i) { return nodes_[i]; }
+
+private:
+    static constexpr std::uint32_t kNil = 0xFFFFFFFFU;
+    static constexpr std::size_t kMaxNodes = 1ULL << 31;
+
+    static constexpr std::uint64_t pack(std::uint32_t index, std::uint32_t gen) {
+        return (static_cast<std::uint64_t>(gen) << 32) | index;
+    }
+    static constexpr std::uint32_t unpack_index(std::uint64_t head) {
+        return static_cast<std::uint32_t>(head & 0xFFFFFFFFU);
+    }
+    static constexpr std::uint32_t unpack_gen(std::uint64_t head) {
+        return static_cast<std::uint32_t>(head >> 32);
+    }
+
+    std::unique_ptr<HotRequest[]> nodes_;
+    std::size_t capacity_;
+    alignas(kCacheLineBytes) Atomic<std::uint64_t> head_{pack(kNil, 0)};
+    alignas(kCacheLineBytes) Atomic<std::size_t> live_{0};
+};
+
+}  // namespace mw::serve

@@ -75,6 +75,7 @@ std::optional<Request> RequestQueue::evict_oldest() {
     Request victim = std::move(oldest_lane->front());
     oldest_lane->pop_front();
     --total_;
+    reanchor_cursor();
     return victim;
 }
 
@@ -93,7 +94,17 @@ std::vector<Request> RequestQueue::remove_if(
             }
         }
     }
+    reanchor_cursor();
     return removed;
+}
+
+void RequestQueue::reanchor_cursor() {
+    mutex_.assert_held();
+    if (total_ == 0) return;
+    for (std::size_t probe = 0;
+         probe < kPolicyLanes && lanes_[next_lane_].empty(); ++probe) {
+        next_lane_ = (next_lane_ + 1) % kPolicyLanes;
+    }
 }
 
 void RequestQueue::close() {

@@ -65,6 +65,13 @@ public:
     [[nodiscard]] bool empty() const { return size() == 0; }
 
 private:
+    /// Re-aim the round-robin cursor at the next non-empty lane after a
+    /// removal path (evict_oldest / remove_if) empties the lane it points
+    /// at. Without this the cursor keeps "owing" a turn to the emptied lane:
+    /// a request pushed there moments later is served ahead of lanes that
+    /// have been waiting since before the eviction, breaking rotation order.
+    void reanchor_cursor() MW_REQUIRES(mutex_);
+
     const std::size_t capacity_;
 
     mutable Mutex mutex_{LockRank::kServeQueue};

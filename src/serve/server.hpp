@@ -22,8 +22,10 @@
 #include <cstdint>
 #include <future>
 #include <memory>
+#include <string_view>
 #include <vector>
 
+#include "common/epoch_cell.hpp"
 #include "common/sync.hpp"
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
@@ -31,7 +33,9 @@
 #include "sched/scheduler.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
+#include "serve/request_pool.hpp"
 #include "serve/request_queue.hpp"
+#include "serve/sharded_queue.hpp"
 #include "serve/stats.hpp"
 
 namespace mw::serve {
@@ -52,11 +56,35 @@ struct ResilienceConfig {
     double hedge_timeout_s = 0.0;
 };
 
+/// Lock-free hot-path knobs (DESIGN.md §15). The hot path activates when
+/// `enabled` AND the admission policy is kRejectNewest — the eviction-based
+/// policies (kRejectOldest, kDeadlineShed) need to reach into the queue's
+/// middle, which rings cannot do, so those configurations keep the legacy
+/// mutexed RequestQueue automatically.
+struct HotPathConfig {
+    bool enabled = true;
+    /// HotRequest arena size; 0 sizes it from queue capacity + worker-held
+    /// batches + slack. Exhaustion sheds (kRejectedFull), never allocates.
+    std::size_t pool_capacity = 0;
+    /// Per-worker executed batches between scheduler-snapshot republishes
+    /// (bounds how stale the GPU-warm feature and the model table get).
+    std::size_t snapshot_refresh_batches = 64;
+    /// Per-worker executed batches between stats-shard flushes into the
+    /// shared registry. The default (1) flushes once per batch, before its
+    /// responses publish — stats() visibility matches the legacy path while
+    /// still collapsing per-request counter RMWs into per-batch ones.
+    /// Larger values amortise further (the contention bench uses this), at
+    /// the cost of deltas staying invisible to snapshots until the next
+    /// flush; totals are exact after stop() either way.
+    std::size_t stats_flush_batches = 1;
+};
+
 struct ServerConfig {
     std::size_t workers = 2;         ///< draining threads (owned pool size)
     std::size_t queue_capacity = 256;
     AdmissionConfig admission{};
     BatchConfig batching{};
+    HotPathConfig hot_path{};
     /// Finish everything queued before stop() returns; false completes
     /// still-queued requests with RequestStatus::kShutdown instead.
     bool drain_on_stop = true;
@@ -85,6 +113,45 @@ public:
     /// registered with the Dispatcher and deployed.
     std::future<Response> submit(InferenceRequest request);
 
+    /// What submit_ticket() resolved to at admission time.
+    struct SubmitOutcome {
+        bool admitted = false;
+        RequestStatus status = RequestStatus::kRejectedFull;  ///< when !admitted
+        Ticket ticket;  ///< valid when admitted
+    };
+
+    /// Zero-allocation submission (hot path only; requires the lock-free
+    /// path to be active, see HotPathConfig). The payload is copied into a
+    /// pooled arena node; poll try_result() for completion and release()
+    /// the ticket when done with the response. Steady state performs no
+    /// heap allocation from submit to release.
+    [[nodiscard]] SubmitOutcome submit_ticket(std::string_view model_name,
+                                              std::span<const float> payload,
+                                              std::size_t samples,
+                                              sched::Policy policy,
+                                              double slo_s = 0.0);
+
+    /// Non-blocking: true when the ticket's response is ready, filling
+    /// `result` (outputs/measurement views stay valid until release()).
+    /// A stale or foreign ticket throws StateError.
+    [[nodiscard]] bool try_result(const Ticket& ticket, TicketResult& result);
+
+    /// Return the ticket's node to the arena. Call exactly once per
+    /// admitted ticket, after try_result() returned true.
+    void release(const Ticket& ticket);
+
+    /// True when the lock-free hot path is active (see HotPathConfig).
+    [[nodiscard]] bool hot_path_active() const { return hot_active_; }
+
+    /// Arena occupancy (hot path only; 0 otherwise) — the arena-stats test
+    /// asserts steady state never exhausts or grows the pool.
+    [[nodiscard]] std::size_t pool_live() const {
+        return request_pool_ ? request_pool_->live() : 0;
+    }
+    [[nodiscard]] std::size_t pool_capacity() const {
+        return request_pool_ ? request_pool_->capacity() : 0;
+    }
+
     void start();  ///< idempotent; throws after stop()
     void stop();   ///< idempotent; drains or fails-over queued requests
 
@@ -92,7 +159,11 @@ public:
         return running_.load(std::memory_order_acquire);
     }
     [[nodiscard]] double now() const { return clock_->now(); }
-    [[nodiscard]] std::size_t queue_depth() const { return queue_.size(); }
+    [[nodiscard]] std::size_t queue_depth() const {
+        return hot_active_
+                   ? hot_queue_->size() + stashed_total_.load(std::memory_order_acquire)
+                   : queue_.size();
+    }
     [[nodiscard]] const ServerConfig& config() const { return config_; }
 
     /// Counters + percentiles + queue gauges, readable while serving.
@@ -123,6 +194,17 @@ private:
     void worker_loop();
     void execute_batch(PendingBatch batch);
 
+    // --- lock-free hot path (server.cpp) ---
+    struct HotWorker;  ///< per-worker state: stash, scratch, stats shards
+    void hot_worker_loop(std::size_t worker_index);
+    HotRequest* hot_next_leader(HotWorker& w);
+    void hot_gather(HotWorker& w, HotRequest* leader);
+    void hot_execute(HotWorker& w);
+    void hot_complete_terminal(HotRequest* node, RequestStatus status,
+                               const char* error = nullptr);
+    void hot_flush_if_due(HotWorker& w);
+    void hot_refresh_snapshot();
+
     /// The resilient dispatch path: health-partition the devices, decide
     /// with exclusions, retry across candidates, hedge stragglers. May throw
     /// (exhausted retries, every device excluded) — the caller fails the
@@ -141,6 +223,15 @@ private:
     AdmissionController admission_;
     BatchAggregator batcher_;
     std::unique_ptr<fault::DeviceHealthTracker> health_;  ///< resilience only
+
+    // Lock-free hot path (null when inactive; see HotPathConfig).
+    bool hot_active_ = false;
+    std::unique_ptr<RequestPool> request_pool_;
+    std::unique_ptr<ShardedRequestQueue> hot_queue_;
+    std::unique_ptr<EpochCell<sched::SchedulerSnapshot>> snapshot_cell_;
+    Atomic<std::size_t> submit_shard_{0};    ///< round-robin scatter cursor
+    Atomic<bool> snapshot_claim_{false};     ///< one refresher at a time
+    Atomic<std::size_t> stashed_total_{0};   ///< worker-stashed (still queued) nodes
 
     Mutex scheduler_mutex_{LockRank::kScheduler};  ///< OnlineScheduler is not thread-safe
     Atomic<std::uint64_t> next_id_{1};

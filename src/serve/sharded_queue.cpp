@@ -1,0 +1,104 @@
+#include "serve/sharded_queue.hpp"
+
+namespace mw::serve {
+namespace {
+
+/// Smallest power of two >= n (ring sizing).
+std::size_t next_pow2(std::size_t n) {
+    std::size_t p = 1;
+    while (p < n) p <<= 1U;
+    return p;
+}
+
+}  // namespace
+
+ShardedRequestQueue::ShardedRequestQueue(std::size_t shards, std::size_t capacity)
+    : capacity_(capacity), shards_(shards) {
+    MW_CHECK(shards > 0, "sharded queue needs at least one shard");
+    MW_CHECK(capacity > 0, "queue capacity must be positive");
+    // Each lane ring can hold the full global capacity: the admission
+    // counter (not ring space) enforces the capacity contract, so a burst
+    // landing on one shard/lane must never fail a push that the counter
+    // admitted.
+    const std::size_t ring_capacity = next_pow2(capacity);
+    for (Shard& shard : shards_) {
+        for (auto& lane : shard.lanes) {
+            lane = std::make_unique<Ring>(ring_capacity);
+        }
+    }
+}
+
+bool ShardedRequestQueue::try_push(std::size_t shard, HotRequest* node) {
+    MW_DCHECK(shard < shards_.size(), "shard index out of range");
+    MW_DCHECK(node != nullptr, "try_push(nullptr)");
+    if (closed_.load(std::memory_order_acquire)) return false;
+    // Reserve a capacity slot first; roll back on the (unreachable by
+    // construction: rings hold `capacity` each) ring-full case.
+    std::size_t total = total_.load(std::memory_order_relaxed);  // relaxed: CAS below owns the slot handoff
+    for (;;) {
+        if (total >= capacity_) return false;
+        if (total_.compare_exchange_weak(total, total + 1, std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {  // relaxed: failure just retries with the fresh count
+            break;
+        }
+    }
+    Shard& s = shards_[shard];
+    if (!s.lanes[lane_of(node->policy)]->try_push(node)) {
+        total_.fetch_sub(1, std::memory_order_acq_rel);
+        return false;
+    }
+    s.size.fetch_add(1, std::memory_order_release);
+    return true;
+}
+
+HotRequest* ShardedRequestQueue::pop_lane(std::size_t shard, std::size_t lane) {
+    MW_DCHECK(shard < shards_.size() && lane < kPolicyLanes, "pop_lane out of range");
+    Shard& s = shards_[shard];
+    HotRequest* node = nullptr;
+    if (!s.lanes[lane]->try_pop(node)) return nullptr;
+    s.size.fetch_sub(1, std::memory_order_release);
+    total_.fetch_sub(1, std::memory_order_acq_rel);
+    return node;
+}
+
+HotRequest* ShardedRequestQueue::steal(std::size_t thief_shard, std::size_t lane_hint) {
+    // Victim selection: busiest sibling by approximate size. The sizes are
+    // fuzzy (clamped, racy) — that only costs steal efficiency, never
+    // correctness, since the pop itself is ring-synchronised.
+    std::size_t victim = shards_.size();
+    std::size_t victim_size = 0;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+        if (i == thief_shard) continue;
+        const std::size_t size = shard_size(i);
+        if (size > victim_size) {
+            victim = i;
+            victim_size = size;
+        }
+    }
+    if (victim == shards_.size()) return nullptr;
+    for (std::size_t probe = 0; probe < kPolicyLanes; ++probe) {
+        const std::size_t lane = (lane_hint + probe) % kPolicyLanes;
+        if (HotRequest* node = pop_lane(victim, lane)) return node;
+    }
+    return nullptr;
+}
+
+std::vector<HotRequest*> ShardedRequestQueue::drain() {
+    std::vector<HotRequest*> out;
+    for (std::size_t shard = 0; shard < shards_.size(); ++shard) {
+        for (std::size_t lane = 0; lane < kPolicyLanes; ++lane) {
+            while (HotRequest* node = pop_lane(shard, lane)) out.push_back(node);
+        }
+    }
+    return out;
+}
+
+std::size_t ShardedRequestQueue::lane_size(sched::Policy policy) const {
+    std::size_t total = 0;
+    for (const Shard& shard : shards_) {
+        total += shard.lanes[lane_of(policy)]->size();
+    }
+    return total;
+}
+
+}  // namespace mw::serve

@@ -1,0 +1,99 @@
+// ShardedRequestQueue: the lock-free replacement for the single mutexed
+// RequestQueue funnel (ROADMAP item 2). One shard per worker, one MpmcRing
+// per policy lane inside each shard; submitters scatter across shards
+// round-robin, each worker drains its own shard and, when it runs dry,
+// steals from the busiest sibling. Because every lane is a full MPMC ring,
+// "steal" is just a pop issued by a non-owner — no extra protocol, and the
+// mw::mc steal-vs-pop check (tests/test_mc.cpp) verifies exactly that
+// concurrent-dequeuer case on the underlying ring.
+//
+// Fairness: the per-policy lane contract of the legacy queue is preserved —
+// pop_lane() lets the worker round-robin lanes itself, and steals respect
+// the same lane rotation. A global admission counter enforces the exact
+// queue capacity across all shards (rings are sized generously; the counter
+// is the contract), so backpressure semantics match the legacy queue:
+// try_push fails when `capacity` requests are already queued.
+//
+// The queue carries HotRequest* only — nodes live in the RequestPool; the
+// queue never owns or frees them.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/aligned.hpp"
+#include "common/error.hpp"
+#include "common/mpmc_ring.hpp"
+#include "common/sync.hpp"
+#include "serve/request.hpp"
+#include "serve/request_pool.hpp"
+
+namespace mw::serve {
+
+/// Thread safety: every member may be called from any thread concurrently.
+class ShardedRequestQueue {
+public:
+    ShardedRequestQueue(std::size_t shards, std::size_t capacity);
+
+    /// Admit a node into `shard`'s lane for its policy. Fails (false) when
+    /// the queue is closed or the global capacity is reached; the node is
+    /// untouched and stays owned by the caller.
+    [[nodiscard]] bool try_push(std::size_t shard, HotRequest* node);
+
+    /// Pop from one lane of one shard (owner fast path). Returns nullptr
+    /// when that lane is empty.
+    [[nodiscard]] HotRequest* pop_lane(std::size_t shard, std::size_t lane);
+
+    /// Steal from the busiest sibling of `thief_shard`: scans the other
+    /// shards' approximate sizes, then tries the victim's lanes starting at
+    /// `lane_hint` (the thief's own rotation cursor, preserving lane
+    /// fairness). Returns nullptr when every sibling is empty.
+    [[nodiscard]] HotRequest* steal(std::size_t thief_shard, std::size_t lane_hint);
+
+    /// Close the queue: subsequent try_push fails. Queued nodes remain
+    /// poppable/drainable. Idempotent.
+    void close() { closed_.store(true, std::memory_order_release); }
+    [[nodiscard]] bool closed() const {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /// Pop everything still queued, in shard/lane order (shutdown drain).
+    [[nodiscard]] std::vector<HotRequest*> drain();
+
+    /// Exact queued count (the admission counter, not a ring scan).
+    [[nodiscard]] std::size_t size() const {
+        return total_.load(std::memory_order_acquire);
+    }
+    [[nodiscard]] bool empty() const { return size() == 0; }
+
+    /// Approximate per-shard occupancy (steal victim selection, stats).
+    [[nodiscard]] std::size_t shard_size(std::size_t shard) const {
+        return shards_[shard].size.load(std::memory_order_acquire);
+    }
+
+    /// Approximate per-lane occupancy across all shards (queue-depth gauges).
+    [[nodiscard]] std::size_t lane_size(sched::Policy policy) const;
+
+    [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+private:
+    using Ring = MpmcRing<HotRequest*>;
+
+    /// One worker's sub-queue: a ring per policy lane plus an approximate
+    /// occupancy counter for steal-victim selection. Padded so neighbouring
+    /// shards' counters never share a line.
+    struct alignas(kCacheLineBytes) Shard {
+        std::array<std::unique_ptr<Ring>, kPolicyLanes> lanes;
+        Atomic<std::size_t> size{0};
+    };
+
+    const std::size_t capacity_;
+    std::vector<Shard> shards_;
+    alignas(kCacheLineBytes) Atomic<std::size_t> total_{0};
+    alignas(kCacheLineBytes) Atomic<bool> closed_{false};
+};
+
+}  // namespace mw::serve

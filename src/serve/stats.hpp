@@ -86,6 +86,32 @@ public:
                       std::size_t samples, double bytes_in, double energy_j,
                       std::size_t coalesced);
 
+    /// Stable handles to one lane's worker-side series, for per-worker
+    /// batching shards (obs::CounterShard / obs::GaugeShard): the lock-free
+    /// hot path accumulates locally and flushes these periodically instead
+    /// of touching the shared cache lines per request. Submit-side series
+    /// (submitted/admitted/rejected/evicted) stay on the direct on_* calls.
+    struct WorkerSeries {
+        obs::Counter* completed;
+        obs::Counter* failed;
+        obs::Counter* shed;
+        obs::Counter* shutdown;
+        obs::Counter* batches_executed;
+        obs::Counter* coalesced_requests;
+        obs::Gauge* samples;
+        obs::Gauge* bytes_in;
+        obs::Gauge* energy_j;
+        obs::LogHistogram* queue_hist;
+        obs::LogHistogram* execute_hist;
+    };
+    [[nodiscard]] WorkerSeries worker_series(sched::Policy policy) {
+        Lane& lane = lanes_[lane_of(policy)];
+        return {lane.completed,        lane.failed,    lane.shed,
+                lane.shutdown,         lane.batches_executed,
+                lane.coalesced_requests, lane.samples, lane.bytes_in,
+                lane.energy_j,         lane.queue_hist, lane.execute_hist};
+    }
+
     /// Counters + percentiles. Queue-depth gauges are filled in by the
     /// Server, which owns the queue.
     [[nodiscard]] ServerSnapshot snapshot() const;

@@ -3,17 +3,21 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
 #include "common/error.hpp"
 
 namespace mw {
 
-Tensor::Tensor(Shape shape) : shape_(shape), data_(aligned_alloc_floats(shape.numel())) {
+Tensor::Tensor(Shape shape)
+    : shape_(shape), data_(aligned_alloc_floats(shape.numel())), capacity_(shape.numel()) {
     std::memset(data_.get(), 0, numel() * sizeof(float));
 }
 
 Tensor::Tensor(const Tensor& other)
-    : shape_(other.shape_), data_(aligned_alloc_floats(other.numel())) {
+    : shape_(other.shape_),
+      data_(aligned_alloc_floats(other.numel())),
+      capacity_(other.numel()) {
     if (other.numel() > 0) {
         std::memcpy(data_.get(), other.data_.get(), other.numel() * sizeof(float));
     }
@@ -24,6 +28,31 @@ Tensor& Tensor::operator=(const Tensor& other) {
     Tensor copy(other);
     *this = std::move(copy);
     return *this;
+}
+
+Tensor::Tensor(Tensor&& other) noexcept
+    : shape_(std::move(other.shape_)), data_(std::move(other.data_)), capacity_(other.capacity_) {
+    other.shape_ = Shape{};
+    other.capacity_ = 0;
+}
+
+Tensor& Tensor::operator=(Tensor&& other) noexcept {
+    if (this == &other) return *this;
+    shape_ = std::move(other.shape_);
+    data_ = std::move(other.data_);
+    capacity_ = other.capacity_;
+    other.shape_ = Shape{};
+    other.capacity_ = 0;
+    return *this;
+}
+
+void Tensor::resize(const Shape& shape) {
+    const std::size_t needed = shape.numel();
+    if (needed > capacity_) {
+        data_ = aligned_alloc_floats(needed);
+        capacity_ = needed;
+    }
+    shape_ = shape;
 }
 
 float& Tensor::at(std::size_t i) {

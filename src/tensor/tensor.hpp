@@ -20,8 +20,8 @@ public:
 
     Tensor(const Tensor& other);
     Tensor& operator=(const Tensor& other);
-    Tensor(Tensor&&) noexcept = default;
-    Tensor& operator=(Tensor&&) noexcept = default;
+    Tensor(Tensor&& other) noexcept;
+    Tensor& operator=(Tensor&& other) noexcept;
 
     [[nodiscard]] const Shape& shape() const { return shape_; }
     [[nodiscard]] std::size_t numel() const { return shape_.numel(); }
@@ -55,6 +55,15 @@ public:
     [[nodiscard]] std::span<const float> row(std::size_t r) const;
     [[nodiscard]] std::span<float> row(std::size_t r);
 
+    /// Reshape in place, reusing the existing allocation when it is large
+    /// enough (contents become unspecified); reallocates (and grows
+    /// `capacity()`) only when `shape.numel() > capacity()`. This is the
+    /// hot-path alternative to constructing a fresh Tensor per batch.
+    void resize(const Shape& shape);
+
+    /// Number of floats the current allocation can hold (>= numel()).
+    [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
     void fill(float value);
 
     /// Fill with N(mean, stddev) draws from `rng`.
@@ -69,6 +78,7 @@ public:
 private:
     Shape shape_;
     AlignedFloatPtr data_;
+    std::size_t capacity_ = 0;
 };
 
 }  // namespace mw

@@ -1,8 +1,9 @@
 // Model-check suite: runs the mw::mc schedule explorer against the repo's
-// lock-free protocols (SPSC ring, breaker half-open gate, server lifecycle
-// flags, trace span ring) plus the mutation proofs the checker exists for —
-// a ring with weakened memory orders and a probe gate with its CAS replaced
-// by check-then-act must BOTH be caught, with schedules that replay
+// lock-free protocols (SPSC ring, the hot path's MPMC steal ring and epoch
+// snapshot cell, breaker half-open gate, server lifecycle flags, trace span
+// ring) plus the mutation proofs the checker exists for — rings/cells with
+// weakened memory orders and a probe gate with its CAS replaced by
+// check-then-act must ALL be caught, with schedules that replay
 // deterministically, while the unmutated protocols exhaust cleanly.
 //
 // Built only under -DMW_MODEL_CHECK=ON (the `model-check` CMake preset);
@@ -17,6 +18,7 @@
 #error "test_mc.cpp requires -DMW_MODEL_CHECK=ON (use the model-check preset)"
 #endif
 
+#include <array>
 #include <cstdint>
 #include <cstdlib>
 #include <fstream>
@@ -26,6 +28,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/epoch_cell.hpp"
+#include "common/mpmc_ring.hpp"
 #include "common/spsc_ring.hpp"
 #include "common/sync.hpp"
 #include "common/timer.hpp"
@@ -123,6 +127,158 @@ TEST(McSpscRing, RelaxedOrderMutationIsCaughtAndReplays) {
     // The printed trace replays the exact schedule: same failure, same picks
     // (messages embed heap addresses, which may vary between runs).
     const Result again = mw::mc::replay(exhaustive(), r, spsc_body_relaxed);
+    ASSERT_TRUE(again.failed);
+    EXPECT_NE(again.message.find("data race"), std::string::npos) << again.message;
+    EXPECT_EQ(again.failing_trace, r.failing_trace);
+}
+
+// ---------------------------------------------------------------------------
+// MPMC ring: steal (non-owner dequeue) racing the owner's pop
+// ---------------------------------------------------------------------------
+
+/// One producer feeds a capacity-2 ring while the shard owner and a thief
+/// dequeue concurrently — on MpmcRing a steal IS a pop issued from another
+/// thread, so two racing consumers exercise the entire steal protocol.
+/// Capacity covers both pushes, so the producer never spins on a full ring;
+/// consumer attempts are bounded for the same step-budget reason as the
+/// SPSC body. Invariants: each consumer's own values arrive in claim order,
+/// and across both consumers plus the post-join drain every pushed value is
+/// consumed exactly once — a double-claimed slot (the steal bug the per-slot
+/// sequence numbers exist to prevent) shows up as a duplicate.
+template <typename Ring>
+void mpmc_steal_body(Sim& sim) {
+    auto ring = std::make_shared<Ring>(2);
+    auto got = std::make_shared<std::array<std::vector<int>, 2>>();
+    sim.thread([ring] {
+        MC_ASSERT_MSG(ring->try_push(1) && ring->try_push(2),
+                      "push failed with free capacity");
+    });
+    for (std::size_t c = 0; c < 2; ++c) {
+        sim.thread([ring, got, c] {
+            for (int attempt = 0; attempt < 3; ++attempt) {
+                int v = -1;
+                if (ring->try_pop(v)) (*got)[c].push_back(v);
+            }
+        });
+    }
+    sim.join_all();
+    std::vector<int> all;
+    for (const std::vector<int>& lane : *got) {
+        for (std::size_t j = 1; j < lane.size(); ++j) {
+            MC_ASSERT_MSG(lane[j - 1] < lane[j],
+                          "one consumer saw values out of claim order");
+        }
+        all.insert(all.end(), lane.begin(), lane.end());
+    }
+    for (int v = -1; ring->try_pop(v);) all.push_back(v);  // bounded leftovers
+    std::array<int, 3> seen{};
+    for (const int v : all) {
+        MC_ASSERT_MSG(v == 1 || v == 2, "popped a value never pushed");
+        seen[static_cast<std::size_t>(v)] += 1;
+    }
+    MC_ASSERT_MSG(seen[1] == 1 && seen[2] == 1,
+                  "steal vs pop lost or duplicated a request");
+}
+
+void mpmc_steal_body_correct(Sim& sim) { mpmc_steal_body<mw::MpmcRing<int>>(sim); }
+
+/// The mutation: per-slot sequence numbers published/consumed relaxed, so a
+/// claimed slot's payload read is unordered with the producer's write.
+using RelaxedMpmcRing =
+    mw::MpmcRing<int, std::memory_order_relaxed, std::memory_order_relaxed>;
+void mpmc_steal_body_relaxed(Sim& sim) { mpmc_steal_body<RelaxedMpmcRing>(sim); }
+
+TEST(McMpmcRing, StealVsPopExhaustsWithAcquireRelease) {
+    const Result r = mw::mc::check(exhaustive(), mpmc_steal_body_correct);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted) << "state space unexpectedly large: " << r.schedules;
+    EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(McMpmcRing, RelaxedOrderMutationIsCaughtAndReplays) {
+    const Result r = mw::mc::check(exhaustive(), mpmc_steal_body_relaxed);
+    ASSERT_TRUE(r.failed) << "weakened MPMC ring escaped " << r.schedules
+                          << " schedules";
+    EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+    EXPECT_NE(r.message.find("MpmcRing slot"), std::string::npos) << r.message;
+    ASSERT_FALSE(r.failing_trace.empty());
+
+    const Result again = mw::mc::replay(exhaustive(), r, mpmc_steal_body_relaxed);
+    ASSERT_TRUE(again.failed);
+    EXPECT_NE(again.message.find("data race"), std::string::npos) << again.message;
+    EXPECT_EQ(again.failing_trace, r.failing_trace);
+}
+
+// ---------------------------------------------------------------------------
+// EpochCell: snapshot publish vs lock-free reader pin
+// ---------------------------------------------------------------------------
+
+/// Snapshot payload whose words are written under a test-side race
+/// annotation; EpochCell's read-side annotation (ReadGuard::get) pairs with
+/// it, so a reader that can reach the snapshot without an ordering edge from
+/// the publishing flip reports a race instead of silently reading
+/// potentially-torn words.
+struct McSnapshot {
+    std::uint64_t a;
+    std::uint64_t b;
+    explicit McSnapshot(std::uint64_t seed) : a(seed), b(~seed) {
+        MW_MC_RACE_WRITE(this, "snapshot words");
+    }
+    void validate() const {
+        MC_ASSERT_MSG(b == ~a, "EpochCell reader saw a torn snapshot");
+    }
+};
+
+/// A writer publishes one snapshot while a reader pins and validates.
+/// Exactly one publish on purpose: before the first flip the inactive slot
+/// cannot carry a pinned reader, so the writer's drain loop never spins —
+/// an interleaving that parks a reader inside a drained slot would otherwise
+/// be explored straight into the step budget.
+template <typename Cell>
+void epoch_cell_body(Sim& sim) {
+    auto cell =
+        std::make_shared<Cell>(std::make_unique<const McSnapshot>(std::uint64_t{1}));
+    sim.thread([cell] {
+        cell->publish(std::make_unique<const McSnapshot>(std::uint64_t{2}));
+    });
+    sim.thread([cell] {
+        const auto guard = cell->read();
+        guard->validate();
+        MC_ASSERT_MSG(guard->a == 1 || guard->a == 2,
+                      "EpochCell reader pinned a foreign snapshot");
+    });
+    sim.join_all();
+    const auto guard = cell->read();
+    guard->validate();
+    MC_ASSERT(guard->a == 2);
+}
+
+void epoch_cell_body_correct(Sim& sim) { epoch_cell_body<mw::EpochCell<McSnapshot>>(sim); }
+
+/// The mutation: the Dekker handshake's seq_cst pair weakened to relaxed on
+/// both sides (pin increment and flip store) — the flip no longer carries a
+/// release edge, so a pinned reader reaches the fresh snapshot with no
+/// happens-before from its construction.
+using WeakEpochCell = mw::EpochCell<McSnapshot, std::memory_order_relaxed,
+                                    std::memory_order_relaxed>;
+void epoch_cell_body_weak(Sim& sim) { epoch_cell_body<WeakEpochCell>(sim); }
+
+TEST(McEpochCell, PublishVsReadExhaustsWithSeqCstHandshake) {
+    const Result r = mw::mc::check(exhaustive(), epoch_cell_body_correct);
+    EXPECT_FALSE(r.failed) << r.message;
+    EXPECT_TRUE(r.exhausted) << "state space unexpectedly large: " << r.schedules;
+    EXPECT_GT(r.schedules, 1u);
+}
+
+TEST(McEpochCell, WeakenedHandshakeMutationIsCaughtAndReplays) {
+    const Result r = mw::mc::check(exhaustive(), epoch_cell_body_weak);
+    ASSERT_TRUE(r.failed) << "weakened EpochCell escaped " << r.schedules
+                          << " schedules";
+    EXPECT_NE(r.message.find("data race"), std::string::npos) << r.message;
+    EXPECT_NE(r.message.find("EpochCell payload"), std::string::npos) << r.message;
+    ASSERT_FALSE(r.failing_trace.empty());
+
+    const Result again = mw::mc::replay(exhaustive(), r, epoch_cell_body_weak);
     ASSERT_TRUE(again.failed);
     EXPECT_NE(again.message.find("data race"), std::string::npos) << again.message;
     EXPECT_EQ(again.failing_trace, r.failing_trace);
@@ -410,6 +566,8 @@ struct SweepBody {
 TEST(McNightly, RandomSweepOverAllProtocols) {
     const SweepBody bodies[] = {
         {"spsc_ring", spsc_body_correct},
+        {"mpmc_steal", mpmc_steal_body_correct},
+        {"epoch_cell", epoch_cell_body_correct},
         {"probe_gate_cas", probe_gate_body<true>},
         {"breaker_half_open", breaker_half_open_body},
         {"server_flags_start", server_flags_body},

@@ -127,6 +127,47 @@ TEST(RequestQueue, RemoveIfAndDrain) {
     EXPECT_TRUE(queue.empty());
 }
 
+TEST(RequestQueue, EvictOldestReanchorsRoundRobinCursor) {
+    RequestQueue queue(8);
+    // Occupy all three lanes, then advance the round-robin cursor onto the
+    // kMinLatency lane by popping once (kMaxThroughput goes first).
+    Request t1 = make_request(1, "m", 1, sched::Policy::kMaxThroughput, 0.0, 2.0);
+    Request l1 = make_request(2, "m", 1, sched::Policy::kMinLatency, 0.0, 1.0);
+    Request e1 = make_request(3, "m", 1, sched::Policy::kMinEnergy, 0.0, 3.0);
+    ASSERT_TRUE(queue.try_push(t1) && queue.try_push(l1) && queue.try_push(e1));
+    ASSERT_EQ(queue.pop(0.0)->id, 1U);
+
+    // Evicting the globally oldest (l1) empties the cursor's lane; the
+    // cursor must re-anchor onto the next non-empty lane instead of keeping
+    // the emptied lane's turn reserved.
+    ASSERT_EQ(queue.evict_oldest()->id, 2U);
+    Request l2 = make_request(4, "m", 1, sched::Policy::kMinLatency, 0.0, 4.0);
+    ASSERT_TRUE(queue.try_push(l2));
+    // Regression (pre-fix): the stale cursor handed the freshly-pushed l2
+    // the next turn ahead of e1, which had been waiting longer.
+    EXPECT_EQ(queue.pop(0.0)->id, 3U);
+    EXPECT_EQ(queue.pop(0.0)->id, 4U);
+}
+
+TEST(RequestQueue, RemoveIfReanchorsRoundRobinCursor) {
+    RequestQueue queue(8);
+    Request t1 = make_request(1, "m", 1, sched::Policy::kMaxThroughput);
+    Request l1 = make_request(2, "m", 1, sched::Policy::kMinLatency);
+    Request e1 = make_request(3, "m", 1, sched::Policy::kMinEnergy);
+    ASSERT_TRUE(queue.try_push(t1) && queue.try_push(l1) && queue.try_push(e1));
+    ASSERT_EQ(queue.pop(0.0)->id, 1U);  // cursor now on the kMinLatency lane
+
+    // Same audit as evict_oldest: remove_if that empties the cursor's lane
+    // must re-anchor the cursor (deadline shedding uses this path).
+    auto removed = queue.remove_if(
+        [](const Request& r) { return r.policy == sched::Policy::kMinLatency; });
+    ASSERT_EQ(removed.size(), 1U);
+    Request l2 = make_request(4, "m", 1, sched::Policy::kMinLatency);
+    ASSERT_TRUE(queue.try_push(l2));
+    EXPECT_EQ(queue.pop(0.0)->id, 3U) << "the waiting lane goes before the refilled one";
+    EXPECT_EQ(queue.pop(0.0)->id, 4U);
+}
+
 TEST(RequestQueue, CloseRefusesPushesButDrainsPops) {
     RequestQueue queue(4);
     Request a = make_request(1, "m", 1);

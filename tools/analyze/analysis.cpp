@@ -184,15 +184,28 @@ AnalyzerConfig default_config() {
         "Transport::send",
     };
     const std::vector<std::string> clock_idents = {"Stopwatch", "WallClock"};
+    // Blocking primitives banned from the lock-free hot path files: one
+    // Mutex smuggled into a ring or pool turns the whole submit path back
+    // into the contended design ROADMAP item 2 removed. The one sanctioned
+    // exception (EpochCell's cold publish mutex) carries an inline allow.
+    const std::vector<std::string> blocking_idents = {
+        "Mutex", "SharedMutex", "CondVar", "MutexLock", "ReaderLock", "WriterLock"};
+    const std::string lockfree_why =
+        "this file is on the lock-free hot path (DESIGN.md §15); blocking "
+        "primitives belong behind the cold publish boundary";
     cfg.confinement = {
-        {"src/serve/", clock_idents,
+        {"src/serve/", clock_idents, "clock-confinement",
          "the serving tier is clock-injected; construct a WallClock at the composition root"},
-        {"src/obs/", clock_idents,
+        {"src/obs/", clock_idents, "clock-confinement",
          "trace/metrics timestamps come from the injected mw::Clock so tests stay deterministic"},
-        {"src/fault/", clock_idents,
+        {"src/fault/", clock_idents, "clock-confinement",
          "fault schedules must replay deterministically on the injected mw::Clock"},
-        {"src/cluster/", clock_idents,
+        {"src/cluster/", clock_idents, "clock-confinement",
          "link latency and routing clocks are injected; wall time would break simulation"},
+        {"src/common/mpmc_ring.hpp", blocking_idents, "lock-free-confinement", lockfree_why},
+        {"src/common/epoch_cell.hpp", blocking_idents, "lock-free-confinement", lockfree_why},
+        {"src/serve/sharded_queue.", blocking_idents, "lock-free-confinement", lockfree_why},
+        {"src/serve/request_pool.", blocking_idents, "lock-free-confinement", lockfree_why},
     };
     cfg.exempt_suffixes = {"common/sync.hpp"};
     return cfg;
@@ -504,9 +517,9 @@ AnalysisResult analyze(Program& prog, const AnalyzerConfig& cfg) {
             if (has_suffix(f.path, suf)) exempt = true;
         }
         if (exempt) continue;
-        const ConfinementRule* conf = nullptr;
+        std::vector<const ConfinementRule*> conf;
         for (const ConfinementRule& rule : cfg.confinement) {
-            if (has_prefix(f.path, rule.prefix)) conf = &rule;
+            if (has_prefix(f.path, rule.prefix)) conf.push_back(&rule);
         }
         for (std::size_t ti = 0; ti < f.tokens.size(); ++ti) {
             const Token& t = f.tokens[ti];
@@ -535,12 +548,12 @@ AnalysisResult analyze(Program& prog, const AnalyzerConfig& cfg) {
                                    "justification"});
                 }
             }
-            if (conf != nullptr) {
-                for (const std::string& banned : conf->banned) {
+            for (const ConfinementRule* rule : conf) {
+                for (const std::string& banned : rule->banned) {
                     if (t.text == banned) {
-                        raw.push_back({f.path, t.line, "clock-confinement",
-                                       "`" + banned + "` referenced under " + conf->prefix +
-                                           " — " + conf->why});
+                        raw.push_back({f.path, t.line, rule->check,
+                                       "`" + banned + "` referenced under " + rule->prefix +
+                                           " — " + rule->why});
                     }
                 }
             }

@@ -1,0 +1,17 @@
+// Fixture: lock-free confinement. The hot-path ring files must not reference
+// blocking primitives — a Mutex smuggled into the ring turns the submit path
+// back into the contended design. The allow() line models the epoch cell's
+// sanctioned cold publish mutex.
+class MpmcRing {
+public:
+    void push_blocking() {
+        MutexLock lock(m_);  // expect(lock-free-confinement)
+    }
+
+    void publish_cold() {
+        MutexLock lock(m_);  // mw-analyze: allow(lock-free-confinement) fixture cold writer path
+    }
+
+private:
+    Mutex m_;  // expect(lock-free-confinement)
+};

@@ -1,0 +1,10 @@
+// Fixture: a serve-tier file OUTSIDE the confined hot-path family may use
+// blocking primitives freely (only the clock rule applies to src/serve/ at
+// large) — no lock-free-confinement finding expected anywhere in this file.
+class Batcher {
+public:
+    void seal() { MutexLock lock(m_); }
+
+private:
+    Mutex m_;
+};

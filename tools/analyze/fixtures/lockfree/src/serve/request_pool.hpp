@@ -1,0 +1,12 @@
+// Fixture: lock-free confinement applies per file family, not per directory.
+// request_pool.* is confined; a CondVar-based handoff is exactly the blocking
+// design the Treiber-stack pool replaced.
+class RequestPool {
+public:
+    void acquire_blocking() {
+        ready_.wait();  // the call itself is fine; the member type below is not
+    }
+
+private:
+    CondVar ready_;  // expect(lock-free-confinement)
+};

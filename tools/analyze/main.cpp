@@ -25,6 +25,8 @@ const char kUsage[] =
     "  raw-atomic               atomics go through mw::Atomic, not std::atomic\n"
     "  relaxed-order-justified  memory_order_relaxed needs a `// relaxed:` note\n"
     "  clock-confinement        no Stopwatch/WallClock in clock-injected tiers\n"
+    "  lock-free-confinement    no Mutex/CondVar/locks in the serving hot-path\n"
+    "                           files (rings, epoch cell, request pool)\n"
     "\n"
     "Suppress one finding with a same-line comment: // mw-analyze: allow(<check>)\n";
 

@@ -106,11 +106,16 @@ struct Finding {
     std::string message;  // human text, includes the acquisition chain
 };
 
-/// Per-directory identifier bans (the clock-confinement check) as one
-/// declarative table instead of N copy-pasted regex rules.
+/// Per-path identifier bans (clock-confinement, lock-free-confinement) as
+/// one declarative table instead of N copy-pasted regex rules. `prefix` is
+/// matched against the root-relative path, so it names either a directory
+/// ("src/serve/") or a specific file family ("src/serve/sharded_queue.").
+/// Every rule matching a file applies — a file can be both clock-confined
+/// and lock-free-confined.
 struct ConfinementRule {
-    std::string prefix;               // root-relative prefix, e.g. "src/serve/"
+    std::string prefix;               // root-relative path prefix
     std::vector<std::string> banned;  // identifier tokens
+    std::string check;                // finding name, e.g. "clock-confinement"
     std::string why;                  // appended to the diagnostic
 };
 
