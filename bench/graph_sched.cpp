@@ -1,0 +1,242 @@
+// DAG scheduling bench: memory-hierarchy-aware placement+fusion vs the
+// paper's monolithic whole-graph placement, swept across arithmetic
+// intensity.
+//
+// Part 1 sweeps a fixed branchy graph shape from deeply memory-bound
+// (0.125 flop/byte) to deeply compute-bound (512 flop/byte) and records,
+// per intensity, the best single-device (monolithic) makespan, which device
+// wins it, and the DAG-aware planner's makespan. The expected crossover
+// inversion is asserted: at low intensity the winning monolithic device is
+// a host-memory device (the PCIe boundary + per-op launch overhead sink the
+// discrete GPU), at high intensity it is the discrete GPU.
+//
+// Part 2 reports the headline speedups on the two named workload families
+// (make_memory_bound / make_compute_bound) and requires the DAG planner to
+// beat monolithic placement on the memory-bound family.
+//
+// Part 3 measures planner throughput — plans per second on the reference
+// memory-bound graph with a cold cache each call — which is the
+// `sustained_qps` the CI gate compares against bench/baselines/
+// BENCH_graph.json.
+//
+// Every schedule produced anywhere in this bench is replayed through the
+// independent verifier (a violation aborts the bench), and exported via
+// MW_SCHEDULE_EXPORT_DIR for CI's out-of-process verification job.
+//
+// Flags: --quick (CI mode: fewer sweep points and planner iterations);
+// --json PATH writes the headline numbers for tools/bench-compare.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "device/params.hpp"
+#include "graph/planner.hpp"
+#include "graph/schedule.hpp"
+#include "graph/synth.hpp"
+#include "graph/verify.hpp"
+
+using namespace mw;
+
+namespace {
+
+std::vector<graph::PlannerDevice> testbed() {
+    std::vector<graph::PlannerDevice> devices(3);
+    devices[0].params = device::i7_8700_params();
+    devices[1].params = device::uhd630_params();
+    devices[2].params = device::gtx1080ti_params();
+    return devices;
+}
+
+void verify_or_die(const graph::Graph& g, const graph::Schedule& s, const char* what) {
+    const auto violations = graph::verify_schedule(g, s);
+    if (!violations.empty()) {
+        std::fprintf(stderr, "BENCH BUG: %s schedule for %s infeasible:\n%s", what,
+                     g.name().c_str(), graph::format_violations(violations).c_str());
+        std::exit(1);
+    }
+}
+
+struct Summary {
+    double plans_per_sec = 0.0;
+    double dag_speedup_membound = 0.0;
+    double dag_speedup_computebound = 0.0;
+    double crossover_intensity = 0.0;
+    double membound_mono_s = 0.0;
+    double membound_dag_s = 0.0;
+};
+
+/// Name of the device the monolithic plan runs on (all steps share one).
+std::string mono_device(const graph::Schedule& s) {
+    return s.steps.empty() ? std::string("?") : s.devices[s.steps.front().device].name;
+}
+
+double intensity_sweep(bool quick, std::size_t* exported) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed();
+
+    std::printf("== Part 1: arithmetic-intensity sweep (branchy 6x3 graph) ==\n");
+    std::printf("%12s %12s %10s %12s %10s\n", "flop/byte", "mono [ms]", "winner", "dag [ms]",
+                "speedup");
+
+    double crossover = 0.0;
+    std::string prev_winner;
+    bool low_end_host = false;
+    bool high_end_dgpu = false;
+    const double step = quick ? 4.0 : 2.0;
+    std::size_t point = 0;
+    for (double intensity = 0.125; intensity <= 512.0; intensity *= step, ++point) {
+        graph::SynthConfig cfg;
+        cfg.stages = 6;
+        cfg.branches = 3;
+        cfg.tensor_mb = 1.0;
+        cfg.flops_per_byte = intensity;
+        graph::Graph g = graph::make_synthetic(cfg);
+        g.set_name("sweep-i" + std::to_string(point));
+
+        const graph::Schedule mono =
+            planner.plan_monolithic(g, devices, graph::Objective::kMakespan);
+        const graph::Schedule dag = planner.plan(g, devices, graph::Objective::kMakespan);
+        verify_or_die(g, mono, "monolithic");
+        verify_or_die(g, dag, "dag");
+        if (!graph::maybe_export_schedule(g, dag, g.name()).empty()) ++(*exported);
+
+        const std::string winner = mono_device(mono);
+        if (intensity < 0.3 && winner != "gtx1080ti") low_end_host = true;
+        if (intensity > 300.0 && winner == "gtx1080ti") high_end_dgpu = true;
+        if (!prev_winner.empty() && prev_winner != "gtx1080ti" && winner == "gtx1080ti" &&
+            crossover == 0.0) {
+            crossover = intensity;
+        }
+        prev_winner = winner;
+
+        std::printf("%12.3f %12.3f %10s %12.3f %9.2fx\n", intensity,
+                    mono.makespan_s() * 1e3, winner.c_str(), dag.makespan_s() * 1e3,
+                    mono.makespan_s() / dag.makespan_s());
+    }
+
+    MW_CHECK(low_end_host,
+             "crossover inversion broken: memory-bound graphs no longer favour a host-memory "
+             "device under monolithic placement");
+    MW_CHECK(high_end_dgpu,
+             "crossover inversion broken: compute-bound graphs no longer favour the discrete "
+             "GPU under monolithic placement");
+    MW_CHECK(crossover > 0.0, "no crossover point found in the sweep");
+    std::printf("crossover: monolithic winner flips to the dGPU at ~%.1f flop/byte\n\n",
+                crossover);
+    return crossover;
+}
+
+void workload_families(Summary& s, std::size_t* exported) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed();
+
+    std::printf("== Part 2: workload families (DAG-aware vs monolithic) ==\n");
+    const struct {
+        const char* label;
+        graph::Graph g;
+        double* speedup;
+        bool require_win;
+    } cases[] = {
+        {"memory-bound", graph::make_memory_bound(), &s.dag_speedup_membound, true},
+        {"compute-bound", graph::make_compute_bound(), &s.dag_speedup_computebound, false},
+    };
+    for (const auto& c : cases) {
+        const graph::Schedule mono =
+            planner.plan_monolithic(c.g, devices, graph::Objective::kMakespan);
+        const graph::Schedule dag = planner.plan(c.g, devices, graph::Objective::kMakespan);
+        verify_or_die(c.g, mono, "monolithic");
+        verify_or_die(c.g, dag, "dag");
+        if (!graph::maybe_export_schedule(c.g, dag, c.g.name()).empty()) ++(*exported);
+
+        *c.speedup = mono.makespan_s() / dag.makespan_s();
+        std::printf(
+            "  %-14s mono %8.3f ms on %-10s | dag %8.3f ms, %zu steps, %zu fused ops, "
+            "spill %6.3f ms -> %5.2fx\n",
+            c.label, mono.makespan_s() * 1e3, mono_device(mono).c_str(),
+            dag.makespan_s() * 1e3, dag.steps.size(), dag.fused_ops(),
+            dag.spill_seconds() * 1e3, *c.speedup);
+        if (c.require_win) {
+            s.membound_mono_s = mono.makespan_s();
+            s.membound_dag_s = dag.makespan_s();
+            MW_CHECK(*c.speedup > 1.0,
+                     "the memory-hierarchy-aware planner no longer beats monolithic placement "
+                     "on the memory-bound family");
+        }
+    }
+    std::printf("\n");
+}
+
+double planner_throughput(bool quick) {
+    const auto devices = testbed();
+    const graph::Graph reference = graph::make_memory_bound();
+    const std::size_t iterations = quick ? 200 : 1000;
+
+    std::printf("== Part 3: planner throughput (cold cache per plan) ==\n");
+    Stopwatch watch;
+    double sink = 0.0;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        const graph::GraphPlanner planner;  // fresh: no memoisation help
+        const graph::Schedule dag = planner.plan(reference, devices,
+                                                 graph::Objective::kMakespan);
+        sink += dag.makespan_s();
+    }
+    const double elapsed = watch.elapsed();
+    const double per_sec = static_cast<double>(iterations) / elapsed;
+    std::printf("  %zu plans of %zu-node graph in %.3f s -> %.1f plans/s (checksum %.6f)\n\n",
+                iterations, reference.size(), elapsed, per_sec, sink);
+    return per_sec;
+}
+
+void write_json(const char* path, const Summary& s) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path);
+        std::exit(1);
+    }
+    std::fprintf(f,
+                 "{\n"
+                 "  \"sustained_qps\": %.3f,\n"
+                 "  \"dag_speedup_membound\": %.4f,\n"
+                 "  \"dag_speedup_computebound\": %.4f,\n"
+                 "  \"crossover_intensity\": %.3f,\n"
+                 "  \"membound_mono_makespan_s\": %.9f,\n"
+                 "  \"membound_dag_makespan_s\": %.9f\n"
+                 "}\n",
+                 s.plans_per_sec, s.dag_speedup_membound, s.dag_speedup_computebound,
+                 s.crossover_intensity, s.membound_mono_s, s.membound_dag_s);
+    std::fclose(f);
+    std::printf("wrote %s\n", path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool quick = false;
+    const char* json_path = nullptr;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--quick] [--json PATH]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    std::size_t exported = 0;
+    Summary summary;
+    summary.crossover_intensity = intensity_sweep(quick, &exported);
+    workload_families(summary, &exported);
+    summary.plans_per_sec = planner_throughput(quick);
+
+    if (exported > 0) {
+        std::printf("exported %zu schedules for out-of-process verification\n", exported);
+    }
+    if (json_path != nullptr) write_json(json_path, summary);
+    return 0;
+}

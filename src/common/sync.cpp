@@ -12,6 +12,7 @@ const char* lock_rank_name(LockRank rank) noexcept {
         case LockRank::kClusterTransport: return "cluster-transport";
         case LockRank::kClusterNode: return "cluster-node";
         case LockRank::kNetFault: return "net-fault";
+        case LockRank::kGraphPlanner: return "graph-planner";
         case LockRank::kScheduler: return "scheduler";
         case LockRank::kSnapshotPublish: return "snapshot-publish";
         case LockRank::kRegistry: return "registry";

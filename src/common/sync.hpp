@@ -120,6 +120,9 @@ enum class LockRank : int {
     kClusterTransport = 4, ///< cluster::Transport in-flight frame heap
     kClusterNode = 6,      ///< cluster::Node completion queue
     kNetFault = 8,         ///< fault::NetFaultInjector link streams/partition
+    kGraphPlanner = 9,     ///< graph::GraphPlanner plan cache; held while
+                           ///< snapshotting registry/device state, so it sits
+                           ///< below the whole single-node scheduling stack
     kScheduler = 10,       ///< serve::Server's OnlineScheduler serialisation
     kSnapshotPublish = 15, ///< EpochCell writer serialisation (scheduler snapshots)
     kRegistry = 20,        ///< device::DeviceRegistry device table

@@ -247,6 +247,39 @@ Measurement Device::profile(const std::string& model_name, std::size_t batch, do
     return execute(*find_model(model_name), batch, sim_time);
 }
 
+Measurement Device::book(const std::string& label, double busy_s, double energy_j,
+                         double sim_time) {
+    MW_CHECK(busy_s >= 0.0 && energy_j >= 0.0, "book() needs non-negative duration and energy");
+    const MutexLock lock(mutex_);
+    const double start = std::max(
+        sim_time,
+        busy_until_.load(std::memory_order_relaxed));  // relaxed: scalar timeline estimate
+    const double clock_start = clock_ratio_at_locked(start);
+
+    Measurement m;
+    m.device_name = name();
+    m.device_kind = kind();
+    m.model_name = label;
+    m.batch = 1;
+    m.submit_time = sim_time;
+    m.start_time = start;
+    m.end_time = start + busy_s;
+    m.energy_j = energy_j;
+    m.device_was_warm = clock_start >= kWarmThreshold;
+
+    clock_ratio_ = params_.clock_ramp_tau_s > 0.0
+                       ? clock_after_run(clock_start, params_.clock_ramp_tau_s, busy_s)
+                       : clock_start;
+    last_active_end_ = m.end_time;
+    busy_until_.store(m.end_time, std::memory_order_release);
+    total_energy_j_ += energy_j;
+    ++total_batches_;
+
+    const double watts = busy_s > 0.0 ? energy_j / busy_s : params_.idle_power_w;
+    record_power_segment(start, m.end_time, std::max(watts, params_.idle_power_w));
+    return m;
+}
+
 double Device::power_at(double sim_time) const {
     const MutexLock lock(mutex_);
     // Walk the bounded timeline backwards (recent segments last).

@@ -89,6 +89,12 @@ public:
     /// sweeps, where a 256K-sample tensor would be pointless to allocate).
     Measurement profile(const std::string& model_name, std::size_t batch, double sim_time);
 
+    /// Book an externally priced busy interval onto the device timeline (the
+    /// DAG tier executes fused steps whose duration/energy the GraphPlanner
+    /// already priced). Advances the queue, DVFS clock, power timeline and
+    /// energy counters exactly like execute(), but takes the cost as given.
+    Measurement book(const std::string& label, double busy_s, double energy_j, double sim_time);
+
     // --- clock / state (what the scheduler's "PCIe state probe" reads) ---
     [[nodiscard]] double clock_ratio_at(double sim_time) const;
     [[nodiscard]] bool is_warm(double sim_time) const;

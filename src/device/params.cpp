@@ -35,6 +35,8 @@ DeviceParams i7_8700_params() {
     p.kernel_launch_overhead_s = 2.0e-6;
     p.dispatch_overhead_s = 6.0e-6;
     p.over_pcie = false;
+    // 12 MiB shared LLC; fused intermediates beyond it spill to DDR4.
+    p.scratchpad_bytes = 12.0 * 1024 * 1024;
     p.memory_domain = 0;           // shares DDR4 + LLC with the iGPU
     p.contention_slowdown = 0.30;
     p.idle_clock_ratio = 1.0;  // no measurable boost-state effect on the CPU
@@ -62,6 +64,8 @@ DeviceParams uhd630_params() {
     p.kernel_launch_overhead_s = 4.0e-6;
     p.dispatch_overhead_s = 10.0e-6;
     p.over_pcie = false;  // zero-copy via clEnqueueMapBuffer
+    // The iGPU's slice of the shared LLC (~half of the CPU's 12 MiB).
+    p.scratchpad_bytes = 6.0 * 1024 * 1024;
     p.memory_domain = 0;  // same package as the CPU cores
     p.contention_slowdown = 0.45;
     p.idle_clock_ratio = 0.7;  // mild: 350 MHz base -> 1.2 GHz, fast ramp
@@ -97,6 +101,8 @@ DeviceParams gtx1080ti_params() {
     // Effective PCIe 3.0 x16 rate including driver bookkeeping per chunk.
     p.pcie_bandwidth_gbps = 6.0;
     p.pcie_latency_s = 3.0e-6;
+    // 11 GiB on-board GDDR5X is the fast tier; spilling means PCIe.
+    p.scratchpad_bytes = 11.0 * 1024 * 1024 * 1024;
     // GPU Boost 3.0: cold clocks deliver ~1/7 of warmed-up throughput; the
     // ramp constant is expressed in accumulated-work time, calibrated so the
     // idle/warm gap closes around the 64K-sample runs of Fig. 3(b).

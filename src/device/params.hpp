@@ -47,6 +47,15 @@ struct DeviceParams {
     double pcie_bandwidth_gbps = 0.0;
     double pcie_latency_s = 0.0;
 
+    // --- two-level memory (the DAG tier, src/graph) ---
+    // Fast local memory a fused subgraph's working set must fit in: the LLC
+    // for CPU/iGPU, the on-board GDDR for discrete GPUs. 0 = unlimited
+    // (legacy whole-model scheduling is unaffected by this field).
+    double scratchpad_bytes = 0.0;
+    // Bandwidth of the link to the spill home (shared host DRAM). Discrete
+    // devices spill over PCIe instead (over_pcie); 0 = mem_bandwidth_gbps.
+    double spill_bandwidth_gbps = 0.0;
+
     // --- clock / DVFS (GPU Boost model) ---
     double idle_clock_ratio = 1.0;  ///< effective perf fraction when cold
     double clock_ramp_tau_s = 0.0;  ///< exponential warm-up time constant

@@ -1,0 +1,61 @@
+#include "graph/lowering.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mw::graph {
+
+LoweredGraph lower(const nn::Model& model, std::size_t batch) {
+    MW_CHECK(batch > 0, "lower() requires batch > 0");
+    LoweredGraph lowered;
+    lowered.graph.set_name(model.name() + "@b" + std::to_string(batch));
+
+    Shape shape = model.input_shape(batch);
+    for (std::size_t i = 0; i < model.layer_count(); ++i) {
+        const nn::Layer& layer = model.layer(i);
+        OpNode node;
+        node.name = layer.describe();
+        node.cost = layer.cost(shape);
+        shape = layer.output_shape(shape);
+        node.out_bytes = static_cast<double>(shape.numel()) * sizeof(float);
+        if (i == 0) {
+            node.external_in_bytes =
+                static_cast<double>(batch) * static_cast<double>(model.bytes_per_sample());
+        } else {
+            node.inputs = {i - 1};
+        }
+        lowered.graph.add_node(std::move(node));
+        lowered.layer_of.push_back(i);
+    }
+    lowered.graph.validate();
+    return lowered;
+}
+
+Tensor run_grouped(const nn::Model& model, const Tensor& input,
+                   const std::vector<std::vector<std::size_t>>& groups, ThreadPool* pool) {
+    std::size_t expect = 0;
+    for (const auto& group : groups) {
+        MW_CHECK(!group.empty(), "run_grouped(): empty group");
+        for (const std::size_t layer : group) {
+            MW_CHECK(layer == expect, "run_grouped(): groups must cover layers in order");
+            ++expect;
+        }
+    }
+    MW_CHECK(expect == model.layer_count(), "run_grouped(): groups must cover every layer");
+
+    Tensor cur = input;  // the input arrives from slow memory
+    for (const auto& group : groups) {
+        for (const std::size_t layer : group) {
+            const nn::Layer& l = model.layer(layer);
+            Tensor out(l.output_shape(cur.shape()));
+            l.forward(cur, out, pool);
+            cur = std::move(out);
+        }
+        Tensor spilled = cur;  // cut edge: round-trip through slow memory
+        cur = std::move(spilled);
+    }
+    return cur;
+}
+
+}  // namespace mw::graph

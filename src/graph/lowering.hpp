@@ -1,0 +1,42 @@
+// Lowering: nn::Model layer stacks -> operator DAGs with real footprints.
+//
+// Each layer becomes one OpNode whose cost is the layer's analytic
+// LayerCost at the given batch and whose out_bytes is the actual activation
+// tensor it produces (floats). The first node carries the model input as
+// external_in_bytes, so a schedule's load phase pays for staging the batch
+// across the spill link exactly like Device::execute prices bytes_in.
+//
+// run_grouped() executes the real network along a step grouping — tensors
+// crossing group boundaries take an explicit spill round-trip (deep copy to
+// "slow memory" and back), intra-group activations chain directly — which
+// is what the fusion-is-bit-exact property test compares against plain
+// Model::forward().
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/dag.hpp"
+#include "nn/model.hpp"
+
+namespace mw::graph {
+
+/// A model lowered to a DAG; node ids equal layer indices (models are
+/// linear pipelines, so the lowered graph is a chain).
+struct LoweredGraph {
+    Graph graph;
+    std::vector<std::size_t> layer_of;  ///< node id -> model layer index
+};
+
+/// Lower `model` at batch size `batch`. The lowered chain's total cost is
+/// identical to model.cost(batch).total (asserted by tests).
+LoweredGraph lower(const nn::Model& model, std::size_t batch);
+
+/// Execute the model along a grouping of its layer indices (each group a
+/// contiguous, in-order slice of 0..layer_count-1). Boundary activations
+/// are round-tripped through a deep copy; fused ones flow directly.
+[[nodiscard]] Tensor run_grouped(const nn::Model& model, const Tensor& input,
+                                 const std::vector<std::vector<std::size_t>>& groups,
+                                 ThreadPool* pool = nullptr);
+
+}  // namespace mw::graph

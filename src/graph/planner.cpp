@@ -1,0 +1,458 @@
+#include "graph/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/error.hpp"
+#include "device/device.hpp"
+#include "device/exec_model.hpp"
+
+namespace mw::graph {
+namespace {
+
+constexpr double kGiga = 1e9;
+constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// Placement sentinel for nodes whose chain has not been committed yet.
+constexpr std::size_t kNoDevice = static_cast<std::size_t>(-1);
+
+/// Peak fast-memory residency of a candidate fused group under the
+/// execution contract (schedule.hpp). This is the planner's own accounting;
+/// the verifier recomputes the same quantity from scratch in verify.cpp.
+double group_peak_residency(const Graph& graph,
+                            const std::vector<std::vector<NodeId>>& consumers,
+                            const std::vector<NodeId>& group) {
+    std::unordered_map<NodeId, std::size_t> position;
+    for (std::size_t i = 0; i < group.size(); ++i) position[group[i]] = i;
+
+    double external_in = 0.0;
+    std::unordered_set<NodeId> loaded;
+    for (const NodeId v : group) {
+        external_in += graph.node(v).external_in_bytes;
+        for (const NodeId u : graph.node(v).inputs) {
+            if (position.find(u) == position.end() && loaded.insert(u).second) {
+                external_in += graph.node(u).out_bytes;
+            }
+        }
+    }
+
+    std::vector<std::size_t> last_use(group.size(), 0);
+    std::vector<bool> ephemeral(group.size(), false);
+    for (std::size_t j = 0; j < group.size(); ++j) {
+        for (const NodeId w : consumers[group[j]]) {
+            const auto it = position.find(w);
+            if (it != position.end()) {
+                ephemeral[j] = true;
+                last_use[j] = std::max(last_use[j], it->second);
+            }
+        }
+    }
+
+    double peak = 0.0;
+    for (std::size_t i = 0; i < group.size(); ++i) {
+        double live = 0.0;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (ephemeral[j] && last_use[j] >= i) live += graph.node(group[j]).out_bytes;
+        }
+        peak = std::max(peak, external_in + live + graph.node(group[i]).out_bytes);
+    }
+    return peak;
+}
+
+/// Maximal single-producer/single-consumer runs, in topological head order.
+/// Chains are the planner's fusion candidates — branches and joins always
+/// cut, so every chain is a linear pipeline of operators.
+std::vector<std::vector<NodeId>> build_chains(const Graph& graph,
+                                              const std::vector<std::vector<NodeId>>& consumers) {
+    std::vector<std::vector<NodeId>> chains;
+    std::vector<bool> chained(graph.size(), false);
+    for (NodeId v = 0; v < graph.size(); ++v) {
+        if (chained[v]) continue;
+        std::vector<NodeId> chain{v};
+        chained[v] = true;
+        NodeId cur = v;
+        while (consumers[cur].size() == 1) {
+            const NodeId w = consumers[cur][0];
+            if (graph.node(w).inputs.size() != 1 || chained[w]) break;
+            chain.push_back(w);
+            chained[w] = true;
+            cur = w;
+        }
+        chains.push_back(std::move(chain));
+    }
+    return chains;
+}
+
+struct SimResult {
+    std::vector<Step> steps;
+    double finish = kInfinity;
+    double energy = kInfinity;
+    double clock_end = 1.0;
+    bool feasible = false;
+};
+
+/// Simulate one topologically ordered node sequence on one device: pack
+/// nodes greedily into fused steps (cut wherever the scratchpad cannot hold
+/// the grown working set), price each step through the analytic execution
+/// model, and thread the DVFS clock through the steps.
+///
+/// Traffic pricing follows the execution contract: cut tensors whose
+/// producer lives on this device (earlier in `sequence`, or committed to
+/// `device_index` in `node_device`) move at the local slow-tier rate; cut
+/// tensors stored for consumers NOT all known to be on this device pay the
+/// spill link — conservative for yet-unplaced consumers, which keeps every
+/// planned phase at or above the verifier's recomputed minimum.
+SimResult simulate_sequence(const Graph& graph,
+                            const std::vector<std::vector<NodeId>>& consumers,
+                            const std::vector<NodeId>& sequence, const PlannerDevice& device,
+                            std::size_t device_index, const MemorySpec& mem,
+                            const std::vector<double>& node_done,
+                            const std::vector<std::size_t>& node_device) {
+    SimResult sim;
+    sim.clock_end = device.clock_ratio;
+    double cursor = device.free_at;
+    double clock = device.clock_ratio;
+    double energy = 0.0;
+    std::unordered_map<NodeId, double> local_done;  // tensors produced within `sequence`
+    const std::unordered_set<NodeId> sequence_set(sequence.begin(), sequence.end());
+
+    const auto tensor_ready = [&](NodeId u) {
+        const auto it = local_done.find(u);
+        if (it != local_done.end()) return it->second;
+        return node_done[u];
+    };
+
+    const auto phase_time = [&mem](double link_bytes, double local_bytes) {
+        double s = 0.0;
+        if (link_bytes > 0.0) s += mem.link_latency_s + link_bytes / (mem.link_gbps * kGiga);
+        if (local_bytes > 0.0) s += local_bytes / (mem.local_gbps * kGiga);
+        return s;
+    };
+
+    std::vector<NodeId> group;
+    const auto flush = [&]() -> bool {
+        if (group.empty()) return true;
+        std::unordered_set<NodeId> members(group.begin(), group.end());
+
+        double load_link = 0.0;
+        double load_local = 0.0;
+        double ready = 0.0;
+        std::unordered_set<NodeId> loaded;
+        for (const NodeId v : group) {
+            load_link += graph.node(v).external_in_bytes;  // graph inputs come from the host
+            for (const NodeId u : graph.node(v).inputs) {
+                if (members.count(u) != 0) continue;
+                ready = std::max(ready, tensor_ready(u));
+                if (loaded.insert(u).second) {
+                    const bool on_device =
+                        local_done.count(u) != 0 || node_device[u] == device_index;
+                    (on_device ? load_local : load_link) += graph.node(u).out_bytes;
+                }
+            }
+        }
+        double store_link = 0.0;
+        double store_local = 0.0;
+        for (const NodeId v : group) {
+            bool stored = consumers[v].empty();  // graph output -> back to the host
+            bool all_local = !consumers[v].empty();
+            for (const NodeId w : consumers[v]) {
+                if (members.count(w) != 0) continue;
+                stored = true;
+                if (sequence_set.count(w) == 0 && node_device[w] != device_index) {
+                    all_local = false;
+                }
+            }
+            if (stored) (all_local ? store_local : store_link) += graph.node(v).out_bytes;
+        }
+        if ((load_link > 0.0 || store_link > 0.0) && mem.link_gbps <= 0.0) return false;
+        if ((load_local > 0.0 || store_local > 0.0) && mem.local_gbps <= 0.0) return false;
+
+        Step step;
+        step.device = device_index;
+        step.nodes = group;
+        step.start_s = std::max(cursor, ready);
+        step.load_s = phase_time(load_link, load_local);
+        step.store_s = phase_time(store_link, store_local);
+
+        nn::ModelCost cost;
+        for (const NodeId v : group) {
+            cost.per_layer.push_back(graph.node(v).cost);
+            cost.total += graph.node(v).cost;
+        }
+        const device::ExecBreakdown breakdown =
+            device::estimate_execution(device.params, cost, 0.0, 0.0, clock);
+        step.compute_s = breakdown.total_s();
+        clock = breakdown.clock_end;
+        step.energy_j = breakdown.energy_j() +
+                        (step.load_s + step.store_s) * device.params.idle_power_w;
+
+        cursor = step.end_s();
+        energy += step.energy_j;
+        for (const NodeId v : group) local_done[v] = cursor;
+        sim.steps.push_back(std::move(step));
+        group.clear();
+        return true;
+    };
+
+    for (const NodeId v : sequence) {
+        if (mem.scratchpad_bytes > 0.0) {
+            if (group_peak_residency(graph, consumers, {v}) > mem.scratchpad_bytes) {
+                return sim;  // this operator fits no group on this device
+            }
+            if (!group.empty()) {
+                std::vector<NodeId> candidate = group;
+                candidate.push_back(v);
+                if (group_peak_residency(graph, consumers, candidate) > mem.scratchpad_bytes) {
+                    if (!flush()) return sim;
+                }
+            }
+        }
+        group.push_back(v);
+    }
+    if (!flush()) return sim;
+
+    sim.finish = cursor;
+    sim.energy = energy;
+    sim.clock_end = clock;
+    sim.feasible = true;
+    return sim;
+}
+
+double objective_score(Objective objective, const SimResult& sim) {
+    return objective == Objective::kEnergy ? sim.energy : sim.finish;
+}
+
+std::uint64_t mix_fnv(std::uint64_t h, std::uint64_t v) {
+    constexpr std::uint64_t kPrime = 1099511628211ULL;
+    for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xffU;
+        h *= kPrime;
+    }
+    return h;
+}
+
+std::uint64_t mix_fnv_double(std::uint64_t h, double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    return mix_fnv(h, bits);
+}
+
+std::uint64_t cache_key(const Graph& graph, const std::vector<PlannerDevice>& devices,
+                        Objective objective) {
+    std::uint64_t h = graph.fingerprint();
+    h = mix_fnv(h, static_cast<std::uint64_t>(objective));
+    h = mix_fnv(h, devices.size());
+    for (const PlannerDevice& device : devices) {
+        for (const char c : device.params.name) h = mix_fnv(h, static_cast<std::uint64_t>(c));
+        const MemorySpec mem = memory_spec(device.params);
+        h = mix_fnv_double(h, mem.scratchpad_bytes);
+        h = mix_fnv_double(h, mem.link_gbps);
+        h = mix_fnv_double(h, mem.link_latency_s);
+        h = mix_fnv_double(h, mem.local_gbps);
+        h = mix_fnv_double(h, device.params.peak_gflops);
+        h = mix_fnv_double(h, device.params.mem_bandwidth_gbps);
+    }
+    return h;
+}
+
+}  // namespace
+
+MemorySpec memory_spec(const device::DeviceParams& params) {
+    MemorySpec mem;
+    mem.name = params.name;
+    mem.scratchpad_bytes = params.scratchpad_bytes;
+    mem.local_gbps = params.mem_bandwidth_gbps;
+    if (params.over_pcie) {
+        mem.link_gbps = params.pcie_bandwidth_gbps;
+        mem.link_latency_s = params.pcie_latency_s;
+    } else {
+        mem.link_gbps = params.spill_bandwidth_gbps > 0.0 ? params.spill_bandwidth_gbps
+                                                          : params.mem_bandwidth_gbps;
+    }
+    return mem;
+}
+
+PlannerDevice snapshot_device(const device::Device& device, double now) {
+    PlannerDevice d;
+    d.params = device.params();
+    const double throttle = device.throttle();
+    if (throttle > 1.0) {
+        d.params.peak_gflops /= throttle;
+        d.params.mem_bandwidth_gbps /= throttle;
+        if (d.params.spill_bandwidth_gbps > 0.0) d.params.spill_bandwidth_gbps /= throttle;
+        if (d.params.over_pcie) d.params.pcie_bandwidth_gbps /= throttle;
+    }
+    d.free_at = std::max(now, device.busy_until());
+    d.clock_ratio = device.clock_ratio_at(d.free_at);
+    return d;
+}
+
+Schedule GraphPlanner::plan(const Graph& graph, const std::vector<PlannerDevice>& devices,
+                            Objective objective) const {
+    MW_CHECK(!devices.empty(), "plan() needs at least one device");
+    const auto consumers = graph.consumers();
+    const auto chains = build_chains(graph, consumers);
+
+    Schedule schedule;
+    schedule.graph_name = graph.name();
+    for (const PlannerDevice& device : devices) {
+        schedule.devices.push_back(memory_spec(device.params));
+    }
+
+    std::vector<double> node_done(graph.size(), 0.0);
+    std::vector<std::size_t> node_device(graph.size(), kNoDevice);
+    std::vector<double> cursor(devices.size());
+    std::vector<double> clock(devices.size());
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        cursor[d] = devices[d].free_at;
+        clock[d] = devices[d].clock_ratio;
+    }
+
+    for (const std::vector<NodeId>& chain : chains) {
+        SimResult best;
+        std::size_t best_device = 0;
+        for (std::size_t d = 0; d < devices.size(); ++d) {
+            PlannerDevice state = devices[d];
+            state.free_at = cursor[d];
+            state.clock_ratio = clock[d];
+            SimResult sim = simulate_sequence(graph, consumers, chain, state, d,
+                                              schedule.devices[d], node_done, node_device);
+            if (!sim.feasible) continue;
+            if (!best.feasible ||
+                objective_score(objective, sim) < objective_score(objective, best) ||
+                (objective_score(objective, sim) == objective_score(objective, best) &&
+                 sim.finish < best.finish)) {
+                best = std::move(sim);
+                best_device = d;
+            }
+        }
+        if (!best.feasible) {
+            throw InvalidArgument("graph `" + graph.name() + "`: chain starting at node " +
+                                  std::to_string(chain.front()) + " (`" +
+                                  graph.node(chain.front()).name +
+                                  "`) fits no device's scratchpad; operator tiling is not "
+                                  "supported");
+        }
+        cursor[best_device] = best.finish;
+        clock[best_device] = best.clock_end;
+        for (const NodeId v : chain) node_device[v] = best_device;
+        for (const Step& step : best.steps) {
+            for (const NodeId v : step.nodes) node_done[v] = step.end_s();
+            schedule.steps.push_back(step);
+        }
+    }
+    return schedule;
+}
+
+Schedule GraphPlanner::plan_monolithic(const Graph& graph,
+                                       const std::vector<PlannerDevice>& devices,
+                                       Objective objective) const {
+    MW_CHECK(!devices.empty(), "plan_monolithic() needs at least one device");
+    const auto consumers = graph.consumers();
+    std::vector<NodeId> all(graph.size());
+    for (NodeId v = 0; v < graph.size(); ++v) all[v] = v;
+    const std::vector<double> node_done(graph.size(), 0.0);
+    // Every node is in the one sequence, so in-device traffic is classified
+    // by sequence membership; no committed placements exist.
+    const std::vector<std::size_t> node_device(graph.size(), kNoDevice);
+
+    Schedule schedule;
+    schedule.graph_name = graph.name();
+    for (const PlannerDevice& device : devices) {
+        schedule.devices.push_back(memory_spec(device.params));
+    }
+
+    SimResult best;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        SimResult sim = simulate_sequence(graph, consumers, all, devices[d], d,
+                                          schedule.devices[d], node_done, node_device);
+        if (!sim.feasible) continue;
+        if (!best.feasible ||
+            objective_score(objective, sim) < objective_score(objective, best)) {
+            best = std::move(sim);
+        }
+    }
+    MW_CHECK(best.feasible, "graph `" + graph.name() +
+                                "`: no single device can host the whole graph (monolithic "
+                                "placement infeasible)");
+    schedule.steps = std::move(best.steps);
+    return schedule;
+}
+
+Schedule GraphPlanner::instantiate(const Graph& graph, const Schedule& canonical,
+                                   const std::vector<PlannerDevice>& devices) const {
+    MW_CHECK(canonical.devices.size() == devices.size(),
+             "instantiate(): device list does not match the cached schedule");
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+        MW_CHECK(canonical.devices[d].name == devices[d].params.name,
+                 "instantiate(): device order does not match the cached schedule");
+    }
+
+    Schedule out = canonical;
+    std::vector<double> cursor(devices.size());
+    for (std::size_t d = 0; d < devices.size(); ++d) cursor[d] = devices[d].free_at;
+
+    std::vector<std::size_t> step_of(graph.size(), 0);
+    for (std::size_t s = 0; s < out.steps.size(); ++s) {
+        for (const NodeId v : out.steps[s].nodes) step_of[v] = s;
+    }
+
+    std::vector<double> step_end(out.steps.size(), 0.0);
+    for (std::size_t s = 0; s < out.steps.size(); ++s) {
+        Step& step = out.steps[s];
+        std::unordered_set<NodeId> members(step.nodes.begin(), step.nodes.end());
+        double ready = 0.0;
+        for (const NodeId v : step.nodes) {
+            for (const NodeId u : graph.node(v).inputs) {
+                if (members.count(u) == 0) ready = std::max(ready, step_end[step_of[u]]);
+            }
+        }
+        step.start_s = std::max(cursor[step.device], ready);
+        step_end[s] = step.end_s();
+        cursor[step.device] = step_end[s];
+    }
+    return out;
+}
+
+std::shared_ptr<const Schedule> GraphPlanner::plan_cached(
+    const Graph& graph, const std::vector<PlannerDevice>& devices, Objective objective,
+    Schedule* instantiated) {
+    const std::uint64_t key = cache_key(graph, devices, objective);
+    std::shared_ptr<const Schedule> canonical;
+    {
+        const MutexLock lock(cache_mutex_);
+        const auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++cache_hits_;
+            canonical = it->second;
+        }
+    }
+    if (!canonical) {
+        std::vector<PlannerDevice> at_rest = devices;
+        for (PlannerDevice& device : at_rest) {
+            device.free_at = 0.0;
+            device.clock_ratio = 1.0;
+        }
+        canonical = std::make_shared<const Schedule>(plan(graph, at_rest, objective));
+        const MutexLock lock(cache_mutex_);
+        cache_.emplace(key, canonical);
+    }
+    if (instantiated != nullptr) *instantiated = instantiate(graph, *canonical, devices);
+    return canonical;
+}
+
+std::size_t GraphPlanner::cache_size() const {
+    const MutexLock lock(cache_mutex_);
+    return cache_.size();
+}
+
+std::size_t GraphPlanner::cache_hits() const {
+    const MutexLock lock(cache_mutex_);
+    return cache_hits_;
+}
+
+}  // namespace mw::graph

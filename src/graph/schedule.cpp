@@ -1,0 +1,201 @@
+#include "graph/schedule.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mw::graph {
+namespace {
+
+// Names are emitted with spaces mapped to '\x01' so every record stays
+// whitespace-tokenisable; layer describe() strings contain spaces and commas
+// but never control characters.
+std::string encode_name(const std::string& name) {
+    std::string out = name;
+    std::replace(out.begin(), out.end(), ' ', '\x01');
+    return out.empty() ? std::string("\x01") : out;
+}
+
+std::string decode_name(const std::string& token) {
+    std::string out = token;
+    std::replace(out.begin(), out.end(), '\x01', ' ');
+    if (out == " ") out.clear();
+    return out;
+}
+
+[[noreturn]] void malformed(std::size_t line, const std::string& why) {
+    throw IoError("schedule file line " + std::to_string(line) + ": " + why);
+}
+
+}  // namespace
+
+double Schedule::makespan_s() const {
+    double end = 0.0;
+    for (const Step& step : steps) end = std::max(end, step.end_s());
+    return end;
+}
+
+double Schedule::total_energy_j() const {
+    double j = 0.0;
+    for (const Step& step : steps) j += step.energy_j;
+    return j;
+}
+
+double Schedule::spill_seconds() const {
+    double s = 0.0;
+    for (const Step& step : steps) s += step.load_s + step.store_s;
+    return s;
+}
+
+std::size_t Schedule::fused_ops() const {
+    std::size_t n = 0;
+    for (const Step& step : steps) {
+        if (step.nodes.size() > 1) n += step.nodes.size();
+    }
+    return n;
+}
+
+void Schedule::save(std::ostream& os, const Graph& graph) const {
+    os.precision(17);
+    os << "mwsched 1\n";
+    os << "graph " << encode_name(graph.name()) << " " << graph.size() << "\n";
+    for (NodeId id = 0; id < graph.size(); ++id) {
+        const OpNode& node = graph.node(id);
+        os << "node " << id << " " << encode_name(node.name) << " " << node.cost.flops << " "
+           << node.cost.bytes_in << " " << node.cost.bytes_out << " " << node.cost.bytes_weights
+           << " " << node.cost.work_items << " " << node.cost.kernel_launches << " "
+           << node.out_bytes << " " << node.external_in_bytes << " " << node.inputs.size();
+        for (const NodeId u : node.inputs) os << " " << u;
+        os << "\n";
+    }
+    for (const MemorySpec& device : devices) {
+        os << "device " << encode_name(device.name) << " " << device.scratchpad_bytes << " "
+           << device.link_gbps << " " << device.link_latency_s << " " << device.local_gbps
+           << "\n";
+    }
+    for (const Step& step : steps) {
+        os << "step " << step.device << " " << step.start_s << " " << step.load_s << " "
+           << step.compute_s << " " << step.store_s << " " << step.energy_j << " "
+           << step.nodes.size();
+        for (const NodeId id : step.nodes) os << " " << id;
+        os << "\n";
+    }
+    os << "end\n";
+}
+
+void Schedule::save_file(const std::string& path, const Graph& graph) const {
+    std::ofstream os(path);
+    if (!os) throw IoError("cannot open schedule file for writing: " + path);
+    save(os, graph);
+    if (!os) throw IoError("failed writing schedule file: " + path);
+}
+
+std::pair<Graph, Schedule> Schedule::load(std::istream& is) {
+    std::string line;
+    std::size_t line_no = 0;
+    const auto next_line = [&]() -> bool {
+        while (std::getline(is, line)) {
+            ++line_no;
+            if (!line.empty()) return true;
+        }
+        return false;
+    };
+
+    if (!next_line() || line != "mwsched 1") malformed(line_no, "missing `mwsched 1` header");
+
+    Graph graph;
+    Schedule schedule;
+    bool saw_graph = false;
+    bool saw_end = false;
+    std::size_t declared_nodes = 0;
+
+    while (next_line()) {
+        std::istringstream ss(line);
+        std::string kind;
+        ss >> kind;
+        if (kind == "graph") {
+            std::string name;
+            if (!(ss >> name >> declared_nodes)) malformed(line_no, "bad graph record");
+            graph.set_name(decode_name(name));
+            schedule.graph_name = graph.name();
+            saw_graph = true;
+        } else if (kind == "node") {
+            if (!saw_graph) malformed(line_no, "node record before graph record");
+            std::size_t id = 0;
+            std::string name;
+            OpNode node;
+            std::size_t n_inputs = 0;
+            if (!(ss >> id >> name >> node.cost.flops >> node.cost.bytes_in >>
+                  node.cost.bytes_out >> node.cost.bytes_weights >> node.cost.work_items >>
+                  node.cost.kernel_launches >> node.out_bytes >> node.external_in_bytes >>
+                  n_inputs)) {
+                malformed(line_no, "bad node record");
+            }
+            if (id != graph.size()) malformed(line_no, "node ids must be dense and in order");
+            node.name = decode_name(name);
+            node.inputs.resize(n_inputs);
+            for (std::size_t i = 0; i < n_inputs; ++i) {
+                if (!(ss >> node.inputs[i])) malformed(line_no, "truncated node input list");
+                if (node.inputs[i] >= id) {
+                    malformed(line_no, "node input must reference an earlier node");
+                }
+            }
+            graph.add_node(std::move(node));
+        } else if (kind == "device") {
+            MemorySpec device;
+            std::string name;
+            if (!(ss >> name >> device.scratchpad_bytes >> device.link_gbps >>
+                  device.link_latency_s >> device.local_gbps)) {
+                malformed(line_no, "bad device record");
+            }
+            device.name = decode_name(name);
+            schedule.devices.push_back(std::move(device));
+        } else if (kind == "step") {
+            Step step;
+            std::size_t n_nodes = 0;
+            if (!(ss >> step.device >> step.start_s >> step.load_s >> step.compute_s >>
+                  step.store_s >> step.energy_j >> n_nodes)) {
+                malformed(line_no, "bad step record");
+            }
+            step.nodes.resize(n_nodes);
+            for (std::size_t i = 0; i < n_nodes; ++i) {
+                if (!(ss >> step.nodes[i])) malformed(line_no, "truncated step node list");
+            }
+            schedule.steps.push_back(std::move(step));
+        } else if (kind == "end") {
+            saw_end = true;
+            break;
+        } else {
+            malformed(line_no, "unknown record kind `" + kind + "`");
+        }
+    }
+
+    if (!saw_graph) malformed(line_no, "missing graph record");
+    if (!saw_end) malformed(line_no, "missing end record (truncated file)");
+    if (graph.size() != declared_nodes) {
+        malformed(line_no, "graph declared " + std::to_string(declared_nodes) + " nodes, found " +
+                               std::to_string(graph.size()));
+    }
+    graph.validate();
+    return {std::move(graph), std::move(schedule)};
+}
+
+std::pair<Graph, Schedule> Schedule::load_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) throw IoError("cannot open schedule file: " + path);
+    return load(is);
+}
+
+std::string maybe_export_schedule(const Graph& graph, const Schedule& schedule,
+                                  const std::string& stem) {
+    const char* dir = std::getenv("MW_SCHEDULE_EXPORT_DIR");
+    if (dir == nullptr || *dir == '\0') return {};
+    std::string path = std::string(dir) + "/" + stem + ".mws";
+    schedule.save_file(path, graph);
+    return path;
+}
+
+}  // namespace mw::graph

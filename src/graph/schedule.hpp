@@ -1,0 +1,91 @@
+// Schedules: the placement + fusion plan for one operator DAG, and the
+// self-contained text format the independent verifier consumes.
+//
+// Execution contract (the "verifier approximation contract", DESIGN.md §17):
+//   * A Step runs one fused group of operators on one device, in three
+//     phases: load (cut-edge inputs enter fast memory), compute (operators
+//     run; fused intermediates are ephemeral and move no memory traffic),
+//     store (cut-edge outputs stream back out).
+//   * Cut tensors whose producer and consumer steps share a device
+//     round-trip through that device's own slow tier at `local_gbps`
+//     (DRAM for the CPU/iGPU, on-board GDDR for a discrete GPU). Tensors
+//     crossing devices, graph inputs (OpNode::external_in_bytes) and graph
+//     outputs cross the spill link at `link_gbps` + `link_latency_s` (PCIe
+//     for discrete devices; for integrated ones link == DRAM). A tensor
+//     with consumers on several devices pays the link (conservative).
+//   * Steps on one device never overlap; for every edge u -> v crossing
+//     steps, v's step starts no earlier than u's step ends (u's tensor is
+//     available only after u's store phase completed).
+//   * Fast-memory residency during a step: all external inputs for the whole
+//     step, plus live fused intermediates, plus the running node's output.
+//     Cut outputs stream back eagerly and weights stream within the compute
+//     roofline; neither occupies the scratchpad.
+//
+// A schedule file embeds the graph, the memory specs, and the steps, so
+// `mw-graph-verify` can replay it with no other inputs.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "graph/dag.hpp"
+
+namespace mw::graph {
+
+/// The two-level memory model of one device, as the planner saw it.
+/// `scratchpad_bytes == 0` means unlimited fast memory (legacy devices);
+/// `link_gbps` is the spill-path bandwidth towards the shared host memory
+/// (PCIe for discrete devices, DRAM for integrated ones); `local_gbps` is
+/// the device's own slow tier, used by same-device cross-step tensors.
+struct MemorySpec {
+    std::string name;
+    double scratchpad_bytes = 0.0;
+    double link_gbps = 0.0;
+    double link_latency_s = 0.0;
+    double local_gbps = 0.0;
+};
+
+/// One fused group placed on one device.
+struct Step {
+    std::size_t device = 0;       ///< index into Schedule::devices
+    std::vector<NodeId> nodes;    ///< group members, topologically ordered
+    double start_s = 0.0;
+    double load_s = 0.0;          ///< cut-edge inputs crossing the spill link
+    double compute_s = 0.0;
+    double store_s = 0.0;         ///< cut-edge outputs crossing back
+    double energy_j = 0.0;
+
+    [[nodiscard]] double end_s() const { return start_s + load_s + compute_s + store_s; }
+    [[nodiscard]] double duration_s() const { return load_s + compute_s + store_s; }
+};
+
+/// A full schedule for one graph.
+struct Schedule {
+    std::string graph_name;
+    std::vector<MemorySpec> devices;
+    std::vector<Step> steps;
+
+    [[nodiscard]] double makespan_s() const;
+    [[nodiscard]] double total_energy_j() const;
+    [[nodiscard]] double spill_seconds() const;  ///< sum of load + store phases
+    [[nodiscard]] std::size_t fused_ops() const; ///< operators in multi-op steps
+
+    /// Serialise schedule + graph to the `mwsched 1` text format.
+    void save(std::ostream& os, const Graph& graph) const;
+    void save_file(const std::string& path, const Graph& graph) const;
+
+    /// Parse a schedule file; throws IoError on malformed input.
+    static std::pair<Graph, Schedule> load(std::istream& is);
+    static std::pair<Graph, Schedule> load_file(const std::string& path);
+};
+
+/// When the MW_SCHEDULE_EXPORT_DIR environment variable is set, write the
+/// schedule to `<dir>/<stem>.mws` (the CI graph-verify job sets the variable,
+/// runs the tests and the bench, then replays every exported file through the
+/// independent verifier). No-op otherwise. Returns the path written, if any.
+std::string maybe_export_schedule(const Graph& graph, const Schedule& schedule,
+                                  const std::string& stem);
+
+}  // namespace mw::graph

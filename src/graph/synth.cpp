@@ -1,0 +1,131 @@
+#include "graph/synth.hpp"
+
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mw::graph {
+namespace {
+
+constexpr double kMiB = 1024.0 * 1024.0;
+
+}  // namespace
+
+OpNode make_op(std::string name, double out_bytes, double in_bytes, double intensity) {
+    OpNode node;
+    node.name = std::move(name);
+    node.out_bytes = out_bytes;
+    node.cost.bytes_in = in_bytes;
+    node.cost.bytes_out = out_bytes;
+    node.cost.flops = intensity * (in_bytes + out_bytes);
+    // One item per 16-float vector chunk: synthetic ops model well-vectorised
+    // kernels, so the per-item launch overhead does not swamp the roofline.
+    node.cost.work_items = out_bytes / 64.0;
+    node.cost.kernel_launches = 1;
+    return node;
+}
+
+Graph make_synthetic(const SynthConfig& cfg) {
+    MW_CHECK(cfg.stages > 0 && cfg.branches > 0, "synthetic DAG needs stages, branches > 0");
+    const double tensor_bytes = cfg.tensor_mb * kMiB;
+    Graph graph;
+    graph.set_name("synth-s" + std::to_string(cfg.stages) + "b" + std::to_string(cfg.branches));
+
+    OpNode source = make_op("source", tensor_bytes, tensor_bytes, cfg.flops_per_byte);
+    source.external_in_bytes = tensor_bytes;  // the graph input crosses the spill link
+    std::vector<NodeId> prev{graph.add_node(std::move(source))};
+
+    for (std::size_t s = 0; s < cfg.stages; ++s) {
+        std::vector<NodeId> stage;
+        for (std::size_t b = 0; b < cfg.branches; ++b) {
+            const NodeId producer = prev[b % prev.size()];
+            OpNode node = make_op("s" + std::to_string(s) + "b" + std::to_string(b),
+                                  tensor_bytes, tensor_bytes, cfg.flops_per_byte);
+            node.inputs = {producer};
+            stage.push_back(graph.add_node(std::move(node)));
+        }
+        prev = std::move(stage);
+    }
+
+    if (prev.size() > 1) {
+        OpNode join = make_op("join", tensor_bytes,
+                              tensor_bytes * static_cast<double>(prev.size()),
+                              cfg.flops_per_byte);
+        join.inputs = prev;
+        graph.add_node(std::move(join));
+    }
+    graph.validate();
+    return graph;
+}
+
+Graph make_memory_bound(double scale) {
+    SynthConfig cfg;
+    cfg.stages = 8;
+    cfg.branches = 4;
+    cfg.tensor_mb = 1.5 * scale;
+    cfg.flops_per_byte = 0.25;
+    Graph graph = make_synthetic(cfg);
+    graph.set_name("membound-x" + std::to_string(scale).substr(0, 4));
+    return graph;
+}
+
+Graph make_compute_bound(double scale) {
+    SynthConfig cfg;
+    cfg.stages = 12;
+    cfg.branches = 1;
+    cfg.tensor_mb = 0.25;
+    cfg.flops_per_byte = 400.0 * scale;
+    Graph graph = make_synthetic(cfg);
+    graph.set_name("computebound-x" + std::to_string(scale).substr(0, 4));
+    return graph;
+}
+
+Graph random_dag(Rng& rng, const SynthConfig& cfg) {
+    const std::size_t stages = 1 + static_cast<std::size_t>(rng.below(cfg.stages));
+    Graph graph;
+    graph.set_name("random-dag");
+
+    std::vector<NodeId> all;
+    std::vector<NodeId> prev;
+    const std::size_t sources = 1 + static_cast<std::size_t>(rng.below(2));
+    for (std::size_t i = 0; i < sources; ++i) {
+        const double bytes = rng.uniform(0.1, cfg.tensor_mb) * 1024.0 * 1024.0;
+        OpNode node = make_op("src" + std::to_string(i), bytes, bytes,
+                              rng.uniform(0.1, cfg.flops_per_byte * 2.0));
+        node.external_in_bytes = bytes;
+        prev.push_back(graph.add_node(std::move(node)));
+        all.push_back(prev.back());
+    }
+
+    for (std::size_t s = 0; s < stages; ++s) {
+        const std::size_t width = 1 + static_cast<std::size_t>(rng.below(cfg.branches));
+        std::vector<NodeId> stage;
+        for (std::size_t b = 0; b < width; ++b) {
+            const double bytes = rng.uniform(0.1, cfg.tensor_mb) * 1024.0 * 1024.0;
+            OpNode node;
+            // Wire to one node of the previous stage plus, sometimes, a skip
+            // edge to any earlier node (residual-style joins).
+            const NodeId primary = prev[rng.below(prev.size())];
+            node.inputs.push_back(primary);
+            if (all.size() > 1 && rng.bernoulli(0.3)) {
+                const NodeId skip = all[rng.below(all.size())];
+                if (skip != primary) node.inputs.push_back(skip);
+            }
+            double in_bytes = 0.0;
+            for (const NodeId u : node.inputs) in_bytes += graph.node(u).out_bytes;
+            OpNode cost = make_op("s" + std::to_string(s) + "b" + std::to_string(b), bytes,
+                                  in_bytes, rng.uniform(0.1, cfg.flops_per_byte * 2.0));
+            cost.inputs = std::move(node.inputs);
+            stage.push_back(graph.add_node(std::move(cost)));
+            all.push_back(stage.back());
+        }
+        prev = std::move(stage);
+    }
+    graph.validate();
+    return graph;
+}
+
+}  // namespace mw::graph

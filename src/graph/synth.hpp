@@ -1,0 +1,51 @@
+// Synthetic operator-DAG generators.
+//
+// These produce the two workload families the DAG bench sweeps (and the
+// random graphs the property/chaos tests storm the planner with):
+//   - memory-bound: wide, branchy stages of large low-intensity tensors,
+//     where fusion keeping intermediates in fast memory dominates and the
+//     PCIe boundary + per-op launch overhead sink the discrete GPU;
+//   - compute-bound: conv-tower-like chains of small high-intensity
+//     operators, where raw FLOPs win and the discrete GPU should.
+// All generators are deterministic in their inputs (seed included).
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "graph/dag.hpp"
+
+namespace mw::graph {
+
+/// Knobs of the layered synthetic DAG.
+struct SynthConfig {
+    std::size_t stages = 6;        ///< depth of the layered DAG
+    std::size_t branches = 3;      ///< parallel operators per stage
+    double tensor_mb = 4.0;        ///< bytes of each activation tensor, in MiB
+    double flops_per_byte = 0.5;   ///< arithmetic intensity of every operator
+    std::uint64_t seed = 0x5eedULL;  ///< only used by random_dag()
+};
+
+/// One operator with the synthetic cost shape used throughout this module:
+/// flops = intensity * (bytes moved), one kernel launch, one work-item per
+/// output float.
+OpNode make_op(std::string name, double out_bytes, double in_bytes, double intensity);
+
+/// Deterministic layered DAG: a source fans out to `branches` parallel
+/// operators per stage; stages chain; a final join reduces to one output.
+Graph make_synthetic(const SynthConfig& cfg);
+
+/// Branchy large-tensor low-intensity graph (the CPU-favouring family).
+/// `scale` multiplies the tensor size.
+Graph make_memory_bound(double scale = 1.0);
+
+/// Deep small-tensor high-intensity chain (the dGPU-favouring family).
+/// `scale` multiplies the per-operator FLOPs.
+Graph make_compute_bound(double scale = 1.0);
+
+/// Random layered DAG around the config's shape: stage/branch counts,
+/// tensor sizes, intensities and wiring all jittered from `rng`. Always
+/// valid (producers precede consumers) and connected to at least one input.
+Graph random_dag(Rng& rng, const SynthConfig& cfg);
+
+}  // namespace mw::graph

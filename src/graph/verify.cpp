@@ -1,0 +1,309 @@
+#include "graph/verify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace mw::graph {
+namespace {
+
+constexpr std::size_t kUnscheduled = static_cast<std::size_t>(-1);
+constexpr double kGiga = 1e9;
+
+std::string step_desc(const Schedule& schedule, std::size_t index) {
+    std::ostringstream os;
+    const Step& step = schedule.steps[index];
+    os << "step " << index;
+    if (step.device < schedule.devices.size()) {
+        os << " (" << schedule.devices[step.device].name << ")";
+    }
+    return os.str();
+}
+
+/// The memory traffic of one step, recomputed from the graph and placement
+/// alone. Distinct tensors pulled in before computing and pushed out
+/// afterwards, split by which tier they cross: same-device cross-step
+/// tensors round-trip the device's own slow tier (`local`); cross-device
+/// tensors, graph inputs and graph outputs cross the spill link (`link`).
+struct StepTraffic {
+    double load_link_bytes = 0.0;
+    double load_local_bytes = 0.0;
+    double store_link_bytes = 0.0;
+    double store_local_bytes = 0.0;
+};
+
+StepTraffic step_traffic(const Graph& graph, const Schedule& schedule, const Step& step,
+                         const std::vector<std::size_t>& step_of,
+                         const std::vector<std::vector<NodeId>>& consumers,
+                         std::size_t step_index) {
+    StepTraffic traffic;
+    std::unordered_set<NodeId> loaded;
+    for (const NodeId v : step.nodes) {
+        traffic.load_link_bytes += graph.node(v).external_in_bytes;  // graph inputs
+        for (const NodeId u : graph.node(v).inputs) {
+            if (step_of[u] != step_index && loaded.insert(u).second) {
+                const bool same_device = schedule.steps[step_of[u]].device == step.device;
+                (same_device ? traffic.load_local_bytes : traffic.load_link_bytes) +=
+                    graph.node(u).out_bytes;
+            }
+        }
+    }
+    for (const NodeId v : step.nodes) {
+        bool stored = consumers[v].empty();  // graph output -> back to the host
+        bool crosses_device = consumers[v].empty();
+        for (const NodeId w : consumers[v]) {
+            if (step_of[w] == step_index) continue;
+            stored = true;
+            if (schedule.steps[step_of[w]].device != step.device) crosses_device = true;
+        }
+        if (stored) {
+            (crosses_device ? traffic.store_link_bytes : traffic.store_local_bytes) +=
+                graph.node(v).out_bytes;
+        }
+    }
+    return traffic;
+}
+
+/// Peak fast-memory residency of one step under the execution contract:
+/// all external inputs resident for the whole step, fused intermediates
+/// live from production until their last in-group consumer, plus the
+/// running node's output.
+double peak_residency(const Graph& graph, const Step& step,
+                      const std::vector<std::size_t>& step_of,
+                      const std::vector<std::vector<NodeId>>& consumers,
+                      std::size_t step_index) {
+    double external_in = 0.0;
+    std::unordered_set<NodeId> loaded;
+    std::unordered_map<NodeId, std::size_t> position;
+    for (std::size_t i = 0; i < step.nodes.size(); ++i) position[step.nodes[i]] = i;
+    for (const NodeId v : step.nodes) {
+        external_in += graph.node(v).external_in_bytes;
+        for (const NodeId u : graph.node(v).inputs) {
+            if (step_of[u] != step_index && loaded.insert(u).second) {
+                external_in += graph.node(u).out_bytes;
+            }
+        }
+    }
+
+    // last_use[j] = last in-group position consuming step.nodes[j]'s output.
+    std::vector<std::size_t> last_use(step.nodes.size(), 0);
+    std::vector<bool> ephemeral(step.nodes.size(), false);
+    for (std::size_t j = 0; j < step.nodes.size(); ++j) {
+        for (const NodeId w : consumers[step.nodes[j]]) {
+            const auto it = position.find(w);
+            if (it != position.end()) {
+                ephemeral[j] = true;
+                last_use[j] = std::max(last_use[j], it->second);
+            }
+        }
+    }
+
+    double peak = 0.0;
+    for (std::size_t i = 0; i < step.nodes.size(); ++i) {
+        double live = 0.0;
+        for (std::size_t j = 0; j < i; ++j) {
+            if (ephemeral[j] && last_use[j] >= i) live += graph.node(step.nodes[j]).out_bytes;
+        }
+        peak = std::max(peak, external_in + live + graph.node(step.nodes[i]).out_bytes);
+    }
+    return peak;
+}
+
+}  // namespace
+
+const char* violation_kind_name(ViolationKind kind) {
+    switch (kind) {
+        case ViolationKind::kMalformed: return "malformed";
+        case ViolationKind::kCoverage: return "coverage";
+        case ViolationKind::kPrecedence: return "precedence";
+        case ViolationKind::kOverlap: return "overlap";
+        case ViolationKind::kCapacity: return "capacity";
+        case ViolationKind::kBandwidth: return "bandwidth";
+    }
+    return "unknown";
+}
+
+std::vector<Violation> verify_schedule(const Graph& graph, const Schedule& schedule,
+                                       double rel_tol) {
+    std::vector<Violation> out;
+    const auto report = [&out](ViolationKind kind, const std::string& message) {
+        out.push_back({kind, message});
+    };
+
+    // --- structural sanity -------------------------------------------------
+    for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+        const Step& step = schedule.steps[s];
+        if (step.device >= schedule.devices.size()) {
+            report(ViolationKind::kMalformed, "step " + std::to_string(s) +
+                                                  " references device index " +
+                                                  std::to_string(step.device) +
+                                                  " out of range");
+            return out;  // downstream checks would index out of bounds
+        }
+        if (step.nodes.empty()) {
+            report(ViolationKind::kMalformed, step_desc(schedule, s) + " has no operators");
+        }
+        const double phases[] = {step.start_s, step.load_s, step.compute_s, step.store_s};
+        for (const double phase : phases) {
+            if (!std::isfinite(phase) || phase < 0.0) {
+                report(ViolationKind::kMalformed,
+                       step_desc(schedule, s) + " has a negative or non-finite time");
+                break;
+            }
+        }
+        for (const NodeId v : step.nodes) {
+            if (v >= graph.size()) {
+                report(ViolationKind::kMalformed, step_desc(schedule, s) +
+                                                      " references node " + std::to_string(v) +
+                                                      " outside the graph");
+                return out;
+            }
+        }
+    }
+
+    // --- coverage: every operator exactly once -----------------------------
+    std::vector<std::size_t> step_of(graph.size(), kUnscheduled);
+    for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+        for (const NodeId v : schedule.steps[s].nodes) {
+            if (step_of[v] != kUnscheduled) {
+                report(ViolationKind::kCoverage,
+                       "node " + std::to_string(v) + " (`" + graph.node(v).name +
+                           "`) scheduled twice: " + step_desc(schedule, step_of[v]) + " and " +
+                           step_desc(schedule, s));
+            } else {
+                step_of[v] = s;
+            }
+        }
+    }
+    for (NodeId v = 0; v < graph.size(); ++v) {
+        if (step_of[v] == kUnscheduled) {
+            report(ViolationKind::kCoverage,
+                   "node " + std::to_string(v) + " (`" + graph.node(v).name + "`) never scheduled");
+        }
+    }
+    if (!out.empty() &&
+        std::any_of(out.begin(), out.end(), [](const Violation& violation) {
+            return violation.kind == ViolationKind::kCoverage ||
+                   violation.kind == ViolationKind::kMalformed;
+        })) {
+        return out;  // timing/capacity replay needs full, unique coverage
+    }
+
+    const auto consumers = graph.consumers();
+    const double abs_tol = 1e-12;
+
+    // --- precedence --------------------------------------------------------
+    for (NodeId v = 0; v < graph.size(); ++v) {
+        for (const NodeId u : graph.node(v).inputs) {
+            if (step_of[u] == step_of[v]) {
+                // Within a step the listed order must respect the edge.
+                const Step& step = schedule.steps[step_of[v]];
+                const auto pos = [&step](NodeId id) {
+                    return std::find(step.nodes.begin(), step.nodes.end(), id) -
+                           step.nodes.begin();
+                };
+                if (pos(u) > pos(v)) {
+                    report(ViolationKind::kPrecedence,
+                           "edge " + std::to_string(u) + " -> " + std::to_string(v) +
+                               " runs backwards inside " + step_desc(schedule, step_of[v]));
+                }
+                continue;
+            }
+            const Step& producer = schedule.steps[step_of[u]];
+            const Step& consumer = schedule.steps[step_of[v]];
+            if (consumer.start_s + abs_tol < producer.end_s()) {
+                std::ostringstream os;
+                os << "edge " << u << " -> " << v << ": " << step_desc(schedule, step_of[v])
+                   << " starts at " << consumer.start_s << " before "
+                   << step_desc(schedule, step_of[u]) << " ends at " << producer.end_s();
+                report(ViolationKind::kPrecedence, os.str());
+            }
+        }
+    }
+
+    // --- per-device overlap ------------------------------------------------
+    std::vector<std::vector<std::size_t>> by_device(schedule.devices.size());
+    for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+        by_device[schedule.steps[s].device].push_back(s);
+    }
+    for (auto& steps : by_device) {
+        std::sort(steps.begin(), steps.end(), [&schedule](std::size_t a, std::size_t b) {
+            return schedule.steps[a].start_s < schedule.steps[b].start_s;
+        });
+        for (std::size_t i = 1; i < steps.size(); ++i) {
+            const Step& prev = schedule.steps[steps[i - 1]];
+            const Step& cur = schedule.steps[steps[i]];
+            if (cur.start_s + abs_tol < prev.end_s()) {
+                std::ostringstream os;
+                os << step_desc(schedule, steps[i]) << " starts at " << cur.start_s
+                   << " while " << step_desc(schedule, steps[i - 1]) << " runs until "
+                   << prev.end_s();
+                report(ViolationKind::kOverlap, os.str());
+            }
+        }
+    }
+
+    // --- capacity + bandwidth ----------------------------------------------
+    for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+        const Step& step = schedule.steps[s];
+        const MemorySpec& mem = schedule.devices[step.device];
+
+        if (mem.scratchpad_bytes > 0.0) {
+            const double peak = peak_residency(graph, step, step_of, consumers, s);
+            if (peak > mem.scratchpad_bytes * (1.0 + rel_tol)) {
+                std::ostringstream os;
+                os << step_desc(schedule, s) << " peak residency " << peak
+                   << " B exceeds scratchpad " << mem.scratchpad_bytes << " B";
+                report(ViolationKind::kCapacity, os.str());
+            }
+        }
+
+        const StepTraffic traffic = step_traffic(graph, schedule, step, step_of, consumers, s);
+        const auto check_phase = [&](double link_bytes, double local_bytes, double phase_s,
+                                     const char* phase) {
+            if (link_bytes <= 0.0 && local_bytes <= 0.0) return;
+            if (link_bytes > 0.0 && mem.link_gbps <= 0.0) {
+                report(ViolationKind::kBandwidth,
+                       step_desc(schedule, s) + std::string(" must ") + phase + " " +
+                           std::to_string(link_bytes) +
+                           " B across the spill link but its device has no link bandwidth");
+                return;
+            }
+            if (local_bytes > 0.0 && mem.local_gbps <= 0.0) {
+                report(ViolationKind::kBandwidth,
+                       step_desc(schedule, s) + std::string(" must ") + phase + " " +
+                           std::to_string(local_bytes) +
+                           " B through its slow tier but the device has no local bandwidth");
+                return;
+            }
+            double min_s = 0.0;
+            if (link_bytes > 0.0) {
+                min_s += mem.link_latency_s + link_bytes / (mem.link_gbps * kGiga);
+            }
+            if (local_bytes > 0.0) min_s += local_bytes / (mem.local_gbps * kGiga);
+            if (phase_s < min_s * (1.0 - rel_tol) - abs_tol) {
+                std::ostringstream os;
+                os << step_desc(schedule, s) << " " << phase << " phase is " << phase_s
+                   << " s but moving " << link_bytes << " link B + " << local_bytes
+                   << " local B needs " << min_s << " s";
+                report(ViolationKind::kBandwidth, os.str());
+            }
+        };
+        check_phase(traffic.load_link_bytes, traffic.load_local_bytes, step.load_s, "load");
+        check_phase(traffic.store_link_bytes, traffic.store_local_bytes, step.store_s, "store");
+    }
+
+    return out;
+}
+
+std::string format_violations(const std::vector<Violation>& violations) {
+    std::ostringstream os;
+    for (const Violation& violation : violations) {
+        os << "[" << violation_kind_name(violation.kind) << "] " << violation.message << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace mw::graph

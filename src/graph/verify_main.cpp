@@ -1,0 +1,230 @@
+// mw-graph-verify: independent schedule verification CLI (the CI teeth).
+//
+//   mw-graph-verify <file.mws>...      replay and verify exported schedules
+//   mw-graph-verify --self-test        plan + verify + reject seeded mutants
+//   mw-graph-verify --emit-mutant <p>  write a deliberately infeasible
+//                                      schedule (CI asserts we reject it)
+//
+// Exit codes: 0 = all feasible, 1 = violations found / self-test failure,
+// 2 = usage or I/O error.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "device/params.hpp"
+#include "graph/planner.hpp"
+#include "graph/schedule.hpp"
+#include "graph/synth.hpp"
+#include "graph/verify.hpp"
+
+namespace {
+
+using mw::graph::Graph;
+using mw::graph::GraphPlanner;
+using mw::graph::Objective;
+using mw::graph::PlannerDevice;
+using mw::graph::Schedule;
+using mw::graph::Violation;
+using mw::graph::ViolationKind;
+
+std::vector<PlannerDevice> testbed_devices() {
+    std::vector<PlannerDevice> devices(3);
+    devices[0].params = mw::device::i7_8700_params();
+    devices[1].params = mw::device::uhd630_params();
+    devices[2].params = mw::device::gtx1080ti_params();
+    return devices;
+}
+
+bool has_kind(const std::vector<Violation>& violations, ViolationKind kind) {
+    for (const Violation& violation : violations) {
+        if (violation.kind == kind) return true;
+    }
+    return false;
+}
+
+/// Apply one named infeasibility mutation to a feasible schedule.
+/// Returns false when the schedule has no site for that mutation.
+bool mutate(const std::string& kind, const Graph& graph, Schedule& schedule) {
+    if (kind == "precedence") {
+        // Pull a step with a cross-step input back to t = 0-.
+        std::vector<std::size_t> step_of(graph.size(), 0);
+        for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+            for (const auto v : schedule.steps[s].nodes) step_of[v] = s;
+        }
+        for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+            for (const auto v : schedule.steps[s].nodes) {
+                for (const auto u : graph.node(v).inputs) {
+                    if (step_of[u] != s && schedule.steps[step_of[u]].end_s() > 0.0) {
+                        schedule.steps[s].start_s = 0.0;
+                        // Park the step on an otherwise idle device index so
+                        // the mutation cannot hide behind an overlap report.
+                        return true;
+                    }
+                }
+            }
+        }
+        return false;
+    }
+    if (kind == "overlap") {
+        for (std::size_t d = 0; d < schedule.devices.size(); ++d) {
+            std::vector<std::size_t> steps;
+            for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+                if (schedule.steps[s].device == d) steps.push_back(s);
+            }
+            if (steps.size() >= 2) {
+                schedule.steps[steps[1]].start_s = schedule.steps[steps[0]].start_s;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (kind == "capacity") {
+        for (auto& device : schedule.devices) device.scratchpad_bytes = 1.0;
+        return !schedule.steps.empty();
+    }
+    if (kind == "bandwidth") {
+        for (auto& step : schedule.steps) {
+            if (step.load_s > 0.0) {
+                step.load_s = 0.0;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (kind == "coverage") {
+        for (auto& step : schedule.steps) {
+            if (!step.nodes.empty()) {
+                step.nodes.pop_back();
+                return true;
+            }
+        }
+        return false;
+    }
+    return false;
+}
+
+int self_test() {
+    const GraphPlanner planner;
+    const auto devices = testbed_devices();
+    int failures = 0;
+
+    const Graph graphs[] = {mw::graph::make_memory_bound(), mw::graph::make_compute_bound()};
+    for (const Graph& graph : graphs) {
+        for (const Objective objective : {Objective::kMakespan, Objective::kEnergy}) {
+            const Schedule schedule = planner.plan(graph, devices, objective);
+            const auto violations = mw::graph::verify_schedule(graph, schedule);
+            if (!violations.empty()) {
+                std::fprintf(stderr, "FAIL: planner schedule for %s is infeasible:\n%s",
+                             graph.name().c_str(),
+                             mw::graph::format_violations(violations).c_str());
+                ++failures;
+            }
+        }
+    }
+
+    const Graph graph = mw::graph::make_memory_bound();
+    const Schedule feasible = planner.plan(graph, devices, Objective::kMakespan);
+    const struct {
+        const char* mutation;
+        ViolationKind expect;
+    } cases[] = {
+        {"precedence", ViolationKind::kPrecedence}, {"overlap", ViolationKind::kOverlap},
+        {"capacity", ViolationKind::kCapacity},     {"bandwidth", ViolationKind::kBandwidth},
+        {"coverage", ViolationKind::kCoverage},
+    };
+    for (const auto& c : cases) {
+        Schedule mutant = feasible;
+        if (!mutate(c.mutation, graph, mutant)) {
+            std::fprintf(stderr, "FAIL: no site for %s mutation\n", c.mutation);
+            ++failures;
+            continue;
+        }
+        const auto violations = mw::graph::verify_schedule(graph, mutant);
+        if (!has_kind(violations, c.expect)) {
+            std::fprintf(stderr, "FAIL: %s mutant not rejected as %s (got:\n%s)\n", c.mutation,
+                         mw::graph::violation_kind_name(c.expect),
+                         mw::graph::format_violations(violations).c_str());
+            ++failures;
+        }
+    }
+
+    if (failures == 0) {
+        std::printf("self-test OK: planner schedules feasible, all 5 mutation kinds rejected\n");
+        return 0;
+    }
+    return 1;
+}
+
+int emit_mutant(const std::string& path) {
+    const GraphPlanner planner;
+    const Graph graph = mw::graph::make_memory_bound();
+    Schedule schedule = planner.plan(graph, testbed_devices(), Objective::kMakespan);
+    if (!mutate("bandwidth", graph, schedule) || !mutate("capacity", graph, schedule)) {
+        std::fprintf(stderr, "internal error: could not seed the mutant\n");
+        return 2;
+    }
+    schedule.save_file(path, graph);
+    std::printf("wrote infeasible schedule to %s\n", path.c_str());
+    return 0;
+}
+
+int verify_files(const std::vector<std::string>& files, double rel_tol) {
+    int infeasible = 0;
+    for (const std::string& file : files) {
+        const auto [graph, schedule] = Schedule::load_file(file);
+        const auto violations = mw::graph::verify_schedule(graph, schedule, rel_tol);
+        if (violations.empty()) {
+            std::printf("OK   %s (%zu steps, makespan %.6f s)\n", file.c_str(),
+                        schedule.steps.size(), schedule.makespan_s());
+        } else {
+            std::printf("FAIL %s:\n%s", file.c_str(),
+                        mw::graph::format_violations(violations).c_str());
+            ++infeasible;
+        }
+    }
+    return infeasible == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::string> files;
+    double rel_tol = 1e-9;
+    bool run_self_test = false;
+    std::string mutant_path;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--self-test") {
+            run_self_test = true;
+        } else if (arg == "--emit-mutant" && i + 1 < argc) {
+            mutant_path = argv[++i];
+        } else if (arg == "--tol" && i + 1 < argc) {
+            rel_tol = std::stod(argv[++i]);
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: mw-graph-verify [--tol <rel>] [--self-test] [--emit-mutant <path>] "
+                "[file.mws...]\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+
+    try {
+        if (run_self_test) return self_test();
+        if (!mutant_path.empty()) return emit_mutant(mutant_path);
+        if (files.empty()) {
+            std::fprintf(stderr, "no schedule files given (see --help)\n");
+            return 2;
+        }
+        return verify_files(files, rel_tol);
+    } catch (const mw::Error& e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 2;
+    }
+}

@@ -154,4 +154,41 @@ ResilientOutcome Dispatcher::run_resilient(const std::vector<std::string>& candi
     throw StateError("run_resilient: unreachable retry exhaustion");
 }
 
+graph::Schedule Dispatcher::run_schedule(const graph::Graph& graph,
+                                         const graph::Schedule& schedule, double sim_time) {
+    std::vector<device::Device*> devices;
+    devices.reserve(schedule.devices.size());
+    for (const graph::MemorySpec& spec : schedule.devices) {
+        devices.push_back(&registry_->at(spec.name));
+    }
+
+    std::vector<std::size_t> step_of(graph.size(), 0);
+    for (std::size_t s = 0; s < schedule.steps.size(); ++s) {
+        for (const graph::NodeId v : schedule.steps[s].nodes) {
+            MW_CHECK(v < graph.size(), "run_schedule: step references a node outside the graph");
+            step_of[v] = s;
+        }
+    }
+
+    graph::Schedule executed = schedule;
+    std::vector<double> step_end(executed.steps.size(), 0.0);
+    for (std::size_t s = 0; s < executed.steps.size(); ++s) {
+        graph::Step& step = executed.steps[s];
+        MW_CHECK(step.device < devices.size(), "run_schedule: step device out of range");
+        // A producer delayed by device queueing pushes its consumers too.
+        double earliest = std::max(sim_time, step.start_s);
+        for (const graph::NodeId v : step.nodes) {
+            for (const graph::NodeId u : graph.node(v).inputs) {
+                if (step_of[u] != s) earliest = std::max(earliest, step_end[step_of[u]]);
+            }
+        }
+        const device::Measurement m = devices[step.device]->book(
+            graph.name() + "#step" + std::to_string(s), step.duration_s(), step.energy_j,
+            earliest);
+        step.start_s = m.start_time;
+        step_end[s] = m.end_time;
+    }
+    return executed;
+}
+
 }  // namespace mw::sched

@@ -11,6 +11,7 @@
 #include "common/sync.hpp"
 
 #include "device/registry.hpp"
+#include "graph/schedule.hpp"
 #include "nn/model.hpp"
 
 namespace mw::fault {
@@ -102,6 +103,16 @@ public:
                                    double sim_time, const RetryPolicy& policy,
                                    fault::DeviceHealthTracker* health = nullptr,
                                    const device::SubmitOptions& options = {});
+
+    /// Execute a planned DAG schedule: book every step's priced interval on
+    /// its device, in plan order, respecting cross-device precedence on the
+    /// actual timeline (a queue-delayed producer pushes its consumers).
+    /// `schedule.devices` must name registered devices. Returns the schedule
+    /// re-timed with what the devices actually did — still feasible under
+    /// verify_schedule(), since phase durations and grouping are preserved
+    /// and starts only ever move later.
+    graph::Schedule run_schedule(const graph::Graph& graph, const graph::Schedule& schedule,
+                                 double sim_time);
 
     /// Install (or clear, with nullptr) the fault injector consulted by
     /// run_on. The injector must outlive its installation.

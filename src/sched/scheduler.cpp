@@ -216,6 +216,21 @@ std::size_t OnlineScheduler::retrain() {
     return folded;
 }
 
+graph::Schedule OnlineScheduler::plan_graph(const graph::Graph& graph, Policy policy,
+                                            double now) {
+    std::vector<graph::PlannerDevice> devices;
+    for (const device::Device* dev : dispatcher_->registry().devices()) {
+        devices.push_back(graph::snapshot_device(*dev, now));
+    }
+    const graph::Objective objective = policy == Policy::kMinEnergy
+                                           ? graph::Objective::kEnergy
+                                           : graph::Objective::kMakespan;
+    graph::Schedule instantiated;
+    const auto canonical = graph_planner_.plan_cached(graph, devices, objective, &instantiated);
+    (void)canonical;
+    return instantiated;
+}
+
 double OnlineScheduler::total_energy_j() const {
     double total = 0.0;
     for (device::Device* dev : dispatcher_->registry().devices()) {

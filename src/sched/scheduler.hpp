@@ -19,6 +19,7 @@
 #include <string_view>
 
 #include "common/stats.hpp"
+#include "graph/planner.hpp"
 #include "sched/dispatcher.hpp"
 #include "sched/features.hpp"
 #include "sched/predictor.hpp"
@@ -152,6 +153,18 @@ public:
     /// through an mw::EpochCell.
     [[nodiscard]] std::unique_ptr<const SchedulerSnapshot> build_snapshot(double now) const;
 
+    /// Plan an operator DAG across the registry's devices with the
+    /// memory-hierarchy-aware GraphPlanner. kMinEnergy maps to the energy
+    /// objective; throughput/latency policies minimise makespan. Plans are
+    /// memoised per (graph, objective, memory shapes) and re-timed against
+    /// the devices' availability at `now`. Internally synchronised by the
+    /// planner's own cache lock (rank kGraphPlanner, BELOW kScheduler):
+    /// never call while holding the server's scheduler lock.
+    [[nodiscard]] graph::Schedule plan_graph(const graph::Graph& graph, Policy policy,
+                                             double now);
+
+    [[nodiscard]] graph::GraphPlanner& graph_planner() { return graph_planner_; }
+
     // --- introspection ---
     [[nodiscard]] const DevicePredictor& predictor() const { return *predictor_; }
     [[nodiscard]] std::size_t decisions() const { return decisions_; }
@@ -165,6 +178,7 @@ private:
     [[nodiscard]] bool probe_gpu_state(double now) const;
 
     Dispatcher* dispatcher_;
+    graph::GraphPlanner graph_planner_;
     std::shared_ptr<const DevicePredictor> predictor_;
     SchedulerDataset data_;
     SchedulerConfig config_;

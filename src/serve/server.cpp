@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "fault/fault.hpp"
+#include "graph/verify.hpp"
 #include "obs/shard.hpp"
 #include "obs/trace.hpp"
 
@@ -181,6 +182,47 @@ void Server::stop() {
         r.complete(make_status_response(RequestStatus::kShutdown));
     }
     pool_.reset();
+}
+
+Server::GraphRunResult Server::run_graph(const graph::Graph& graph, sched::Policy policy) {
+    // Plan OUTSIDE scheduler_mutex_: the planner's cache lock (rank
+    // kGraphPlanner) sits below kScheduler, so planning under the scheduler
+    // lock would be a rank violation — and is unnecessary, since plan_graph
+    // only touches internally synchronised state. The pointer read is
+    // sequenced under the mutex; the scheduler itself outlives the server.
+    sched::OnlineScheduler* scheduler = nullptr;
+    {
+        const MutexLock lock(scheduler_mutex_);
+        scheduler = scheduler_;
+    }
+    const double now = clock_->now();
+
+    GraphRunResult out;
+    out.planned = scheduler->plan_graph(graph, policy, now);
+
+    const auto check = [this, &graph](const graph::Schedule& schedule, const char* which) {
+        const auto violations = graph::verify_schedule(graph, schedule);
+        if (!violations.empty()) {
+            stats_.mutable_registry().counter("mw_graph_verify_failures_total").inc();
+            throw StateError(std::string("graph `") + graph.name() + "` " + which +
+                             " schedule failed verification:\n" +
+                             graph::format_violations(violations));
+        }
+    };
+    if (config_.verify_graph_plans) check(out.planned, "planned");
+
+    out.executed = dispatcher_->run_schedule(graph, out.planned, now);
+    if (config_.verify_graph_plans) {
+        check(out.executed, "executed");
+        out.verified = true;
+    }
+
+    obs::MetricsRegistry& registry = stats_.mutable_registry();
+    registry.counter("mw_graph_runs_total").inc();
+    registry.counter("mw_graph_steps_total").inc(out.executed.steps.size());
+    registry.counter("mw_graph_fused_ops_total").inc(out.executed.fused_ops());
+    registry.gauge("mw_graph_spill_seconds_total").add(out.executed.spill_seconds());
+    return out;
 }
 
 std::future<Response> Server::submit(InferenceRequest request) {

@@ -30,6 +30,8 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "fault/health.hpp"
+#include "graph/dag.hpp"
+#include "graph/schedule.hpp"
 #include "sched/scheduler.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -94,6 +96,10 @@ struct ServerConfig {
     /// queue deterministically before any worker runs, then call start().
     bool start_on_construction = true;
     ResilienceConfig resilience{};
+    /// Run the independent schedule verifier over every DAG plan before and
+    /// after execution (run_graph throws StateError on an infeasible plan —
+    /// a planner bug — instead of silently booking impossible work).
+    bool verify_graph_plans = true;
 };
 
 /// One-shot lifecycle: construct (optionally start()), serve, stop(); a
@@ -151,6 +157,22 @@ public:
     [[nodiscard]] std::size_t pool_capacity() const {
         return request_pool_ ? request_pool_->capacity() : 0;
     }
+
+    /// Outcome of one DAG execution through the serving tier.
+    struct GraphRunResult {
+        graph::Schedule planned;   ///< planner output, re-timed to submit time
+        graph::Schedule executed;  ///< what the devices actually booked
+        bool verified = false;     ///< both schedules passed the verifier
+    };
+
+    /// Plan, verify and execute an operator DAG at the server's current
+    /// time (policy kMinEnergy optimises energy, others makespan). Planning
+    /// happens OUTSIDE scheduler_mutex_: the planner's cache lock ranks
+    /// BELOW kScheduler by design, and plan_graph only touches internally
+    /// synchronised state (planner cache, registry, devices). Safe to call
+    /// while the server is serving batch traffic; DAG steps and batches
+    /// interleave on the same device timelines.
+    [[nodiscard]] GraphRunResult run_graph(const graph::Graph& graph, sched::Policy policy);
 
     void start();  ///< idempotent; throws after stop()
     void stop();   ///< idempotent; drains or fails-over queued requests

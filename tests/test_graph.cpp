@@ -1,0 +1,527 @@
+// mw::graph suite: DAG construction, nn lowering (cost round-trip and
+// bit-exact fused execution), the memory-hierarchy-aware planner (feasibility
+// over random DAGs, capacity-forced splitting, the DAG-vs-monolithic win on
+// memory-bound graphs, the intensity crossover), the mwsched text format,
+// the independent verifier's mutation rejections, plan caching, and the
+// scheduler/dispatcher/server integration path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/timer.hpp"
+#include "device/params.hpp"
+#include "device/registry.hpp"
+#include "graph/dag.hpp"
+#include "graph/lowering.hpp"
+#include "graph/planner.hpp"
+#include "graph/schedule.hpp"
+#include "graph/synth.hpp"
+#include "graph/verify.hpp"
+#include "ml/random_forest.hpp"
+#include "nn/model_builder.hpp"
+#include "nn/zoo.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/scheduler_dataset.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+using namespace mw;
+
+std::vector<graph::PlannerDevice> testbed_devices() {
+    std::vector<graph::PlannerDevice> devices(3);
+    devices[0].params = device::i7_8700_params();
+    devices[1].params = device::uhd630_params();
+    devices[2].params = device::gtx1080ti_params();
+    return devices;
+}
+
+void expect_feasible(const graph::Graph& g, const graph::Schedule& s, const char* what) {
+    const auto violations = graph::verify_schedule(g, s);
+    EXPECT_TRUE(violations.empty()) << what << " schedule for `" << g.name()
+                                    << "` infeasible:\n"
+                                    << graph::format_violations(violations);
+}
+
+bool has_kind(const std::vector<graph::Violation>& violations, graph::ViolationKind kind) {
+    for (const auto& v : violations) {
+        if (v.kind == kind) return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// DAG construction
+// ---------------------------------------------------------------------------
+
+TEST(GraphDag, AddNodeRejectsForwardReference) {
+    graph::Graph g;
+    graph::OpNode node = graph::make_op("bad", 1024.0, 1024.0, 1.0);
+    node.inputs = {3};  // no such producer yet
+    EXPECT_THROW(g.add_node(std::move(node)), InvalidArgument);
+}
+
+TEST(GraphDag, ConsumersAreAscendingAndComplete) {
+    const graph::Graph g = graph::make_synthetic({});
+    const auto consumers = g.consumers();
+    ASSERT_EQ(consumers.size(), g.size());
+    std::size_t edges = 0;
+    for (graph::NodeId u = 0; u < g.size(); ++u) {
+        for (std::size_t i = 1; i < consumers[u].size(); ++i) {
+            EXPECT_LT(consumers[u][i - 1], consumers[u][i]);
+        }
+        edges += consumers[u].size();
+    }
+    std::size_t in_edges = 0;
+    for (graph::NodeId v = 0; v < g.size(); ++v) in_edges += g.node(v).inputs.size();
+    EXPECT_EQ(edges, in_edges);
+}
+
+TEST(GraphDag, FingerprintTracksStructureAndFootprints) {
+    graph::SynthConfig cfg;
+    const graph::Graph a = graph::make_synthetic(cfg);
+    const graph::Graph b = graph::make_synthetic(cfg);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    cfg.tensor_mb *= 2.0;
+    const graph::Graph c = graph::make_synthetic(cfg);
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(GraphDag, WorkloadFamiliesMatchTheirIntensity) {
+    const graph::Graph mem = graph::make_memory_bound();
+    const graph::Graph comp = graph::make_compute_bound();
+    EXPECT_LT(mem.worst_case_intensity(), 1.0);
+    EXPECT_GT(comp.worst_case_intensity(), 100.0);
+}
+
+// ---------------------------------------------------------------------------
+// Lowering: nn::Model -> operator DAG
+// ---------------------------------------------------------------------------
+
+TEST(GraphLowering, TotalCostMatchesModelCost) {
+    for (const auto& spec : {nn::zoo::simple(), nn::zoo::mnist_small(), nn::zoo::mnist_cnn()}) {
+        const nn::Model model = nn::build_model(spec, 5);
+        for (const std::size_t batch : {std::size_t{1}, std::size_t{16}}) {
+            const graph::LoweredGraph lowered = graph::lower(model, batch);
+            lowered.graph.validate();
+            ASSERT_EQ(lowered.graph.size(), model.layer_count());
+            const nn::LayerCost expect = model.cost(batch).total;
+            const nn::LayerCost got = lowered.graph.total_cost();
+            EXPECT_DOUBLE_EQ(got.flops, expect.flops) << spec.name << " batch " << batch;
+            EXPECT_DOUBLE_EQ(got.bytes_in, expect.bytes_in);
+            EXPECT_DOUBLE_EQ(got.bytes_out, expect.bytes_out);
+            EXPECT_DOUBLE_EQ(got.bytes_weights, expect.bytes_weights);
+            EXPECT_DOUBLE_EQ(got.work_items, expect.work_items);
+            EXPECT_EQ(got.kernel_launches, expect.kernel_launches);
+            // The chain shape: node i consumes node i-1, node 0 stages the
+            // batch across the link.
+            EXPECT_GT(lowered.graph.node(0).external_in_bytes, 0.0);
+            for (graph::NodeId v = 1; v < lowered.graph.size(); ++v) {
+                ASSERT_EQ(lowered.graph.node(v).inputs.size(), 1U);
+                EXPECT_EQ(lowered.graph.node(v).inputs[0], v - 1);
+            }
+        }
+    }
+}
+
+TEST(GraphLowering, FusedExecutionIsBitExact) {
+    const nn::Model model = nn::build_model(nn::zoo::mnist_small(), 17);
+    Rng rng(23);
+    Tensor input(model.input_shape(3));
+    input.fill_uniform(rng, 0.0F, 1.0F);
+    const Tensor expect = model.forward(input);
+
+    const std::size_t n = model.layer_count();
+    std::vector<std::vector<std::vector<std::size_t>>> groupings;
+    groupings.push_back({});  // all fused
+    groupings.back().push_back({});
+    for (std::size_t i = 0; i < n; ++i) groupings.back().back().push_back(i);
+    groupings.push_back({});  // fully cut
+    for (std::size_t i = 0; i < n; ++i) groupings.back().push_back({i});
+    groupings.push_back({});  // split at the midpoint
+    groupings.back().emplace_back();
+    groupings.back().emplace_back();
+    for (std::size_t i = 0; i < n; ++i) groupings.back()[i < n / 2 ? 0 : 1].push_back(i);
+
+    for (const auto& groups : groupings) {
+        const Tensor got = graph::run_grouped(model, input, groups);
+        EXPECT_EQ(expect.max_abs_diff(got), 0.0F)
+            << "spilling at group boundaries must not change results ("
+            << groups.size() << " groups)";
+    }
+}
+
+TEST(GraphLowering, RunGroupedRejectsBadGroupings) {
+    const nn::Model model = nn::build_model(nn::zoo::simple(), 2);
+    Tensor input(model.input_shape(1));
+    EXPECT_THROW((void)graph::run_grouped(model, input, {{0}}), InvalidArgument);  // gap
+    EXPECT_THROW((void)graph::run_grouped(model, input, {{1, 0}, {2}}), InvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Planner
+// ---------------------------------------------------------------------------
+
+TEST(GraphPlanner, PlansVerifyOnRandomDags) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    for (std::uint64_t seed = 1; seed <= 25; ++seed) {
+        Rng rng(seed);
+        graph::SynthConfig cfg;
+        cfg.tensor_mb = 3.0;
+        cfg.flops_per_byte = 4.0;
+        graph::Graph g = graph::random_dag(rng, cfg);
+        g.set_name("random-" + std::to_string(seed));
+        for (const auto objective : {graph::Objective::kMakespan, graph::Objective::kEnergy}) {
+            SCOPED_TRACE("seed " + std::to_string(seed));
+            expect_feasible(g, planner.plan(g, devices, objective), "dag");
+            expect_feasible(g, planner.plan_monolithic(g, devices, objective), "monolithic");
+        }
+    }
+}
+
+TEST(GraphPlanner, ScratchpadCapacityForcesSplitting) {
+    // A 10-op chain of 5 MiB tensors cannot fuse whole into the CPU's 12 MiB
+    // LLC: the planner must cut it, and every step must still verify.
+    graph::SynthConfig cfg;
+    cfg.stages = 10;
+    cfg.branches = 1;
+    cfg.tensor_mb = 5.0;
+    cfg.flops_per_byte = 1.0;
+    const graph::Graph g = graph::make_synthetic(cfg);
+    std::vector<graph::PlannerDevice> cpu_only(1);
+    cpu_only[0].params = device::i7_8700_params();
+
+    const graph::GraphPlanner planner;
+    const graph::Schedule s = planner.plan(g, cpu_only, graph::Objective::kMakespan);
+    EXPECT_GT(s.steps.size(), 1U);
+    expect_feasible(g, s, "cpu-only");
+}
+
+TEST(GraphPlanner, RejectsOperatorLargerThanEveryScratchpad) {
+    graph::Graph g;
+    g.set_name("huge");
+    graph::OpNode node = graph::make_op("huge", 64.0 * 1024 * 1024 * 1024, 1024.0, 1.0);
+    g.add_node(std::move(node));
+    std::vector<graph::PlannerDevice> cpu_only(1);
+    cpu_only[0].params = device::i7_8700_params();
+    const graph::GraphPlanner planner;
+    EXPECT_THROW((void)planner.plan(g, cpu_only, graph::Objective::kMakespan),
+                 InvalidArgument);
+}
+
+TEST(GraphPlanner, DagAwarePlanBeatsMonolithicOnMemoryBound) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    const graph::Graph g = graph::make_memory_bound();
+    const graph::Schedule mono =
+        planner.plan_monolithic(g, devices, graph::Objective::kMakespan);
+    const graph::Schedule dag = planner.plan(g, devices, graph::Objective::kMakespan);
+    expect_feasible(g, mono, "monolithic");
+    expect_feasible(g, dag, "dag");
+    EXPECT_LT(dag.makespan_s(), mono.makespan_s());
+}
+
+TEST(GraphPlanner, CrossoverInversionBetweenHostAndDiscrete) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    const auto winner = [&](double intensity) {
+        graph::SynthConfig cfg;
+        cfg.tensor_mb = 1.0;  // the bench sweep's shape: fits the CPU LLC
+        cfg.flops_per_byte = intensity;
+        const graph::Graph g = graph::make_synthetic(cfg);
+        const graph::Schedule mono =
+            planner.plan_monolithic(g, devices, graph::Objective::kMakespan);
+        return mono.devices[mono.steps.front().device].name;
+    };
+    EXPECT_NE(winner(0.125), "gtx1080ti")
+        << "memory-bound graphs must favour a host-memory device";
+    EXPECT_EQ(winner(512.0), "gtx1080ti")
+        << "compute-bound graphs must favour the discrete GPU";
+}
+
+TEST(GraphPlanner, EnergyObjectivePrefersNoDearerPlanThanMakespan) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    const graph::Graph g = graph::make_memory_bound();
+    const graph::Schedule fast = planner.plan(g, devices, graph::Objective::kMakespan);
+    const graph::Schedule lean = planner.plan(g, devices, graph::Objective::kEnergy);
+    expect_feasible(g, lean, "energy");
+    EXPECT_LE(lean.total_energy_j(), fast.total_energy_j() + 1e-12);
+}
+
+TEST(GraphPlanner, CachedPlanHitsAndRetimesAgainstBusyDevices) {
+    graph::GraphPlanner planner;
+    auto devices = testbed_devices();
+    const graph::Graph g = graph::make_memory_bound();
+
+    graph::Schedule first;
+    (void)planner.plan_cached(g, devices, graph::Objective::kMakespan, &first);
+    EXPECT_EQ(planner.cache_size(), 1U);
+    EXPECT_EQ(planner.cache_hits(), 0U);
+
+    for (auto& device : devices) device.free_at = 5.0;  // everything busy until t=5
+    graph::Schedule second;
+    (void)planner.plan_cached(g, devices, graph::Objective::kMakespan, &second);
+    EXPECT_EQ(planner.cache_size(), 1U);
+    EXPECT_EQ(planner.cache_hits(), 1U);
+
+    ASSERT_EQ(first.steps.size(), second.steps.size());
+    for (std::size_t s = 0; s < second.steps.size(); ++s) {
+        EXPECT_EQ(first.steps[s].device, second.steps[s].device);
+        EXPECT_EQ(first.steps[s].nodes, second.steps[s].nodes);
+        EXPECT_GE(second.steps[s].start_s, 5.0);
+    }
+    expect_feasible(g, second, "re-timed");
+}
+
+// ---------------------------------------------------------------------------
+// mwsched text format
+// ---------------------------------------------------------------------------
+
+TEST(GraphSchedule, SaveLoadRoundTrip) {
+    const graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    const graph::Graph g = graph::make_memory_bound();
+    const graph::Schedule s = planner.plan(g, devices, graph::Objective::kMakespan);
+
+    std::stringstream buffer;
+    s.save(buffer, g);
+    const auto [g2, s2] = graph::Schedule::load(buffer);
+
+    EXPECT_EQ(g2.name(), g.name());
+    EXPECT_EQ(g2.fingerprint(), g.fingerprint());
+    ASSERT_EQ(s2.devices.size(), s.devices.size());
+    for (std::size_t d = 0; d < s.devices.size(); ++d) {
+        EXPECT_EQ(s2.devices[d].name, s.devices[d].name);
+        EXPECT_EQ(s2.devices[d].scratchpad_bytes, s.devices[d].scratchpad_bytes);
+        EXPECT_EQ(s2.devices[d].link_gbps, s.devices[d].link_gbps);
+        EXPECT_EQ(s2.devices[d].link_latency_s, s.devices[d].link_latency_s);
+        EXPECT_EQ(s2.devices[d].local_gbps, s.devices[d].local_gbps);
+    }
+    ASSERT_EQ(s2.steps.size(), s.steps.size());
+    for (std::size_t i = 0; i < s.steps.size(); ++i) {
+        EXPECT_EQ(s2.steps[i].device, s.steps[i].device);
+        EXPECT_EQ(s2.steps[i].nodes, s.steps[i].nodes);
+        EXPECT_EQ(s2.steps[i].start_s, s.steps[i].start_s);  // %.17g is lossless
+        EXPECT_EQ(s2.steps[i].load_s, s.steps[i].load_s);
+        EXPECT_EQ(s2.steps[i].compute_s, s.steps[i].compute_s);
+        EXPECT_EQ(s2.steps[i].store_s, s.steps[i].store_s);
+    }
+    expect_feasible(g2, s2, "round-tripped");
+}
+
+TEST(GraphSchedule, LoadRejectsMalformedInput) {
+    const auto load = [](const std::string& text) {
+        std::istringstream is(text);
+        return graph::Schedule::load(is);
+    };
+    EXPECT_THROW((void)load(""), IoError);
+    EXPECT_THROW((void)load("mwsched 2\nend\n"), IoError);
+    EXPECT_THROW((void)load("mwsched 1\ngraph g 1\nend\n"), IoError);  // node count lies
+    EXPECT_THROW((void)load("mwsched 1\ngraph g 0\n"), IoError);       // truncated
+    EXPECT_THROW((void)load("mwsched 1\ngraph g 0\nbogus record\nend\n"), IoError);
+}
+
+// ---------------------------------------------------------------------------
+// Independent verifier: every mutation kind must be caught
+// ---------------------------------------------------------------------------
+
+class GraphVerifier : public ::testing::Test {
+protected:
+    void SetUp() override {
+        graph_ = graph::make_memory_bound();
+        const graph::GraphPlanner planner;
+        schedule_ = planner.plan(graph_, testbed_devices(), graph::Objective::kMakespan);
+        ASSERT_TRUE(graph::verify_schedule(graph_, schedule_).empty());
+        ASSERT_GT(schedule_.steps.size(), 1U);
+    }
+
+    graph::Graph graph_;
+    graph::Schedule schedule_;
+};
+
+TEST_F(GraphVerifier, RejectsPrecedenceViolation) {
+    // Pull some step with a cross-step producer back to t=0.
+    for (std::size_t s = 1; s < schedule_.steps.size(); ++s) {
+        graph::Schedule bad = schedule_;
+        bad.steps[s].start_s = 0.0;
+        const auto violations = graph::verify_schedule(graph_, bad);
+        if (!violations.empty()) {
+            EXPECT_TRUE(has_kind(violations, graph::ViolationKind::kPrecedence) ||
+                        has_kind(violations, graph::ViolationKind::kOverlap));
+            return;
+        }
+    }
+    FAIL() << "no step could be made to violate precedence";
+}
+
+TEST_F(GraphVerifier, RejectsSameDeviceOverlap) {
+    for (std::size_t a = 0; a < schedule_.steps.size(); ++a) {
+        for (std::size_t b = a + 1; b < schedule_.steps.size(); ++b) {
+            if (schedule_.steps[a].device != schedule_.steps[b].device) continue;
+            graph::Schedule bad = schedule_;
+            bad.steps[b].start_s = bad.steps[a].start_s;
+            const auto violations = graph::verify_schedule(graph_, bad);
+            EXPECT_FALSE(violations.empty());
+            return;
+        }
+    }
+    GTEST_SKIP() << "plan has no two steps on one device";
+}
+
+TEST_F(GraphVerifier, RejectsCapacityOverflow) {
+    graph::Schedule bad = schedule_;
+    for (auto& device : bad.devices) device.scratchpad_bytes = 1.0;
+    const auto violations = graph::verify_schedule(graph_, bad);
+    EXPECT_TRUE(has_kind(violations, graph::ViolationKind::kCapacity))
+        << graph::format_violations(violations);
+}
+
+TEST_F(GraphVerifier, RejectsBandwidthCheating) {
+    graph::Schedule bad = schedule_;
+    bool mutated = false;
+    for (auto& step : bad.steps) {
+        if (step.load_s > 0.0) {
+            step.load_s = 0.0;
+            mutated = true;
+            break;
+        }
+    }
+    ASSERT_TRUE(mutated);
+    const auto violations = graph::verify_schedule(graph_, bad);
+    EXPECT_TRUE(has_kind(violations, graph::ViolationKind::kBandwidth))
+        << graph::format_violations(violations);
+}
+
+TEST_F(GraphVerifier, RejectsCoverageGapAndDuplicate) {
+    graph::Schedule missing = schedule_;
+    for (auto& step : missing.steps) {
+        if (step.nodes.size() > 1) {
+            step.nodes.pop_back();
+            break;
+        }
+    }
+    EXPECT_TRUE(has_kind(graph::verify_schedule(graph_, missing),
+                         graph::ViolationKind::kCoverage));
+
+    graph::Schedule duplicated = schedule_;
+    duplicated.steps.push_back(duplicated.steps.front());
+    EXPECT_TRUE(has_kind(graph::verify_schedule(graph_, duplicated),
+                         graph::ViolationKind::kCoverage));
+}
+
+TEST_F(GraphVerifier, RejectsUndercountedStorePhaseWhenConsumerMovesDevices) {
+    // Same-device stores are priced at local_gbps; claiming that price while
+    // a consumer actually sits on another device must trip the bandwidth
+    // check (the spill link is slower).
+    graph::Schedule bad = schedule_;
+    for (auto& device : bad.devices) {
+        device.link_gbps = 1e-3;  // make the link brutally slow
+        device.link_latency_s = 1.0;
+    }
+    const auto violations = graph::verify_schedule(graph_, bad);
+    EXPECT_TRUE(has_kind(violations, graph::ViolationKind::kBandwidth))
+        << graph::format_violations(violations);
+}
+
+// ---------------------------------------------------------------------------
+// Integration: scheduler, dispatcher, server
+// ---------------------------------------------------------------------------
+
+struct GraphWorld {
+    device::DeviceRegistry registry = device::DeviceRegistry::standard_testbed();
+    sched::Dispatcher dispatcher{registry};
+    std::optional<sched::OnlineScheduler> scheduler;
+    ManualClock clock;
+
+    GraphWorld() {
+        dispatcher.register_model(nn::zoo::simple(), 7);
+        dispatcher.deploy_all();
+        const auto dataset = sched::build_scheduler_dataset(
+            registry, {nn::zoo::simple()}, {.batches = {1, 4}});
+        sched::DevicePredictor predictor(
+            std::make_unique<ml::RandomForest>(ml::ForestConfig{.n_estimators = 4, .seed = 3}),
+            dataset.device_names);
+        predictor.fit(dataset);
+        scheduler.emplace(dispatcher, std::move(predictor), dataset,
+                          sched::SchedulerConfig{.explore_probability = 0.0});
+        for (device::Device* dev : registry.devices()) dev->reset_timeline();
+    }
+};
+
+TEST(GraphIntegration, SchedulerPlanGraphVerifies) {
+    GraphWorld world;
+    const graph::Graph g = graph::make_memory_bound();
+    const graph::Schedule s =
+        world.scheduler->plan_graph(g, sched::Policy::kMaxThroughput, 0.0);
+    EXPECT_EQ(s.devices.size(), world.registry.devices().size());
+    expect_feasible(g, s, "plan_graph");
+    // kMinEnergy maps to the energy objective and must also be feasible.
+    expect_feasible(g, world.scheduler->plan_graph(g, sched::Policy::kMinEnergy, 0.0),
+                    "plan_graph energy");
+}
+
+TEST(GraphIntegration, DispatcherRunScheduleBooksDeviceTime) {
+    GraphWorld world;
+    const graph::Graph g = graph::make_memory_bound();
+    const graph::Schedule planned =
+        world.scheduler->plan_graph(g, sched::Policy::kMaxThroughput, 0.0);
+    const graph::Schedule executed = world.dispatcher.run_schedule(g, planned, 0.0);
+    expect_feasible(g, executed, "executed");
+    double booked = 0.0;
+    for (device::Device* dev : world.registry.devices()) booked += dev->busy_until();
+    EXPECT_GT(booked, 0.0);
+}
+
+TEST(GraphIntegration, ServerRunGraphVerifiesAndCountsRuns) {
+    GraphWorld world;
+    serve::ServerConfig config;
+    config.workers = 1;
+    serve::Server server(*world.scheduler, world.dispatcher, world.clock, config);
+
+    const graph::Graph g = graph::make_memory_bound();
+    const auto result = server.run_graph(g, sched::Policy::kMaxThroughput);
+    EXPECT_TRUE(result.verified);
+    EXPECT_FALSE(result.executed.steps.empty());
+    expect_feasible(g, result.executed, "server-executed");
+
+    bool found = false;
+    for (const auto& series : server.metrics().series()) {
+        if (series.name == "mw_graph_runs_total") {
+            found = true;
+            EXPECT_EQ(series.counter->value(), 1U);
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+// ---------------------------------------------------------------------------
+// Lock ranks: the planner cache sits BELOW the scheduler lock
+// ---------------------------------------------------------------------------
+
+#if defined(MW_LOCK_RANK_CHECKS)
+
+TEST(GraphLockRankDeathTest, SchedulerThenPlannerCacheAborts) {
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    Mutex scheduler_mu(LockRank::kScheduler);
+    graph::GraphPlanner planner;
+    const auto devices = testbed_devices();
+    const graph::Graph g = graph::make_compute_bound();
+    EXPECT_DEATH(
+        {
+            const MutexLock lock(scheduler_mu);
+            graph::Schedule instantiated;
+            (void)planner.plan_cached(g, devices, graph::Objective::kMakespan, &instantiated);
+        },
+        "lock-rank violation: acquiring .graph-planner. .rank 9. "
+        "while already holding .scheduler. .rank 10.");
+}
+
+#endif  // MW_LOCK_RANK_CHECKS
+
+}  // namespace

@@ -202,6 +202,9 @@ AnalyzerConfig default_config() {
          "fault schedules must replay deterministically on the injected mw::Clock"},
         {"src/cluster/", clock_idents, "clock-confinement",
          "link latency and routing clocks are injected; wall time would break simulation"},
+        {"src/graph/", clock_idents, "clock-confinement",
+         "DAG planning and verification run on the simulated timeline; schedules must replay "
+         "bit-identically from any injected mw::Clock"},
         {"src/common/mpmc_ring.hpp", blocking_idents, "lock-free-confinement", lockfree_why},
         {"src/common/epoch_cell.hpp", blocking_idents, "lock-free-confinement", lockfree_why},
         {"src/serve/sharded_queue.", blocking_idents, "lock-free-confinement", lockfree_why},

@@ -54,6 +54,9 @@ def compare(baseline_path, current_path, max_qps_drop):
         ("energy_per_request_j", "J/req"),
         ("single_node_qps", "QPS"),
         ("scaling_8x", "x"),
+        ("dag_speedup_membound", "x"),
+        ("dag_speedup_computebound", "x"),
+        ("crossover_intensity", "flop/B"),
     ]
     print(f"{'metric':24} {'baseline':>14} {'current':>14} {'delta':>8}")
     for key, unit in rows:
